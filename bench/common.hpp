@@ -1,0 +1,71 @@
+// Shared utilities for the table/figure regeneration harnesses.
+//
+// Every binary in bench/ regenerates one table or figure from the paper's
+// evaluation (§7) and prints the series the paper reports, plus the
+// paper's reference values where meaningful. Absolute agreement is not
+// the goal (the substrate is a simulator, see DESIGN.md); the shape —
+// who wins, by how much, where things saturate — is.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hypertester.hpp"
+#include "dut/capture.hpp"
+
+namespace ht::bench {
+
+inline void headline(const std::string& what, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", what.c_str());
+  if (!paper_ref.empty()) std::printf("(paper: %s)\n", paper_ref.c_str());
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stdout, fmt, args);
+  va_end(args);
+  std::fputc('\n', stdout);
+}
+
+/// A tester with capture sinks attached to every front-panel port.
+struct Testbed {
+  explicit Testbed(std::size_t ports = 4, double rate_gbps = 100.0,
+                   std::size_t recirc_channels = 1) {
+    TesterConfig cfg;
+    cfg.asic.num_ports = ports;
+    cfg.asic.port_rate_gbps = rate_gbps;
+    cfg.asic.num_recirc_channels = recirc_channels;
+    tester = std::make_unique<HyperTester>(cfg);
+    for (std::size_t i = 0; i < ports; ++i) {
+      sinks.push_back(std::make_unique<dut::Capture>(tester->events(),
+                                                     static_cast<std::uint16_t>(1000 + i),
+                                                     rate_gbps));
+      sinks.back()->set_count_only(true);
+      sinks.back()->attach(tester->asic().port(static_cast<std::uint16_t>(i)));
+    }
+  }
+
+  std::unique_ptr<HyperTester> tester;
+  std::vector<std::unique_ptr<dut::Capture>> sinks;
+};
+
+/// Record TX-start timestamps on a switch port (for inter-departure-time
+/// analysis) after a warmup count.
+struct TxRecorder {
+  explicit TxRecorder(sim::Port& port, std::size_t warmup = 200) : warmup_(warmup) {
+    port.on_transmit = [this](const net::Packet&, sim::TimeNs t) {
+      if (seen_++ >= warmup_) times.push_back(t);
+    };
+  }
+  std::vector<std::uint64_t> times;
+
+ private:
+  std::size_t warmup_;
+  std::size_t seen_ = 0;
+};
+
+}  // namespace ht::bench

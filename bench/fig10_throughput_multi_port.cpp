@@ -1,0 +1,37 @@
+// Figure 10: multi-port throughput.
+//
+//  (a) HyperTester: adding 100G ports keeps every port at line rate
+//      (400Gbps with the testbed's four ports).
+//  (b) MoonGen on eight 10G ports: ~10Gbps per core, 80Gbps with 8 cores.
+#include "apps/tasks.hpp"
+#include "baseline/moongen.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace ht;
+
+  bench::headline("Figure 10(a): HyperTester multi-port (100G each, 64B)",
+                  "line rate as ports are added; 400Gbps with 4 ports");
+  bench::row("%8s %14s %16s", "ports", "total (Gbps)", "per-port (Gbps)");
+  for (std::size_t nports = 1; nports <= 4; ++nports) {
+    bench::Testbed tb(5, 100.0);
+    std::vector<std::uint16_t> ports;
+    for (std::size_t p = 1; p <= nports; ++p) ports.push_back(static_cast<std::uint16_t>(p));
+    auto app = apps::throughput_test(0x02020202, 0x01010101, ports, 64, 0);
+    tb.tester->load(app.task);
+    tb.tester->start();
+    tb.tester->run_for(sim::ms(2));
+    double total = 0;
+    for (const auto p : ports) total += tb.tester->asic().port(p).tx_line_rate_gbps();
+    bench::row("%8zu %14.1f %16.1f", nports, total, total / static_cast<double>(nports));
+  }
+
+  bench::headline("Figure 10(b): MoonGen multi-core (eight 10G ports, 64B)",
+                  "~10Gbps per core; 80Gbps with 8 cores");
+  const baseline::MoonGenModel mg;
+  bench::row("%8s %14s", "cores", "total (Gbps)");
+  for (std::size_t cores = 1; cores <= 8; ++cores) {
+    bench::row("%8zu %14.1f", cores, mg.throughput_gbps(64, cores, 8, 10.0));
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 11: rate-control accuracy on a 40G port — HyperTester vs MoonGen
+// (NIC hardware rate control), quantified as MAE / MAD / RMSE of the
+// inter-departure time.
+//
+// Paper: every HyperTester error is over one order of magnitude below
+// MoonGen's.
+#include "apps/tasks.hpp"
+#include "baseline/moongen.hpp"
+#include "common.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace ht;
+
+sim::ErrorMetrics hypertester_errors(double port_rate, double pps, std::size_t pkt_len,
+                                     sim::TimeNs window) {
+  bench::Testbed tb(2, port_rate);
+  const auto interval = static_cast<std::uint64_t>(1e9 / pps);
+  auto app = apps::throughput_test(0x02020202, 0x01010101, {1}, pkt_len, interval);
+  tb.tester->load(app.task);
+  bench::TxRecorder rec(tb.tester->asic().port(1));
+  tb.tester->start();
+  tb.tester->run_for(window);
+  return sim::compute_error_metrics(sim::inter_departure_times(rec.times),
+                                    static_cast<double>(interval));
+}
+
+sim::ErrorMetrics moongen_errors(double port_rate, double pps, std::size_t pkt_len,
+                                 sim::TimeNs window) {
+  sim::EventQueue ev;
+  sim::Port tx(ev, 0, port_rate), rx(ev, 1, port_rate);
+  tx.connect(&rx);
+  rx.connect(&tx);
+  bench::TxRecorder rec(tx);
+  baseline::MoonGenGenerator::Config cfg;
+  cfg.target_pps = pps;
+  cfg.pkt_bytes = pkt_len;
+  cfg.rate_control = baseline::MoonGenGenerator::RateControl::kHardwareNic;
+  baseline::MoonGenGenerator gen(ev, tx, cfg);
+  gen.start();
+  ev.run_until(window);
+  gen.stop();
+  return sim::compute_error_metrics(sim::inter_departure_times(rec.times), 1e9 / pps);
+}
+
+sim::TimeNs window_for(double pps) {
+  // Enough samples for stable statistics without hour-long runs.
+  const double target_samples = 4000.0;
+  return std::max<sim::TimeNs>(sim::ms(5),
+                               static_cast<sim::TimeNs>(target_samples / pps * 1e9));
+}
+
+}  // namespace
+
+int main() {
+  bench::headline("Figure 11(a): inter-departure error vs speed (40G, 64B)",
+                  "HT errors >10x below MoonGen at every speed");
+  bench::row("%10s | %9s %9s %9s | %9s %9s %9s | %7s", "speed", "HT MAE", "HT MAD", "HT RMSE",
+             "MG MAE", "MG MAD", "MG RMSE", "ratio");
+  for (const double pps : {100e3, 1e6, 5e6}) {
+    const auto w = window_for(pps);
+    const auto htm = hypertester_errors(40.0, pps, 64, w);
+    const auto mgm = moongen_errors(40.0, pps, 64, w);
+    bench::row("%8.0fK | %8.1fns %8.1fns %8.1fns | %8.1fns %8.1fns %8.1fns | %6.1fx",
+               pps / 1e3, htm.mae, htm.mad, htm.rmse, mgm.mae, mgm.mad, mgm.rmse,
+               mgm.mae / std::max(htm.mae, 0.01));
+  }
+
+  bench::headline("Figure 11(b): inter-departure error vs packet size (40G, 1Mpps)", "");
+  bench::row("%10s | %9s %9s %9s | %9s %9s %9s", "size", "HT MAE", "HT MAD", "HT RMSE",
+             "MG MAE", "MG MAD", "MG RMSE");
+  for (const std::size_t size : {64u, 512u, 1500u}) {
+    const auto w = window_for(1e6);
+    const auto htm = hypertester_errors(40.0, 1e6, size, w);
+    const auto mgm = moongen_errors(40.0, 1e6, size, w);
+    bench::row("%9zuB | %8.1fns %8.1fns %8.1fns | %8.1fns %8.1fns %8.1fns", size, htm.mae,
+               htm.mad, htm.rmse, mgm.mae, mgm.mad, mgm.rmse);
+  }
+  return 0;
+}

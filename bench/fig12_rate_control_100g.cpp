@@ -1,0 +1,47 @@
+// Figure 12: HyperTester rate-control accuracy on a 100G port.
+//
+// Paper: generation speed barely influences the errors; errors grow with
+// the size of the generated packets (larger templates mean a coarser
+// replicator timer granularity — fewer, more widely spaced loop arrivals).
+#include "apps/tasks.hpp"
+#include "common.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace ht;
+
+sim::ErrorMetrics ht_errors(double pps, std::size_t pkt_len) {
+  bench::Testbed tb(2, 100.0);
+  const auto interval = static_cast<std::uint64_t>(1e9 / pps);
+  auto app = apps::throughput_test(0x02020202, 0x01010101, {1}, pkt_len, interval);
+  tb.tester->load(app.task);
+  bench::TxRecorder rec(tb.tester->asic().port(1));
+  tb.tester->start();
+  const auto window = std::max<sim::TimeNs>(
+      sim::ms(4), static_cast<sim::TimeNs>(4000.0 / pps * 1e9));
+  tb.tester->run_for(window);
+  return sim::compute_error_metrics(sim::inter_departure_times(rec.times),
+                                    static_cast<double>(interval));
+}
+
+}  // namespace
+
+int main() {
+  bench::headline("Figure 12(a): error vs generation speed (100G, 64B)",
+                  "speed has no obvious influence");
+  bench::row("%10s %10s %10s %10s", "speed", "MAE", "MAD", "RMSE");
+  for (const double pps : {100e3, 1e6, 10e6, 50e6}) {
+    const auto m = ht_errors(pps, 64);
+    bench::row("%8.0fK %9.1fns %9.1fns %9.1fns", pps / 1e3, m.mae, m.mad, m.rmse);
+  }
+
+  bench::headline("Figure 12(b): error vs packet size (100G, 1Mpps)",
+                  "errors grow with the generated packet size");
+  bench::row("%10s %10s %10s %10s", "size", "MAE", "MAD", "RMSE");
+  for (const std::size_t size : {64u, 256u, 512u, 1024u, 1500u}) {
+    const auto m = ht_errors(1e6, size);
+    bench::row("%9zuB %9.1fns %9.1fns %9.1fns", size, m.mae, m.mad, m.rmse);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 9: single-port throughput vs. packet size.
+//
+//  (a) HyperTester on a 100G port — line rate at every size.
+//  (b) HyperTester on a 40G port vs MoonGen with one core — MoonGen is CPU
+//      bound for small packets and only reaches line rate once packets get
+//      large.
+#include "apps/tasks.hpp"
+#include "baseline/moongen.hpp"
+#include "common.hpp"
+
+namespace {
+
+/// Run a line-rate generation task for `window` and report achieved Gbps.
+double hypertester_gbps(double port_rate, std::size_t pkt_len) {
+  ht::bench::Testbed tb(2, port_rate);
+  auto app = ht::apps::throughput_test(0x02020202, 0x01010101, {1}, pkt_len, 0);
+  tb.tester->load(app.task);
+  tb.tester->start();
+  tb.tester->run_for(ht::sim::ms(2));
+  return tb.tester->asic().port(1).tx_line_rate_gbps();
+}
+
+}  // namespace
+
+int main() {
+  using namespace ht;
+  const std::size_t sizes[] = {64, 128, 256, 512, 1024, 1500};
+  const baseline::MoonGenModel mg;
+
+  bench::headline("Figure 9(a): single 100G port, HyperTester",
+                  "line rate for arbitrary packet sizes");
+  bench::row("%8s %14s %14s %10s", "size(B)", "HT (Gbps)", "line (Gbps)", "Mpps");
+  for (const auto s : sizes) {
+    const double gbps = hypertester_gbps(100.0, s);
+    const double mpps = gbps * 1e9 / (static_cast<double>(s + 24) * 8.0) / 1e6;
+    bench::row("%8zu %14.1f %14.1f %10.2f", s, gbps, 100.0, mpps);
+  }
+
+  bench::headline("Figure 9(b): single 40G port, HyperTester vs MoonGen (1 core)",
+                  "HT at line rate; MG below line rate for small packets");
+  bench::row("%8s %12s %16s %12s", "size(B)", "HT (Gbps)", "MG 1-core (Gbps)", "line");
+  for (const auto s : sizes) {
+    const double ht_gbps = hypertester_gbps(40.0, s);
+    const double mg_gbps = mg.throughput_gbps(s, 1, 1, 40.0);
+    bench::row("%8zu %12.1f %16.1f %12.1f", s, ht_gbps, mg_gbps, 40.0);
+  }
+  return 0;
+}

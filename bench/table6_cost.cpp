@@ -1,0 +1,25 @@
+// Table 6: equipment and power cost per Tbps, HyperTester vs MoonGen.
+//
+// Paper: MoonGen $42000 / 7200W per Tbps; HyperTester $3600 / 150W; a
+// saving of $38400 per Tbps (the paper's quoted 7150W power saving has an
+// arithmetic slip — 7200W - 150W = 7050W; we print the computed value).
+#include "baseline/cost_model.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace ht;
+  const baseline::CostModel c;
+
+  bench::headline("Table 6: power and equipment cost comparison (per Tbps)",
+                  "MoonGen $42000/7200W; HyperTester $3600/150W; save $38400");
+  bench::row("%-22s %16s %14s", "Metrics (per Tbps)", "Equipment Cost", "Power Cost");
+  bench::row("%-22s %15.0f$ %13.0fW", "MoonGen", c.moongen_cost_per_tbps_usd(),
+             c.moongen_power_per_tbps_w());
+  bench::row("%-22s %15.0f$ %13.0fW", "HyperTester", c.switch_cost_per_tbps_usd,
+             c.switch_power_per_tbps_w);
+  bench::row("%-22s %15.0f$ %13.0fW", "HyperTester Saving", c.saving_usd_per_tbps(),
+             c.saving_w_per_tbps());
+  bench::row("\nA 6.5Tbps switch replaces %llu 8-core servers (paper: 81).",
+             static_cast<unsigned long long>(c.servers_replaced(6.5)));
+  return 0;
+}

@@ -1,0 +1,106 @@
+// htester: run a textual NTAPI script (Table 2 syntax) on a simulated
+// testbed.
+//
+//   $ ./ntapi_cli <script.nt> [--ms N] [--p4] [--loopback]
+//
+// Options:
+//   --ms N       simulated run time in milliseconds (default 10)
+//   --p4         print the generated P4 program and exit
+//   --loopback   wire every switch port back to itself through a cable,
+//                so received-traffic queries see the sent traffic
+//
+// Without --loopback every port is terminated by an absorbing capture
+// device. After the run, every query's totals are printed.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/hypertester.hpp"
+#include "dut/capture.hpp"
+#include "ntapi/text/parser.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ht;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <script.nt> [--ms N] [--p4] [--loopback]\n", argv[0]);
+    return 2;
+  }
+  const char* path = argv[1];
+  long run_ms = 10;
+  bool print_p4 = false, loopback = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ms") == 0 && i + 1 < argc) {
+      run_ms = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--p4") == 0) {
+      print_p4 = true;
+    } else if (std::strcmp(argv[i], "--loopback") == 0) {
+      loopback = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  try {
+    auto prog = ntapi::text::parse_ntapi(buffer.str(), path);
+    HyperTester tester;
+    std::vector<std::unique_ptr<dut::Capture>> sinks;
+    for (std::size_t p = 0; p < tester.asic().port_count(); ++p) {
+      if (loopback) {
+        tester.asic().port(static_cast<std::uint16_t>(p))
+            .connect(&tester.asic().port(static_cast<std::uint16_t>(p)));
+      } else {
+        sinks.push_back(std::make_unique<dut::Capture>(
+            tester.events(), static_cast<std::uint16_t>(1000 + p), 100.0));
+        sinks.back()->set_count_only(true);
+        sinks.back()->attach(tester.asic().port(static_cast<std::uint16_t>(p)));
+      }
+    }
+
+    tester.load(prog.task);
+    if (print_p4) {
+      std::fputs(tester.compiled().p4_source.c_str(), stdout);
+      return 0;
+    }
+    std::printf("loaded %s: %zu triggers, %zu queries, %zu NTAPI LoC -> %zu P4 LoC\n", path,
+                prog.task.triggers().size(), prog.task.queries().size(),
+                tester.compiled().ntapi_loc, tester.compiled().p4_loc);
+    for (const auto& w : tester.compiled().warnings) std::printf("warning: %s\n", w.c_str());
+
+    tester.start();
+    tester.run_for(sim::ms(static_cast<std::uint64_t>(run_ms)));
+    std::printf("ran %ldms simulated (%llu events)\n\n", run_ms,
+                static_cast<unsigned long long>(tester.events().executed()));
+
+    for (const auto& [name, handle] : prog.triggers) {
+      std::printf("trigger %-8s fired %llu times%s\n", name.c_str(),
+                  static_cast<unsigned long long>(tester.trigger_fires(handle)),
+                  tester.trigger_done(handle) ? " (complete)" : "");
+    }
+    for (const auto& [name, handle] : prog.queries) {
+      const auto* store = tester.receiver().store(handle.index);
+      if (store != nullptr) {
+        std::printf("query   %-8s matched %llu packets, %llu distinct keys\n", name.c_str(),
+                    static_cast<unsigned long long>(tester.query_matched(handle)),
+                    static_cast<unsigned long long>(tester.query_distinct(handle)));
+      } else {
+        std::printf("query   %-8s matched %llu packets, total %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(tester.query_matched(handle)),
+                    static_cast<unsigned long long>(tester.query_total(handle)));
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

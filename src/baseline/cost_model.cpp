@@ -1,0 +1,2 @@
+// CostModel is header-only; this TU exists to compile-check it standalone.
+#include "baseline/cost_model.hpp"

@@ -1,0 +1,262 @@
+#include "baseline/lua_inventory.hpp"
+
+namespace ht::baseline {
+
+namespace {
+
+// Structured after MoonGen's l3-load-latency / l2-load examples.
+constexpr std::string_view kThroughputLua = R"lua(
+local mg     = require "moongen"
+local memory = require "memory"
+local device = require "device"
+local stats  = require "stats"
+
+function configure(parser)
+  parser:argument("txDev", "TX device"):convert(tonumber)
+  parser:argument("rxDev", "RX device"):convert(tonumber)
+  parser:option("-r --rate", "Rate in Mbit/s"):default(10000):convert(tonumber)
+  parser:option("-s --size", "Packet size"):default(64):convert(tonumber)
+end
+
+function master(args)
+  local txDev = device.config{port = args.txDev, txQueues = 1}
+  local rxDev = device.config{port = args.rxDev, rxQueues = 1}
+  device.waitForLinks()
+  txDev:getTxQueue(0):setRate(args.rate)
+  mg.startTask("txSlave", txDev:getTxQueue(0), args.size)
+  mg.startTask("rxSlave", rxDev:getRxQueue(0))
+  mg.waitForTasks()
+end
+
+function txSlave(queue, size)
+  local mempool = memory.createMemPool(function(buf)
+    buf:getUdpPacket():fill{
+      ethSrc = queue, ethDst = "10:11:12:13:14:15",
+      ip4Src = "10.0.0.1", ip4Dst = "10.1.0.1",
+      udpSrc = 1, udpDst = 1,
+      pktLength = size
+    }
+  end)
+  local bufs = mempool:bufArray()
+  local txCtr = stats:newDevTxCounter(queue.dev, "plain")
+  while mg.running() do
+    bufs:alloc(size)
+    bufs:offloadUdpChecksums()
+    queue:send(bufs)
+    txCtr:update()
+  end
+  txCtr:finalize()
+end
+
+function rxSlave(queue)
+  local bufs = memory.bufArray()
+  local rxCtr = stats:newDevRxCounter(queue.dev, "plain")
+  while mg.running() do
+    local rx = queue:recv(bufs)
+    rxCtr:update()
+    bufs:free(rx)
+  end
+  rxCtr:finalize()
+end
+)lua";
+
+constexpr std::string_view kDelayLua = R"lua(
+local mg     = require "moongen"
+local memory = require "memory"
+local device = require "device"
+local ts     = require "timestamping"
+local hist   = require "histogram"
+local timer  = require "timer"
+
+function configure(parser)
+  parser:argument("txDev", "TX device"):convert(tonumber)
+  parser:argument("rxDev", "RX device"):convert(tonumber)
+  parser:option("-r --rate", "Rate in Mbit/s"):default(1000):convert(tonumber)
+  parser:option("-s --size", "Packet size"):default(84):convert(tonumber)
+  parser:option("-f --file", "Histogram file"):default("histogram.csv")
+  parser:flag("--sw", "Use software timestamping")
+end
+
+function master(args)
+  local txDev = device.config{port = args.txDev, txQueues = 2}
+  local rxDev = device.config{port = args.rxDev, rxQueues = 2}
+  device.waitForLinks()
+  txDev:getTxQueue(0):setRate(args.rate)
+  mg.startTask("loadSlave", txDev:getTxQueue(0), args.size)
+  mg.startTask("timerSlave", txDev:getTxQueue(1), rxDev:getRxQueue(1),
+               args.size, args.file, args.sw)
+  mg.waitForTasks()
+end
+
+function loadSlave(queue, size)
+  local mempool = memory.createMemPool(function(buf)
+    buf:getUdpPacket():fill{pktLength = size, ip4Dst = "10.1.0.1"}
+  end)
+  local bufs = mempool:bufArray()
+  while mg.running() do
+    bufs:alloc(size)
+    queue:send(bufs)
+  end
+end
+
+function timerSlave(txQueue, rxQueue, size, file, sw)
+  local timestamper
+  if sw then
+    timestamper = ts:newUdpTimestamperSoftware(txQueue, rxQueue)
+  else
+    timestamper = ts:newUdpTimestamper(txQueue, rxQueue)
+  end
+  local h = hist:new()
+  local rateLimit = timer:new(0.001)
+  while mg.running() do
+    h:update(timestamper:measureLatency(size))
+    rateLimit:wait()
+    rateLimit:reset()
+  end
+  h:print()
+  h:save(file)
+end
+)lua";
+
+constexpr std::string_view kIpScanLua = R"lua(
+local mg     = require "moongen"
+local memory = require "memory"
+local device = require "device"
+local stats  = require "stats"
+local bit    = require "bit"
+
+function configure(parser)
+  parser:argument("dev", "Device"):convert(tonumber)
+  parser:option("--subnet", "Target subnet base"):default("10.0.0.0")
+  parser:option("--count", "Addresses to scan"):default(65536):convert(tonumber)
+  parser:option("--port", "Target TCP port"):default(80):convert(tonumber)
+end
+
+function master(args)
+  local dev = device.config{port = args.dev, txQueues = 1, rxQueues = 1}
+  device.waitForLinks()
+  mg.startTask("scanSlave", dev:getTxQueue(0), args.subnet, args.count, args.port)
+  mg.startTask("captureSlave", dev:getRxQueue(0))
+  mg.waitForTasks()
+end
+
+function scanSlave(queue, subnet, count, port)
+  local base = parseIPAddress(subnet)
+  local mempool = memory.createMemPool(function(buf)
+    buf:getTcpPacket():fill{
+      ip4Src = "1.1.0.1", tcpSrc = 1024, tcpDst = port,
+      tcpSyn = 1, pktLength = 64
+    }
+  end)
+  local bufs = mempool:bufArray()
+  local i = 0
+  while mg.running() and i < count do
+    bufs:alloc(64)
+    for _, buf in ipairs(bufs) do
+      buf:getTcpPacket().ip4:setDst(base + (i % count))
+      i = i + 1
+    end
+    bufs:offloadTcpChecksums()
+    queue:send(bufs)
+  end
+end
+
+function captureSlave(queue)
+  local bufs = memory.bufArray()
+  local alive = {}
+  while mg.running() do
+    local rx = queue:recv(bufs)
+    for i = 1, rx do
+      local pkt = bufs[i]:getTcpPacket()
+      if pkt.tcp:getSyn() == 1 and pkt.tcp:getAck() == 1 then
+        alive[pkt.ip4:getSrcString()] = true
+      end
+    end
+    bufs:free(rx)
+  end
+  local n = 0
+  for _ in pairs(alive) do n = n + 1 end
+  print("alive hosts: " .. n)
+end
+)lua";
+
+constexpr std::string_view kSynFloodLua = R"lua(
+local mg     = require "moongen"
+local memory = require "memory"
+local device = require "device"
+local stats  = require "stats"
+
+function configure(parser)
+  parser:argument("dev", "Device"):args("+"):convert(tonumber)
+  parser:option("--target", "Victim address"):default("10.1.0.1")
+  parser:option("-s --size", "Packet size"):default(64):convert(tonumber)
+end
+
+function master(args)
+  for _, port in ipairs(args.dev) do
+    local dev = device.config{port = port, txQueues = 1}
+    mg.startTask("floodSlave", dev:getTxQueue(0), args.target, args.size)
+  end
+  device.waitForLinks()
+  mg.waitForTasks()
+end
+
+function floodSlave(queue, target, size)
+  local mempool = memory.createMemPool(function(buf)
+    buf:getTcpPacket():fill{
+      ip4Dst = target, tcpDst = 80, tcpSyn = 1, pktLength = size
+    }
+  end)
+  local bufs = mempool:bufArray()
+  local txCtr = stats:newDevTxCounter(queue.dev, "plain")
+  while mg.running() do
+    bufs:alloc(size)
+    for _, buf in ipairs(bufs) do
+      local pkt = buf:getTcpPacket()
+      pkt.ip4:setSrc(math.random(0, 2 ^ 32 - 1))
+      pkt.tcp:setSrcPort(math.random(1024, 65535))
+      pkt.tcp:setSeqNumber(1)
+    end
+    bufs:offloadTcpChecksums()
+    queue:send(bufs)
+    txCtr:update()
+  end
+  txCtr:finalize()
+end
+)lua";
+
+}  // namespace
+
+const std::vector<LuaApp>& lua_apps() {
+  static const std::vector<LuaApp> apps = {
+      {"throughput", kThroughputLua},
+      {"delay", kDelayLua},
+      {"ip_scan", kIpScanLua},
+      {"syn_flood", kSynFloodLua},
+  };
+  return apps;
+}
+
+const LuaApp* find_lua_app(std::string_view name) {
+  for (const auto& app : lua_apps()) {
+    if (app.name == name) return &app;
+  }
+  return nullptr;
+}
+
+std::size_t count_lua_loc(std::string_view source) {
+  std::size_t loc = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t eol = source.find('\n', pos);
+    const std::string_view line =
+        source.substr(pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    const auto first = line.find_first_not_of(" \t");
+    if (first != std::string_view::npos && line.compare(first, 2, "--") != 0) ++loc;
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return loc;
+}
+
+}  // namespace ht::baseline

@@ -1,0 +1,31 @@
+// MoonGen Lua application inventory (Table 5's right column).
+//
+// The paper compares NTAPI program sizes against the equivalent MoonGen
+// Lua scripts. We carry faithful re-creations of those scripts (structured
+// after MoonGen's public examples: master/slave setup, device config,
+// mempool, TX loop, timestamping) so the LoC comparison is measured on
+// real code rather than hard-coded numbers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ht::baseline {
+
+struct LuaApp {
+  std::string_view name;
+  std::string_view source;
+};
+
+/// The four applications of Table 5.
+const std::vector<LuaApp>& lua_apps();
+
+/// Find one by name ("throughput", "delay", "ip_scan", "syn_flood").
+const LuaApp* find_lua_app(std::string_view name);
+
+/// Count non-empty, non-comment lines (the paper's counting rule).
+std::size_t count_lua_loc(std::string_view source);
+
+}  // namespace ht::baseline

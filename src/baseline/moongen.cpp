@@ -1,0 +1,78 @@
+#include "baseline/moongen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/packet_builder.hpp"
+
+namespace ht::baseline {
+
+double MoonGenModel::throughput_pps(std::size_t pkt_bytes, std::size_t cores, std::size_t ports,
+                                    double per_port_gbps) const {
+  // One TX core drives one port; each lane is bounded by the core's
+  // per-packet cost and the port's line rate (full wire size).
+  const double line_bits = static_cast<double>(pkt_bytes + net::Packet::kWireOverhead) * 8.0;
+  const double lanes = static_cast<double>(std::min(cores, ports));
+  const double per_lane = std::min(per_core_pps, per_port_gbps * 1e9 / line_bits);
+  return lanes * per_lane;
+}
+
+double MoonGenModel::throughput_gbps(std::size_t pkt_bytes, std::size_t cores, std::size_t ports,
+                                     double per_port_gbps) const {
+  const double line_bits = static_cast<double>(pkt_bytes + net::Packet::kWireOverhead) * 8.0;
+  return throughput_pps(pkt_bytes, cores, ports, per_port_gbps) * line_bits / 1e9;
+}
+
+MoonGenGenerator::MoonGenGenerator(sim::EventQueue& ev, sim::Port& port, Config cfg)
+    : ev_(ev), port_(port), cfg_(cfg), rng_(cfg.seed) {}
+
+void MoonGenGenerator::start() {
+  running_ = true;
+  next_tx_ns_ = static_cast<double>(ev_.now());
+  emit_batch();
+}
+
+void MoonGenGenerator::emit_batch() {
+  if (!running_) return;
+  const MoonGenModel& m = cfg_.model;
+  // Effective rate: capped by what the cores can push.
+  const double pps = std::min(
+      cfg_.target_pps, m.throughput_pps(cfg_.pkt_bytes, cfg_.cores, 1, port_.rate_gbps()));
+  const double interval = 1e9 / pps;
+
+  if (cfg_.rate_control == RateControl::kSoftware) {
+    // Software pacing: sleep to the batch deadline (coarse), then blast
+    // the whole batch back-to-back.
+    for (std::size_t i = 0; i < m.batch_size; ++i) {
+      port_.send(std::make_shared<net::Packet>(
+          net::make_udp_packet(0x0A000001, 0x0A000002, 1000, 2000, cfg_.pkt_bytes)));
+      ++emitted_;
+    }
+    next_tx_ns_ += interval * static_cast<double>(m.batch_size);
+    const double oversleep =
+        std::max(0.0, rng_.gaussian(m.sw_sleep_granularity_ns / 2.0, m.sw_jitter_sigma_ns));
+    const double wake = std::max(next_tx_ns_ + oversleep, static_cast<double>(ev_.now()));
+    ev_.schedule_at(static_cast<sim::TimeNs>(std::llround(wake)), [this] { emit_batch(); });
+    return;
+  }
+
+  // NIC hardware rate control: per-packet pacing quantized to the NIC's
+  // internal tick, plus DMA/queue arbitration jitter.
+  port_.send(std::make_shared<net::Packet>(
+      net::make_udp_packet(0x0A000001, 0x0A000002, 1000, 2000, cfg_.pkt_bytes)));
+  ++emitted_;
+  next_tx_ns_ += interval;
+  const double quantized = std::ceil(next_tx_ns_ / m.hw_tick_ns) * m.hw_tick_ns;
+  const double jittered = std::max(quantized + rng_.gaussian(0.0, m.hw_jitter_sigma_ns),
+                                   static_cast<double>(ev_.now()) + 1.0);
+  ev_.schedule_at(static_cast<sim::TimeNs>(std::llround(jittered)), [this] { emit_batch(); });
+}
+
+double MoonGenGenerator::sw_timestamped_delay_ns(const MoonGenModel& model, double true_delay_ns,
+                                                 sim::Rng& rng) {
+  return std::max(
+      0.0, true_delay_ns + model.sw_timestamp_overhead_ns +
+               std::abs(rng.gaussian(0.0, model.sw_timestamp_sigma_ns)));
+}
+
+}  // namespace ht::baseline

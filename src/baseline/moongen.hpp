@@ -1,0 +1,99 @@
+// MoonGen baseline model (§7's comparison point).
+//
+// The paper compares HyperTester against MoonGen, the DPDK-based software
+// packet generator, on commodity servers. We do not port MoonGen; we model
+// the mechanisms that produce its measured behaviour:
+//
+//  - *throughput*: each CPU core sustains a bounded packet rate
+//    (~14.88 Mpps, i.e. one fully-loaded 10G port at 64B — Fig 10b's
+//    "one core per 10Gbps, 80Gbps with 8 cores"); larger packets reach
+//    line rate earlier because the per-packet cost dominates.
+//  - *rate control*: software pacing transmits in batches, so
+//    inter-departure times alternate between back-to-back gaps and long
+//    waits; NIC hardware rate control paces better but quantizes to the
+//    NIC's internal tick and adds queue jitter — an order of magnitude
+//    above the ASIC timer's precision (Fig 11).
+//  - *timestamping*: software (CPU) timestamps carry microsecond-scale
+//    overhead and variance, which inflates measured delays ~3x vs MAC
+//    hardware timestamps (Fig 18).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/port.hpp"
+#include "sim/random.hpp"
+
+namespace ht::baseline {
+
+struct MoonGenModel {
+  double per_core_pps = 14.88e6;  ///< packet rate one core can sustain
+  std::size_t batch_size = 32;
+
+  // Software pacing (busy-wait between batches).
+  double sw_sleep_granularity_ns = 1'500.0;  ///< scheduler/TSC loop quantum
+  double sw_jitter_sigma_ns = 900.0;
+
+  // NIC hardware rate control.
+  double hw_tick_ns = 102.4;         ///< internal pacing quantum
+  double hw_jitter_sigma_ns = 55.0;  ///< DMA/queue arbitration noise
+
+  // Timestamping (Fig 18).
+  double sw_timestamp_overhead_ns = 1'400.0;
+  double sw_timestamp_sigma_ns = 450.0;
+  double hw_timestamp_sigma_ns = 8.0;
+
+  /// Throughput for `cores` cores driving `ports` ports of
+  /// `per_port_gbps` each (MoonGen pins one core per port). Line-rate
+  /// convention: includes Ethernet overhead.
+  double throughput_gbps(std::size_t pkt_bytes, std::size_t cores, std::size_t ports,
+                         double per_port_gbps) const;
+
+  /// Packets per second achievable (same limits).
+  double throughput_pps(std::size_t pkt_bytes, std::size_t cores, std::size_t ports,
+                        double per_port_gbps) const;
+};
+
+/// A running MoonGen instance: emits packets into a sim::Port with the
+/// model's pacing behaviour. Used head-to-head against HTPS in the
+/// rate-control and delay benchmarks.
+class MoonGenGenerator {
+ public:
+  enum class RateControl { kSoftware, kHardwareNic };
+
+  struct Config {
+    MoonGenModel model;
+    RateControl rate_control = RateControl::kHardwareNic;
+    double target_pps = 1e6;
+    std::size_t pkt_bytes = 64;
+    std::size_t cores = 1;
+    std::uint64_t seed = 31;
+  };
+
+  MoonGenGenerator(sim::EventQueue& ev, sim::Port& port, Config cfg);
+
+  /// Begin emitting; runs until stop() or the event horizon.
+  void start();
+  void stop() { running_ = false; }
+
+  std::uint64_t emitted() const { return emitted_; }
+
+  /// Apply the software-timestamp cost model to a true delay (Fig 18).
+  static double sw_timestamped_delay_ns(const MoonGenModel& model, double true_delay_ns,
+                                        sim::Rng& rng);
+
+ private:
+  void emit_batch();
+
+  sim::EventQueue& ev_;
+  sim::Port& port_;
+  Config cfg_;
+  sim::Rng rng_;
+  bool running_ = false;
+  double next_tx_ns_ = 0.0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace ht::baseline

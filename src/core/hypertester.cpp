@@ -1,0 +1,107 @@
+#include "core/hypertester.hpp"
+
+#include <stdexcept>
+
+namespace ht {
+
+HyperTester::HyperTester(TesterConfig cfg)
+    : asic_(ev_, cfg.asic), controller_(asic_) {}
+
+void HyperTester::load(const ntapi::Task& task) {
+  if (compiled_) throw std::logic_error("HyperTester: a task is already loaded");
+  ntapi::Compiler compiler(asic_.config());
+  compiled_ = compiler.compile(task);
+
+  sender_ = std::make_unique<htps::Sender>(asic_);
+  receiver_ = std::make_unique<htpr::Receiver>(asic_);
+
+  // Trigger FIFOs for stateless connections: create them first so both
+  // sides can be wired.
+  std::map<std::size_t, stateless::TriggerFifo*> fifo_of_trigger;
+  std::map<std::size_t, std::vector<stateless::TriggerFifo*>> fifos_of_query;
+  for (const auto& wiring : compiled_->fifos) {
+    fifos_.push_back(std::make_unique<stateless::TriggerFifo>(
+        asic_.registers(), "trigfifo." + std::to_string(wiring.trigger_index), wiring.lanes));
+    fifo_of_trigger[wiring.trigger_index] = fifos_.back().get();
+    fifos_of_query[wiring.query_index].push_back(fifos_.back().get());
+  }
+
+  // HTPS: install templates (editor EditOps already reference lane
+  // indexes computed by the compiler).
+  for (std::size_t t = 0; t < compiled_->templates.size(); ++t) {
+    htps::TemplateConfig cfg = compiled_->templates[t];
+    const auto it = fifo_of_trigger.find(t);
+    if (it != fifo_of_trigger.end()) cfg.trigger_fifo = &it->second->fifo();
+    sender_->add_template(std::move(cfg));
+  }
+  sender_->install();
+
+  // HTPR: install queries; attach trigger extraction where wired.
+  for (std::size_t q = 0; q < compiled_->queries.size(); ++q) {
+    htpr::QueryConfig cfg = compiled_->queries[q].config;
+    const auto it = fifos_of_query.find(q);
+    if (it != fifos_of_query.end()) {
+      for (auto* fifo : it->second) cfg.triggers.push_back(fifo->extract_spec());
+    }
+    receiver_->add_query(std::move(cfg));
+  }
+  receiver_->install();
+
+  // Exact-key-matching entries + CPU-side eviction collection.
+  for (std::size_t q = 0; q < compiled_->queries.size(); ++q) {
+    const auto& cq = compiled_->queries[q];
+    if (auto* store = receiver_->store(q)) {
+      store->install_exact_entries(cq.exact_keys);
+      const std::uint32_t type = cq.config.store.eviction_digest_type;
+      controller_.subscribe(type, [this, type](const rmt::DigestMessage& msg) {
+        if (msg.values.size() >= 2) evicted_[type][msg.values[0]] += msg.values[1];
+      });
+    }
+  }
+
+  // Feasibility: the program must fit the physical stages (§6.1).
+  if (!asic_.ingress().place() || !asic_.egress().place()) {
+    throw std::runtime_error(
+        "task rejected: pipeline program does not fit the switching ASIC stages");
+  }
+}
+
+void HyperTester::start() {
+  if (!sender_) throw std::logic_error("HyperTester: no task loaded");
+  sender_->start();
+}
+
+std::uint64_t HyperTester::query_total(ntapi::QueryHandle q) const {
+  return receiver_->keyless_total(q.index);
+}
+
+std::uint64_t HyperTester::query_matched(ntapi::QueryHandle q) const {
+  return receiver_->matched(q.index);
+}
+
+std::uint64_t HyperTester::query_distinct(ntapi::QueryHandle q) const {
+  const auto* store = receiver_->store(q.index);
+  if (store == nullptr) throw std::logic_error("query_distinct on a keyless query");
+  const auto type = compiled_->queries[q.index].config.store.eviction_digest_type;
+  const auto it = evicted_.find(type);
+  return store->distinct_count(it == evicted_.end() ? empty_evictions_ : it->second);
+}
+
+std::uint64_t HyperTester::query_value(ntapi::QueryHandle q,
+                                       const std::vector<std::uint64_t>& key) const {
+  const auto* store = receiver_->store(q.index);
+  if (store == nullptr) throw std::logic_error("query_value on a keyless query");
+  const auto type = compiled_->queries[q.index].config.store.eviction_digest_type;
+  const auto it = evicted_.find(type);
+  return store->total_for_key(key, it == evicted_.end() ? empty_evictions_ : it->second);
+}
+
+std::uint64_t HyperTester::trigger_fires(ntapi::TriggerHandle t) const {
+  return sender_->fires(static_cast<std::uint32_t>(t.index));
+}
+
+bool HyperTester::trigger_done(ntapi::TriggerHandle t) const {
+  return sender_->done(static_cast<std::uint32_t>(t.index));
+}
+
+}  // namespace ht

@@ -1,0 +1,86 @@
+// HyperTester: the public facade of the library.
+//
+// One instance is one programmable-switch tester (Fig 1): the switching
+// ASIC model, the switch CPU, HTPS, HTPR, and the NTAPI compiler, wired
+// together. Typical use:
+//
+//   ht::HyperTester tester;
+//   // connect tester.asic().port(i) to your devices under test
+//   ht::ntapi::Task task = ht::apps::throughput_test(...);
+//   tester.load(task);
+//   tester.start();
+//   tester.run_for(ht::sim::seconds(1));
+//   auto bytes = tester.query_total(q1);
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "htpr/receiver.hpp"
+#include "htps/sender.hpp"
+#include "ntapi/compiler.hpp"
+#include "rmt/asic.hpp"
+#include "sim/event_queue.hpp"
+#include "stateless/trigger_fifo.hpp"
+#include "switchcpu/controller.hpp"
+
+namespace ht {
+
+struct TesterConfig {
+  rmt::AsicConfig asic;
+};
+
+class HyperTester {
+ public:
+  explicit HyperTester(TesterConfig cfg = {});
+
+  // --- infrastructure access -------------------------------------------------
+  sim::EventQueue& events() { return ev_; }
+  rmt::SwitchAsic& asic() { return asic_; }
+  switchcpu::Controller& controller() { return controller_; }
+  htps::Sender& sender() { return *sender_; }
+  htpr::Receiver& receiver() { return *receiver_; }
+  const ntapi::CompiledTask& compiled() const { return compiled_.value(); }
+
+  /// Compile the task and install it into the switch. Throws
+  /// ntapi::CompileError on invalid tasks. One task per instance.
+  void load(const ntapi::Task& task);
+
+  /// Inject the template packets (start generating).
+  void start();
+
+  /// Advance the simulated testbed.
+  void run_for(sim::TimeNs duration) { ev_.run_until(ev_.now() + duration); }
+
+  // --- results -----------------------------------------------------------------
+  /// Keyless reduce total of a query (e.g. summed bytes).
+  std::uint64_t query_total(ntapi::QueryHandle q) const;
+  /// Packets that survived every operator of the query.
+  std::uint64_t query_matched(ntapi::QueryHandle q) const;
+  /// Distinct key count of a keyed distinct query.
+  std::uint64_t query_distinct(ntapi::QueryHandle q) const;
+  /// Per-key aggregate of a keyed reduce query (exact, §5.2).
+  std::uint64_t query_value(ntapi::QueryHandle q,
+                            const std::vector<std::uint64_t>& key) const;
+  /// Replication events of a trigger so far.
+  std::uint64_t trigger_fires(ntapi::TriggerHandle t) const;
+  /// True when a bounded trigger has emitted its whole stream.
+  bool trigger_done(ntapi::TriggerHandle t) const;
+
+ private:
+  sim::EventQueue ev_;
+  rmt::SwitchAsic asic_;
+  switchcpu::Controller controller_;
+  std::unique_ptr<htps::Sender> sender_;
+  std::unique_ptr<htpr::Receiver> receiver_;
+  std::vector<std::unique_ptr<stateless::TriggerFifo>> fifos_;
+  std::optional<ntapi::CompiledTask> compiled_;
+  /// CPU DRAM: evicted (canonical id -> count) per digest type.
+  std::map<std::uint32_t, std::map<std::uint64_t, std::uint64_t>> evicted_;
+  std::map<std::uint64_t, std::uint64_t> empty_evictions_;
+};
+
+}  // namespace ht

@@ -1,0 +1,40 @@
+#include "dut/capture.hpp"
+
+#include "net/pcap.hpp"
+
+namespace ht::dut {
+
+Capture::Capture(sim::EventQueue& ev, std::uint16_t id, double rate_gbps)
+    : ev_(ev), port_(ev, id, rate_gbps) {
+  port_.on_receive = [this](net::PacketPtr pkt) {
+    if (on_packet) on_packet(*pkt, ev_.now());
+    ++counted_;
+    bytes_ += pkt->size();
+    if (!count_only_) {
+      arrivals_.push_back(ev_.now());
+      packets_.push_back(std::move(pkt));
+    }
+  };
+}
+
+void Capture::attach(sim::Port& switch_port, sim::TimeNs propagation_ns) {
+  switch_port.connect(&port_, propagation_ns);
+  port_.connect(&switch_port, propagation_ns);
+}
+
+std::size_t Capture::dump_pcap(const std::string& path) const {
+  net::PcapWriter writer(path);
+  for (std::size_t i = 0; i < packets_.size(); ++i) {
+    writer.write(*packets_[i], arrivals_[i]);
+  }
+  return writer.packets_written();
+}
+
+void Capture::clear() {
+  packets_.clear();
+  arrivals_.clear();
+  bytes_ = 0;
+  counted_ = 0;
+}
+
+}  // namespace ht::dut

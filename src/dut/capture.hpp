@@ -1,0 +1,55 @@
+// Capture endpoint: a device-side port recording everything it receives.
+//
+// Plays the role of the measurement server / sink in the testbed (Fig 8).
+// Benchmarks use the recorded arrival timestamps for throughput and
+// rate-control analysis.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/port.hpp"
+
+namespace ht::dut {
+
+class Capture {
+ public:
+  Capture(sim::EventQueue& ev, std::uint16_t id, double rate_gbps);
+
+  /// Cross-connect with a switch port.
+  void attach(sim::Port& switch_port, sim::TimeNs propagation_ns = 0);
+
+  sim::Port& port() { return port_; }
+  const std::vector<net::PacketPtr>& packets() const { return packets_; }
+  const std::vector<sim::TimeNs>& arrival_times() const { return arrivals_; }
+  std::uint64_t count() const { return packets_.size(); }
+  std::uint64_t bytes() const { return bytes_; }
+
+  /// Keep only counters, not packet bodies (for long runs).
+  void set_count_only(bool v) { count_only_ = v; }
+  std::uint64_t counted() const { return counted_; }
+
+  /// Optional per-packet hook (runs before recording).
+  std::function<void(const net::Packet&, sim::TimeNs)> on_packet;
+
+  /// Dump everything recorded so far to a pcap file (for wireshark/tcpdump
+  /// inspection of generated traffic). Requires count_only == false.
+  /// Returns the number of packets written.
+  std::size_t dump_pcap(const std::string& path) const;
+
+  void clear();
+
+ private:
+  sim::EventQueue& ev_;
+  sim::Port port_;
+  std::vector<net::PacketPtr> packets_;
+  std::vector<sim::TimeNs> arrivals_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t counted_ = 0;
+  bool count_only_ = false;
+};
+
+}  // namespace ht::dut

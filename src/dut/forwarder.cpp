@@ -1,0 +1,41 @@
+#include "dut/forwarder.hpp"
+
+#include <cmath>
+
+namespace ht::dut {
+
+Forwarder::Forwarder(sim::EventQueue& ev, Config cfg) : ev_(ev), cfg_(cfg), rng_(cfg.seed) {
+  ports_.reserve(cfg_.num_ports);
+  route_.resize(cfg_.num_ports);
+  for (std::size_t i = 0; i < cfg_.num_ports; ++i) {
+    ports_.push_back(
+        std::make_unique<sim::Port>(ev, static_cast<std::uint16_t>(i), cfg_.port_rate_gbps));
+    route_[i] = i ^ 1;  // default: pairwise cross-connect
+    ports_[i]->on_receive = [this, i](net::PacketPtr pkt) { on_packet(i, std::move(pkt)); };
+  }
+}
+
+void Forwarder::set_route(std::size_t in, std::size_t out) { route_.at(in) = out; }
+
+void Forwarder::on_packet(std::size_t in_port, net::PacketPtr pkt) {
+  if (cfg_.loss_rate > 0 && rng_.bernoulli(cfg_.loss_rate)) {
+    ++lost_;
+    return;
+  }
+  const std::size_t out = route_[in_port];
+  if (out >= ports_.size()) {
+    ++lost_;
+    return;
+  }
+  double delay = cfg_.forward_delay_ns;
+  if (cfg_.delay_jitter_ns > 0) {
+    delay = std::max(0.0, rng_.gaussian(delay, cfg_.delay_jitter_ns));
+  }
+  ++forwarded_;
+  ev_.schedule_in(static_cast<sim::TimeNs>(std::llround(delay)),
+                  [this, out, pkt = std::move(pkt)]() mutable {
+                    ports_[out]->send(std::move(pkt));
+                  });
+}
+
+}  // namespace ht::dut

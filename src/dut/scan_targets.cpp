@@ -1,0 +1,83 @@
+#include "dut/scan_targets.hpp"
+
+#include <cmath>
+
+#include "net/headers.hpp"
+#include "net/packet_builder.hpp"
+
+namespace ht::dut {
+
+namespace flag = net::tcpflag;
+using net::FieldId;
+
+ScanTargets::ScanTargets(sim::EventQueue& ev, Config cfg)
+    : ev_(ev), cfg_(cfg), port_(ev, 0, cfg.port_rate_gbps) {
+  port_.on_receive = [this](net::PacketPtr pkt) { on_packet(std::move(pkt)); };
+}
+
+void ScanTargets::attach(sim::Port& switch_port, sim::TimeNs propagation_ns) {
+  switch_port.connect(&port_, propagation_ns);
+  port_.connect(&switch_port, propagation_ns);
+}
+
+bool ScanTargets::is_alive(std::uint32_t address) const {
+  if ((address & cfg_.subnet_mask) != cfg_.subnet) return false;
+  // splitmix-style deterministic liveness hash.
+  std::uint64_t h = address + cfg_.seed * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  return static_cast<double>(h & 0xFFFFFF) / static_cast<double>(0x1000000) <
+         cfg_.alive_fraction;
+}
+
+std::uint64_t ScanTargets::alive_in_range(std::uint32_t lo, std::uint32_t hi) const {
+  std::uint64_t n = 0;
+  for (std::uint64_t a = lo; a <= hi; ++a) {
+    if (is_alive(static_cast<std::uint32_t>(a))) ++n;
+  }
+  return n;
+}
+
+void ScanTargets::on_packet(net::PacketPtr pkt) {
+  const auto l4 = net::l4_kind(*pkt);
+  if (!l4) return;
+  const auto dst = static_cast<std::uint32_t>(net::get_field(*pkt, FieldId::kIpv4Dip));
+  const auto src = static_cast<std::uint32_t>(net::get_field(*pkt, FieldId::kIpv4Sip));
+  ++probes_;
+  if (!is_alive(dst)) return;  // dead hosts drop silently
+
+  const auto delay = static_cast<sim::TimeNs>(std::llround(cfg_.respond_delay_ns));
+  if (l4 == net::HeaderKind::kTcp) {
+    const auto flags = net::get_field(*pkt, FieldId::kTcpFlags);
+    if ((flags & flag::kSyn) == 0) return;
+    const auto sport = static_cast<std::uint16_t>(net::get_field(*pkt, FieldId::kTcpSport));
+    const auto dport = static_cast<std::uint16_t>(net::get_field(*pkt, FieldId::kTcpDport));
+    const auto seq = static_cast<std::uint32_t>(net::get_field(*pkt, FieldId::kTcpSeqNo));
+    const bool open = dport == cfg_.open_port;
+    net::Packet out = net::make_tcp_packet(dst, src, dport, sport,
+                                           open ? flag::kSynAck : (flag::kRst | flag::kAck),
+                                           /*seq=*/dst, /*ack=*/seq + 1);
+    open ? ++synacks_ : ++rsts_;
+    auto reply = std::make_shared<net::Packet>(std::move(out));
+    ev_.schedule_in(delay,
+                    [this, reply = std::move(reply)]() mutable { port_.send(std::move(reply)); });
+    return;
+  }
+  if (l4 == net::HeaderKind::kIcmp &&
+      net::get_field(*pkt, FieldId::kIcmpType) == 8 /* echo request */) {
+    net::Packet out = net::PacketBuilder(net::HeaderKind::kIcmp, pkt->size())
+                          .set(FieldId::kIpv4Sip, dst)
+                          .set(FieldId::kIpv4Dip, src)
+                          .set(FieldId::kIcmpType, 0)  // echo reply
+                          .set(FieldId::kIcmpId, net::get_field(*pkt, FieldId::kIcmpId))
+                          .set(FieldId::kIcmpSeq, net::get_field(*pkt, FieldId::kIcmpSeq))
+                          .build();
+    ++echo_replies_;
+    auto reply = std::make_shared<net::Packet>(std::move(out));
+    ev_.schedule_in(delay,
+                    [this, reply = std::move(reply)]() mutable { port_.send(std::move(reply)); });
+  }
+}
+
+}  // namespace ht::dut

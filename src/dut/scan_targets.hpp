@@ -1,0 +1,58 @@
+// Scannable host population.
+//
+// Simulates the target of the IP-scanning application: an address block
+// where a deterministic pseudo-random subset of hosts is alive. Alive
+// hosts answer TCP SYNs on open ports with SYN+ACK and everything else
+// with RST; ICMP echoes get replies. The deterministic liveness predicate
+// lets tests assert exact scan results.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/port.hpp"
+
+namespace ht::dut {
+
+class ScanTargets {
+ public:
+  struct Config {
+    double port_rate_gbps = 100.0;
+    std::uint32_t subnet = 0x0A000000;  ///< 10.0.0.0
+    std::uint32_t subnet_mask = 0xFFFF0000;
+    double alive_fraction = 0.3;
+    std::uint16_t open_port = 80;
+    double respond_delay_ns = 5'000.0;
+    std::uint64_t seed = 99;
+  };
+
+  ScanTargets(sim::EventQueue& ev, Config cfg);
+
+  sim::Port& port() { return port_; }
+  void attach(sim::Port& switch_port, sim::TimeNs propagation_ns = 0);
+
+  /// Deterministic liveness predicate (also used by tests/benches to know
+  /// ground truth).
+  bool is_alive(std::uint32_t address) const;
+  /// Count of alive hosts in [lo, hi] (inclusive).
+  std::uint64_t alive_in_range(std::uint32_t lo, std::uint32_t hi) const;
+
+  std::uint64_t probes_received() const { return probes_; }
+  std::uint64_t synacks_sent() const { return synacks_; }
+  std::uint64_t rsts_sent() const { return rsts_; }
+  std::uint64_t echo_replies_sent() const { return echo_replies_; }
+
+ private:
+  void on_packet(net::PacketPtr pkt);
+
+  sim::EventQueue& ev_;
+  Config cfg_;
+  sim::Port port_;
+  std::uint64_t probes_ = 0;
+  std::uint64_t synacks_ = 0;
+  std::uint64_t rsts_ = 0;
+  std::uint64_t echo_replies_ = 0;
+};
+
+}  // namespace ht::dut

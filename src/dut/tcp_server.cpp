@@ -1,0 +1,82 @@
+#include "dut/tcp_server.hpp"
+
+#include <cmath>
+
+#include "net/headers.hpp"
+#include "net/packet_builder.hpp"
+
+namespace ht::dut {
+
+namespace flag = net::tcpflag;
+using net::FieldId;
+
+TcpServer::TcpServer(sim::EventQueue& ev, Config cfg)
+    : ev_(ev), cfg_(cfg), rng_(cfg.seed), port_(ev, 0, cfg.port_rate_gbps) {
+  port_.on_receive = [this](net::PacketPtr pkt) { on_packet(std::move(pkt)); };
+}
+
+void TcpServer::attach(sim::Port& switch_port, sim::TimeNs propagation_ns) {
+  switch_port.connect(&port_, propagation_ns);
+  port_.connect(&switch_port, propagation_ns);
+}
+
+void TcpServer::reply(const net::Packet& in, std::uint64_t flags, std::uint32_t seq,
+                      std::uint32_t ack, std::size_t payload_bytes) {
+  const std::size_t total = net::min_packet_size(net::HeaderKind::kTcp) + payload_bytes;
+  net::Packet out = net::make_tcp_packet(
+      static_cast<std::uint32_t>(net::get_field(in, FieldId::kIpv4Dip)),
+      static_cast<std::uint32_t>(net::get_field(in, FieldId::kIpv4Sip)),
+      static_cast<std::uint16_t>(net::get_field(in, FieldId::kTcpDport)),
+      static_cast<std::uint16_t>(net::get_field(in, FieldId::kTcpSport)), flags, seq, ack, total);
+  const auto delay = static_cast<sim::TimeNs>(std::llround(cfg_.service_delay_ns));
+  auto pkt = std::make_shared<net::Packet>(std::move(out));
+  ev_.schedule_in(delay, [this, pkt = std::move(pkt)]() mutable { port_.send(std::move(pkt)); });
+}
+
+void TcpServer::on_packet(net::PacketPtr pkt) {
+  if (net::l4_kind(*pkt) != net::HeaderKind::kTcp) return;
+  if (net::get_field(*pkt, FieldId::kTcpDport) != cfg_.listen_port) return;
+
+  const auto flags = net::get_field(*pkt, FieldId::kTcpFlags);
+  const auto seq = static_cast<std::uint32_t>(net::get_field(*pkt, FieldId::kTcpSeqNo));
+  const net::FiveTuple key = net::FiveTuple::from_packet(*pkt);
+
+  if (flags & flag::kSyn) {
+    ++syns_;
+    Connection conn;
+    conn.our_seq = static_cast<std::uint32_t>(rng_.next_u64());
+    conn.peer_seq = seq;
+    connections_[key] = conn;
+    reply(*pkt, flag::kSynAck, conn.our_seq, seq + 1);
+    return;
+  }
+
+  const auto it = connections_.find(key);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+
+  if (flags & flag::kFin) {
+    reply(*pkt, flag::kFinAck, conn.our_seq + 1, seq + 1);
+    connections_.erase(it);
+    ++closed_;
+    return;
+  }
+
+  if (flags & flag::kPsh) {
+    // HTTP request: serve the page as a burst of data segments.
+    ++requests_;
+    for (std::size_t i = 0; i < cfg_.page_segments; ++i) {
+      reply(*pkt, flag::kAck, conn.our_seq + 1 + static_cast<std::uint32_t>(i * cfg_.segment_bytes),
+            seq + 1, cfg_.segment_bytes);
+      ++segments_sent_;
+    }
+    return;
+  }
+
+  if ((flags & flag::kAck) && conn.state == ConnState::kSynReceived) {
+    conn.state = ConnState::kEstablished;
+    ++established_;
+  }
+}
+
+}  // namespace ht::dut

@@ -1,0 +1,67 @@
+// A miniature TCP/HTTP server under test.
+//
+// Serves the web-testing workflow of §5.4: answers SYN with SYN+ACK,
+// serves a fixed-size "page" as a burst of data segments when a request
+// (PSH+ACK) arrives, and completes FIN handshakes. The server keeps real
+// per-connection state — it is the *tester* that is stateless.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/five_tuple.hpp"
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/port.hpp"
+#include "sim/random.hpp"
+
+namespace ht::dut {
+
+class TcpServer {
+ public:
+  struct Config {
+    double port_rate_gbps = 100.0;
+    std::uint16_t listen_port = 80;
+    std::size_t page_segments = 5;    ///< data packets per response
+    std::size_t segment_bytes = 512;  ///< payload per data packet
+    double service_delay_ns = 2'000.0;
+    std::uint64_t seed = 23;
+  };
+
+  TcpServer(sim::EventQueue& ev, Config cfg);
+
+  sim::Port& port() { return port_; }
+  void attach(sim::Port& switch_port, sim::TimeNs propagation_ns = 0);
+
+  std::uint64_t syns_received() const { return syns_; }
+  std::uint64_t handshakes_completed() const { return established_; }
+  std::uint64_t requests_served() const { return requests_; }
+  std::uint64_t connections_closed() const { return closed_; }
+  std::uint64_t data_segments_sent() const { return segments_sent_; }
+  std::size_t open_connections() const { return connections_.size(); }
+
+ private:
+  enum class ConnState : std::uint8_t { kSynReceived, kEstablished, kClosing };
+  struct Connection {
+    ConnState state = ConnState::kSynReceived;
+    std::uint32_t our_seq = 0;
+    std::uint32_t peer_seq = 0;
+  };
+
+  void on_packet(net::PacketPtr pkt);
+  void reply(const net::Packet& in, std::uint64_t flags, std::uint32_t seq, std::uint32_t ack,
+             std::size_t payload_bytes = 0);
+
+  sim::EventQueue& ev_;
+  Config cfg_;
+  sim::Rng rng_;
+  sim::Port port_;
+  std::unordered_map<net::FiveTuple, Connection> connections_;
+  std::uint64_t syns_ = 0;
+  std::uint64_t established_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t closed_ = 0;
+  std::uint64_t segments_sent_ = 0;
+};
+
+}  // namespace ht::dut

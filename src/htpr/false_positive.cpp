@@ -1,0 +1,80 @@
+#include "htpr/false_positive.hpp"
+
+#include <unordered_map>
+
+#include "net/fields.hpp"
+
+namespace ht::htpr {
+
+CollisionAnalysis analyze_collisions(const CounterHashParams& hash,
+                                     const std::vector<std::vector<std::uint64_t>>& key_space) {
+  CollisionAnalysis out;
+  out.keys_analyzed = key_space.size();
+
+  // Group keys by fingerprint; only same-fingerprint keys can collide.
+  struct Placement {
+    std::size_t key_index;
+    std::size_t b1;
+    std::size_t b2;
+  };
+  std::unordered_map<std::uint64_t, std::vector<Placement>> by_fp;
+  by_fp.reserve(key_space.size());
+  for (std::size_t i = 0; i < key_space.size(); ++i) {
+    const auto& key = key_space[i];
+    const std::uint64_t fp = hash.fingerprint(key);
+    const std::size_t b1 = hash.bucket1(key);
+    by_fp[fp].push_back({i, b1, hash.alt_bucket(b1, fp)});
+  }
+
+  double key_bits = 0;
+  for (const auto f : hash.key_fields) key_bits += net::field_width(f);
+
+  for (auto& [fp, placements] : by_fp) {
+    if (placements.size() < 2) continue;
+    // Within a fingerprint group, keys whose bucket sets intersect are
+    // mutually confusable. Union the overlapping ones into clusters and
+    // send every member but the first to the exact table. Fingerprint
+    // groups are tiny (collisions are rare), so quadratic scan is fine.
+    std::vector<int> cluster(placements.size(), -1);
+    int next_cluster = 0;
+    for (std::size_t a = 0; a < placements.size(); ++a) {
+      for (std::size_t b = a + 1; b < placements.size(); ++b) {
+        const bool overlap = placements[a].b1 == placements[b].b1 ||
+                             placements[a].b1 == placements[b].b2 ||
+                             placements[a].b2 == placements[b].b1 ||
+                             placements[a].b2 == placements[b].b2;
+        if (!overlap) continue;
+        if (cluster[a] < 0 && cluster[b] < 0) {
+          cluster[a] = cluster[b] = next_cluster++;
+        } else if (cluster[a] < 0) {
+          cluster[a] = cluster[b];
+        } else if (cluster[b] < 0) {
+          cluster[b] = cluster[a];
+        } else if (cluster[a] != cluster[b]) {
+          // Merge: relabel b's cluster to a's.
+          const int from = cluster[b], to = cluster[a];
+          for (auto& c : cluster) {
+            if (c == from) c = to;
+          }
+        }
+      }
+    }
+    // Emit all but the first member of each cluster.
+    std::unordered_map<int, bool> seen;
+    for (std::size_t a = 0; a < placements.size(); ++a) {
+      if (cluster[a] < 0) continue;
+      auto [it, first] = seen.try_emplace(cluster[a], true);
+      if (first) {
+        ++out.collision_clusters;
+        continue;  // the representative stays in the cuckoo arrays
+      }
+      out.exact_keys.push_back(key_space[placements[a].key_index]);
+    }
+  }
+
+  out.exact_table_bytes =
+      static_cast<std::size_t>(static_cast<double>(out.exact_keys.size()) * (key_bits + 64) / 8.0);
+  return out;
+}
+
+}  // namespace ht::htpr

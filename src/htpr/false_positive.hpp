@@ -1,0 +1,35 @@
+// Offline false-positive enumeration (§5.2 "false positive avoidance").
+//
+// Because HyperTester generates the traffic it later queries, the global
+// header space of every query is enumerable before the task starts. Two
+// distinct keys are confusable in the counter store exactly when their
+// fingerprints are equal AND their cuckoo bucket sets intersect — then a
+// counter update for one could land on the other's entry. For every
+// maximal set of mutually confusable keys, all but one are installed in
+// the exact-key-matching table, which removes false positives entirely
+// (the one remaining key keeps exclusive ownership of the fingerprint in
+// its reachable buckets).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "htpr/counter_store.hpp"
+
+namespace ht::htpr {
+
+struct CollisionAnalysis {
+  /// Keys that must go into the exact-key-matching table.
+  std::vector<std::vector<std::uint64_t>> exact_keys;
+  std::size_t keys_analyzed = 0;
+  std::size_t collision_clusters = 0;  ///< groups of mutually confusable keys
+  /// Memory for the exact table in bytes (key bits + 64-bit counter each).
+  std::size_t exact_table_bytes = 0;
+};
+
+/// Analyze a key space against the store's hash parameters. `key_space`
+/// holds one value-vector per key (parallel to hash.key_fields).
+CollisionAnalysis analyze_collisions(const CounterHashParams& hash,
+                                     const std::vector<std::vector<std::uint64_t>>& key_space);
+
+}  // namespace ht::htpr

@@ -1,0 +1,198 @@
+#include "htpr/receiver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/bytes.hpp"
+
+namespace ht::htpr {
+
+bool compare(Cmp cmp, std::uint64_t lhs, std::uint64_t rhs) {
+  switch (cmp) {
+    case Cmp::kEq:
+      return lhs == rhs;
+    case Cmp::kNe:
+      return lhs != rhs;
+    case Cmp::kLt:
+      return lhs < rhs;
+    case Cmp::kLe:
+      return lhs <= rhs;
+    case Cmp::kGt:
+      return lhs > rhs;
+    case Cmp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+Receiver::Receiver(rmt::SwitchAsic& asic) : asic_(asic) {}
+
+std::size_t Receiver::add_query(QueryConfig cfg) {
+  if (installed_) throw std::logic_error("Receiver: add_query after install");
+  queries_.push_back(std::move(cfg));
+  return queries_.size() - 1;
+}
+
+void Receiver::install() {
+  if (installed_) throw std::logic_error("Receiver: double install");
+  installed_ = true;
+  const std::size_t n = queries_.size();
+  auto& rf = asic_.registers();
+  totals_ = &rf.create("htpr.totals", std::max<std::size_t>(n, 1), 64);
+  matched_ = &rf.create("htpr.matched", std::max<std::size_t>(n, 1), 64);
+  evaluated_ = &rf.create("htpr.evaluated", std::max<std::size_t>(n, 1), 64);
+
+  // Create a counter store for every keyed reduce/distinct query. The key
+  // fields come from the query's MapOp.
+  stores_.resize(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    auto& cfg = queries_[q];
+    std::vector<net::FieldId> keys;
+    bool keyed_agg = false;
+    for (const auto& op : cfg.ops) {
+      if (const auto* map = std::get_if<MapOp>(&op)) keys = map->keys;
+      if (std::holds_alternative<ReduceOp>(op) || std::holds_alternative<DistinctOp>(op)) {
+        keyed_agg = keyed_agg || !keys.empty();
+        if (const auto* red = std::get_if<ReduceOp>(&op)) cfg.store.func = red->func;
+        if (std::holds_alternative<DistinctOp>(op)) cfg.store.func = UpdateFunc::kDistinct;
+      }
+    }
+    if (keyed_agg) {
+      cfg.store.name = "htpr." + cfg.name;
+      cfg.store.hash.key_fields = keys;
+      stores_[q] = std::make_unique<CounterStore>(asic_, cfg.store);
+    }
+  }
+
+  const std::size_t front_ports = asic_.port_count();
+  auto& asic = asic_;
+
+  // Received-traffic queries: ingress pipeline, gated on the monitor port
+  // set (never the CPU port or the recirculation loop).
+  for (std::size_t q = 0; q < n; ++q) {
+    const auto& cfg = queries_[q];
+    if (cfg.source != QueryConfig::Source::kReceived) continue;
+    auto ports = cfg.ports;
+    auto& tbl = asic_.ingress().add_table(
+        "htpr_" + cfg.name, {}, 1, [&asic, ports, front_ports](const rmt::Phv& phv) {
+          const auto ip = static_cast<std::uint16_t>(phv.get(net::FieldId::kMetaIngressPort));
+          if (ip >= front_ports) return false;
+          if (ports.empty()) return true;
+          for (const auto p : ports) {
+            if (p == ip) return true;
+          }
+          return false;
+        });
+    tbl.set_default("run_query",
+                    [this, q](rmt::ActionContext& ctx) { query_action(q, ctx); });
+  }
+
+  // Sent-traffic queries: egress pipeline, gated on the trigger's template
+  // id leaving a front-panel port. Installed after the editor, so they see
+  // the final test packets.
+  for (std::size_t q = 0; q < n; ++q) {
+    const auto& cfg = queries_[q];
+    if (cfg.source != QueryConfig::Source::kSent) continue;
+    const std::uint32_t tid = cfg.template_id;
+    auto& tbl = asic_.egress().add_table(
+        "htpr_" + cfg.name, {}, 1, [tid, front_ports](const rmt::Phv& phv) {
+          return phv.get(net::FieldId::kMetaEgressPort) < front_ports &&
+                 phv.get(net::FieldId::kMetaTemplateId) == tid;
+        });
+    tbl.set_default("run_query",
+                    [this, q](rmt::ActionContext& ctx) { query_action(q, ctx); });
+  }
+
+  // Maintenance: recirculating template packets drive one cuckoo-move pass
+  // per store per loop (Fig 5's "recirculated packet pops the FIFO").
+  bool any_store = false;
+  for (const auto& s : stores_) any_store |= s != nullptr;
+  if (any_store) {
+    auto& tbl = asic_.ingress().add_table(
+        "htpr_maintenance", {}, 1, [&asic](const rmt::Phv& phv) {
+          return asic.is_recirc_port(
+              static_cast<std::uint16_t>(phv.get(net::FieldId::kMetaIngressPort)));
+        });
+    tbl.set_default("maintain", [this](rmt::ActionContext& ctx) {
+      for (auto& s : stores_) {
+        if (s) s->maintenance_pass(ctx);
+      }
+    });
+  }
+
+  // Structural resource accounting for the query blocks (filter is nearly
+  // free; keyed aggregation costs were declared by the stores themselves).
+  for (std::size_t q = 0; q < n; ++q) {
+    for (const auto& op : queries_[q].ops) {
+      if (std::holds_alternative<FilterOp>(op)) {
+        asic_.resources().add("htpr." + queries_[q].name + ".filter",
+                              {.match_crossbar_bits = 8, .hash_bits = 6, .gateway = 1});
+      }
+    }
+    bool has_agg = false;
+    for (const auto& op : queries_[q].ops) {
+      has_agg |= std::holds_alternative<ReduceOp>(op) || std::holds_alternative<DistinctOp>(op);
+    }
+    if (stores_[q] == nullptr && has_agg) {
+      // Keyless reduce: one 64-bit register + add.
+      asic_.resources().add("htpr." + queries_[q].name,
+                            {.sram_kb = 0.008, .vliw_slots = 1, .salu = 1});
+    }
+  }
+}
+
+void Receiver::query_action(std::size_t qid, rmt::ActionContext& ctx) {
+  auto& cfg = queries_[qid];
+  evaluated_->execute(qid, [](std::uint64_t& c) { return ++c; });
+
+  std::uint64_t value = 1;  // default: count packets
+  std::uint64_t result = 0;
+  for (const auto& op : cfg.ops) {
+    if (const auto* filter = std::get_if<FilterOp>(&op)) {
+      const std::uint64_t lhs = filter->on_result ? result : ctx.phv.get(filter->field);
+      if (!compare(filter->cmp, lhs, filter->value)) return;  // packet drops out
+    } else if (const auto* map = std::get_if<MapOp>(&op)) {
+      value = map->value_field ? ctx.phv.get(*map->value_field) : 1;
+      if (map->state_index_field && ctx.registers.contains(map->state_register)) {
+        auto& reg = ctx.registers.get(map->state_register);
+        const std::uint64_t sent =
+            reg.read(ctx.phv.get(*map->state_index_field) & (reg.size() - 1));
+        value = ctx.now - sent;
+      } else if (map->minus_field) {
+        const unsigned w = std::min(net::field_width(*map->value_field),
+                                    net::field_width(*map->minus_field));
+        const std::uint64_t mask = net::low_mask(w);
+        value = (value - ctx.phv.get(*map->minus_field)) & mask;
+      }
+    } else if (std::holds_alternative<ReduceOp>(op)) {
+      if (stores_[qid]) {
+        result = stores_[qid]->update(ctx, value);
+      } else {
+        result = totals_->execute(qid, [&](std::uint64_t& c) {
+          c += value;
+          return c;
+        });
+      }
+    } else if (std::holds_alternative<DistinctOp>(op)) {
+      if (stores_[qid]) result = stores_[qid]->update(ctx, 1);
+    }
+  }
+
+  matched_->execute(qid, [](std::uint64_t& c) { return ++c; });
+  for (const auto& extract : cfg.triggers) {
+    if (extract.fifo == nullptr) continue;
+    std::vector<std::uint64_t> record;
+    record.reserve(extract.lanes.size());
+    for (const auto f : extract.lanes) record.push_back(ctx.phv.get(f));
+    extract.fifo->enqueue(record);
+  }
+}
+
+CounterStore* Receiver::store(std::size_t qid) { return stores_.at(qid).get(); }
+const CounterStore* Receiver::store(std::size_t qid) const { return stores_.at(qid).get(); }
+
+std::uint64_t Receiver::keyless_total(std::size_t qid) const { return totals_->read(qid); }
+std::uint64_t Receiver::matched(std::size_t qid) const { return matched_->read(qid); }
+std::uint64_t Receiver::evaluated(std::size_t qid) const { return evaluated_->read(qid); }
+
+}  // namespace ht::htpr

@@ -1,0 +1,98 @@
+#include "htps/inverse_transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ht::htps {
+
+namespace {
+
+/// Acklam-style rational approximation of the standard normal quantile.
+double normal_quantile(double p) {
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+}  // namespace
+
+InverseTransformTable InverseTransformTable::from_quantile(
+    const std::function<double(double)>& quantile, std::size_t buckets, unsigned rng_bits,
+    double clamp_lo, double clamp_hi) {
+  if (buckets == 0 || rng_bits == 0 || rng_bits > 32) {
+    throw std::invalid_argument("InverseTransformTable: bad shape");
+  }
+  InverseTransformTable t;
+  t.rng_bits_ = rng_bits;
+  const std::uint64_t space = std::uint64_t{1} << rng_bits;
+  t.buckets_.reserve(buckets);
+  for (std::size_t i = 0; i < buckets; ++i) {
+    const std::uint64_t lo = space * i / buckets;
+    const std::uint64_t hi = space * (i + 1) / buckets - 1;
+    if (hi < lo) continue;  // more buckets than RNG values
+    // Represent the bucket by the quantile at its probability midpoint.
+    const double p = (static_cast<double>(lo + hi) / 2.0 + 0.5) / static_cast<double>(space);
+    double v = quantile(std::clamp(p, 1e-9, 1.0 - 1e-9));
+    v = std::clamp(v, clamp_lo, clamp_hi);
+    t.buckets_.push_back(ItBucket{static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(hi),
+                                  static_cast<std::uint64_t>(std::llround(v))});
+  }
+  return t;
+}
+
+InverseTransformTable InverseTransformTable::normal(double mean, double stddev,
+                                                    std::size_t buckets, unsigned rng_bits) {
+  return from_quantile([=](double p) { return mean + stddev * normal_quantile(p); }, buckets,
+                       rng_bits, 0.0, 4.0e9);
+}
+
+InverseTransformTable InverseTransformTable::exponential(double mean, std::size_t buckets,
+                                                         unsigned rng_bits) {
+  return from_quantile([=](double p) { return -mean * std::log1p(-p); }, buckets, rng_bits, 0.0,
+                       4.0e9);
+}
+
+InverseTransformTable InverseTransformTable::uniform(std::uint64_t lo, std::uint64_t hi,
+                                                     std::size_t buckets, unsigned rng_bits) {
+  if (hi < lo) throw std::invalid_argument("InverseTransformTable::uniform: hi < lo");
+  const double width = static_cast<double>(hi - lo);
+  return from_quantile([=](double p) { return static_cast<double>(lo) + p * width; }, buckets,
+                       rng_bits, static_cast<double>(lo), static_cast<double>(hi));
+}
+
+std::uint64_t InverseTransformTable::sample(std::uint32_t rng) const {
+  if (buckets_.empty()) throw std::logic_error("InverseTransformTable: empty");
+  const std::uint32_t r =
+      rng_bits_ >= 32 ? rng : (rng & ((std::uint32_t{1} << rng_bits_) - 1));
+  // Range-match lookup (binary search stands in for the TCAM).
+  auto it = std::upper_bound(buckets_.begin(), buckets_.end(), r,
+                             [](std::uint32_t v, const ItBucket& b) { return v < b.lo; });
+  if (it != buckets_.begin()) --it;
+  return it->value;
+}
+
+}  // namespace ht::htps

@@ -1,0 +1,59 @@
+// Inverse-transform sampling on the data plane (§5.1 "editor").
+//
+// P4 targets only provide a uniform RNG (modify_field_rng_uniform), and on
+// real hardware its bound must be a power of two (§6.1 "parameter
+// limitation"). The editor therefore draws r uniform in [0, 2^bits) and
+// maps it through a precomputed table of range-match buckets that encode
+// the inverse CDF of the requested distribution — two physical tables on
+// Tofino (bucket select + offset add), folded into one lookup structure
+// here with the same observable behaviour.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ht::htps {
+
+struct ItBucket {
+  std::uint32_t lo = 0;  ///< inclusive rng lower bound
+  std::uint32_t hi = 0;  ///< inclusive rng upper bound
+  std::uint64_t value = 0;
+};
+
+class InverseTransformTable {
+ public:
+  InverseTransformTable() = default;
+
+  /// Build from a quantile function q(p), p in (0,1). Values are clamped
+  /// to [clamp_lo, clamp_hi] and rounded to integers (header fields are
+  /// integral). `buckets` range-match entries over a 2^rng_bits RNG space.
+  static InverseTransformTable from_quantile(const std::function<double(double)>& quantile,
+                                             std::size_t buckets, unsigned rng_bits,
+                                             double clamp_lo, double clamp_hi);
+
+  /// Normal(mean, stddev).
+  static InverseTransformTable normal(double mean, double stddev, std::size_t buckets = 256,
+                                      unsigned rng_bits = 16);
+  /// Exponential with the given mean.
+  static InverseTransformTable exponential(double mean, std::size_t buckets = 256,
+                                           unsigned rng_bits = 16);
+  /// Uniform integers in [lo, hi] — exercises the power-of-two+offset
+  /// workaround directly.
+  static InverseTransformTable uniform(std::uint64_t lo, std::uint64_t hi,
+                                       std::size_t buckets = 256, unsigned rng_bits = 16);
+
+  /// Map one RNG draw (masked to rng_bits) to a field value.
+  std::uint64_t sample(std::uint32_t rng) const;
+
+  unsigned rng_bits() const { return rng_bits_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+  const std::vector<ItBucket>& buckets() const { return buckets_; }
+  bool empty() const { return buckets_.empty(); }
+
+ private:
+  std::vector<ItBucket> buckets_;
+  unsigned rng_bits_ = 16;
+};
+
+}  // namespace ht::htps

@@ -1,0 +1,145 @@
+// HyperTester Packet Sender (HTPS, §5.1).
+//
+// Three components, laid out exactly as Fig. 2/3 of the paper:
+//  - *accelerator*: template packets injected by the switch CPU are sent to
+//    a recirculation port and loop forever, forming a stable packet source;
+//  - *replicator*: on every loop, a register timer compares the packet's
+//    arrival timestamp against the last departure time; when the interval
+//    has elapsed the template is multicast to the test ports (the mcast
+//    group also contains the recirculation port so the template keeps
+//    looping); otherwise it is unicast back into the loop;
+//  - *editor*: in the egress pipeline, replicas get their header fields
+//    rewritten per the NTAPI `set` primitives — constants (already in the
+//    template), value lists, arithmetic ranges, random distributions via
+//    inverse-transform tables, or fields from a stateless-connection
+//    trigger record.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "htps/inverse_transform.hpp"
+#include "htps/template_packet.hpp"
+#include "regfifo/register_fifo.hpp"
+#include "rmt/asic.hpp"
+
+namespace ht::htps {
+
+/// One egress-side field modification (a compiled `set` primitive).
+struct EditOp {
+  enum class Kind { kList, kRange, kRandom, kFromTrigger, kFromMetadata, kRecordTimestamp };
+  net::FieldId field = net::FieldId::kIpv4Dip;
+  Kind kind = Kind::kList;
+  // kList
+  std::vector<std::uint64_t> values;
+  // kRange: arithmetic progression start..end (inclusive) by step
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  std::uint64_t step = 1;
+  // kRandom
+  InverseTransformTable distribution;
+  // kFromTrigger: bridged trigger-record lane + additive offset
+  std::size_t trigger_lane = 0;
+  std::int64_t trigger_offset = 0;
+  // kFromMetadata: copy an ASIC metadata field (e.g. the pipeline
+  // timestamp for P4-level delay piggybacking, Fig 18 "SW") into the
+  // header field, truncated to the destination width.
+  net::FieldId meta_source = net::FieldId::kMetaIngressTstamp;
+  // kRecordTimestamp (Fig 18's *state-based* delay testing): store the
+  // egress timestamp into `state_register` at the index derived from
+  // `field` (masked to the register size) instead of piggybacking it in
+  // the packet. The register is created at install when absent.
+  std::string state_register;
+  std::size_t state_size = 1 << 16;
+};
+
+struct TemplateConfig {
+  TemplateSpec spec;
+  std::vector<std::uint16_t> egress_ports;
+
+  enum class Mode { kTimer, kFifoTriggered };
+  Mode mode = Mode::kTimer;
+
+  /// kTimer: inter-departure interval in ns (0 = fire on every loop, i.e.
+  /// line rate). Optionally re-drawn from a distribution after each fire
+  /// ("random inter-departure time", §3.1).
+  std::uint64_t interval_ns = 0;
+  std::optional<InverseTransformTable> interval_dist;
+
+  /// Stop after this many fires (loop * stream length); 0 = unbounded.
+  std::uint64_t fire_limit = 0;
+
+  /// How many copies of the template the accelerator keeps in the
+  /// recirculation loop. 0 = auto: fill the loop to capacity (shared
+  /// equally among templates), which makes the replicator's timer
+  /// granularity the minimal arrival interval (6.4ns for 64B, Fig 14).
+  std::uint64_t loop_copies = 0;
+
+  /// kFifoTriggered: the trigger FIFO fed by HTPR (§5.3).
+  regfifo::RegisterFifo* trigger_fifo = nullptr;
+
+  std::vector<EditOp> edits;
+};
+
+class Sender {
+ public:
+  static constexpr std::uint16_t kMcastGroupBase = 0x100;
+
+  /// By default templates are amortized round-robin across every
+  /// recirculation channel the ASIC provides — the §6.1 technique of
+  /// configuring loopback ports to extend the accelerator capacity at the
+  /// price of bandwidth/ports. Pass an explicit port to pin everything to
+  /// one channel.
+  explicit Sender(rmt::SwitchAsic& asic);
+  Sender(rmt::SwitchAsic& asic, std::uint16_t recirc_port);
+
+  /// Register a template; returns its template id. Must precede install().
+  std::uint32_t add_template(TemplateConfig cfg);
+
+  /// Build registers, mcast groups, and the sender/editor tables into the
+  /// ASIC pipelines. Call once.
+  void install();
+
+  /// Inject every template packet from the switch CPU (starts the test).
+  void start();
+
+  std::size_t template_count() const { return templates_.size(); }
+  const TemplateConfig& config(std::uint32_t tid) const { return templates_.at(tid); }
+
+  /// Number of replication events (mcast fires) for a template so far.
+  std::uint64_t fires(std::uint32_t tid) const;
+  /// True when a bounded template (fire_limit > 0) has finished.
+  bool done(std::uint32_t tid) const;
+
+  /// Copies of template `tid` currently held in the recirculation loop.
+  std::uint64_t loop_copies(std::uint32_t tid) const;
+
+  /// The recirculation channel carrying template `tid`.
+  std::uint16_t recirc_port_of(std::uint32_t tid) const;
+
+ private:
+  void ingress_action(std::uint32_t tid, rmt::ActionContext& ctx);
+  void egress_action(std::uint32_t tid, rmt::ActionContext& ctx);
+
+  /// Mcast group that doubles a template back into the loop (acceleration).
+  static constexpr std::uint16_t kAccelGroupBase = 0x4000;
+  std::vector<std::uint64_t> loop_targets_;
+
+  rmt::SwitchAsic& asic_;
+  /// Channels used for amortization; single entry when pinned.
+  std::vector<std::uint16_t> recirc_ports_;
+  std::vector<TemplateConfig> templates_;
+  bool installed_ = false;
+
+  rmt::RegisterArray* loop_count_ = nullptr;
+  rmt::RegisterArray* last_tx_ = nullptr;
+  rmt::RegisterArray* intervals_ = nullptr;
+  rmt::RegisterArray* fires_ = nullptr;
+  rmt::RegisterArray* pktid_ = nullptr;
+  /// Per-(template, edit-op) sequence registers, created at install.
+  std::vector<std::vector<rmt::RegisterArray*>> edit_state_;
+};
+
+}  // namespace ht::htps

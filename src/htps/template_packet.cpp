@@ -1,0 +1,20 @@
+#include "htps/template_packet.hpp"
+
+#include "net/headers.hpp"
+#include "net/packet_builder.hpp"
+
+namespace ht::htps {
+
+net::Packet TemplateSpec::materialize() const {
+  net::PacketBuilder builder(l4, pkt_len);
+  for (const auto& [field, value] : header_init) {
+    if (net::is_header_field(field)) builder.set(field, value);
+  }
+  if (!payload.empty()) builder.payload(payload);
+  net::Packet pkt = builder.build();
+  pkt.meta().is_template = true;
+  pkt.meta().template_id = template_id;
+  return pkt;
+}
+
+}  // namespace ht::htps

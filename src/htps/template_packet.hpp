@@ -1,0 +1,31 @@
+// Template packets (§5.1).
+//
+// The switch CPU performs the work the ASIC cannot: building the packet —
+// header initialization, payload customization, length — before handing it
+// to the accelerator. A TemplateSpec is that CPU-side recipe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/fields.hpp"
+#include "net/packet.hpp"
+
+namespace ht::htps {
+
+struct TemplateSpec {
+  std::uint32_t template_id = 0;
+  net::HeaderKind l4 = net::HeaderKind::kUdp;
+  std::size_t pkt_len = 64;  ///< total frame length in bytes
+  /// Initial header field values (constants from `set` primitives).
+  std::map<net::FieldId, std::uint64_t> header_init;
+  /// Payload bytes written after the L4 header (CPU-only capability).
+  std::string payload;
+
+  /// Materialize the packet exactly as the switch CPU would: canonical
+  /// stack, initialized fields, payload, fixed checksums, template marker.
+  net::Packet materialize() const;
+};
+
+}  // namespace ht::htps

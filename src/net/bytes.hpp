@@ -1,0 +1,88 @@
+// Big-endian (network order) byte-buffer primitives.
+//
+// All multi-byte quantities on the wire are big-endian; these helpers read
+// and write integral values of 1..8 bytes at arbitrary offsets of a byte
+// span. Bounds are the caller's responsibility and checked with assertions
+// in debug builds; the higher layers (parser/deparser) validate lengths
+// before calling down here.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ht::net {
+
+/// Read `width` bytes (1..8) starting at `offset` as a big-endian integer.
+inline std::uint64_t read_be(std::span<const std::uint8_t> buf, std::size_t offset,
+                             std::size_t width) {
+  assert(width >= 1 && width <= 8);
+  assert(offset + width <= buf.size());
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    value = (value << 8) | buf[offset + i];
+  }
+  return value;
+}
+
+/// Write the low `width` bytes (1..8) of `value` big-endian at `offset`.
+inline void write_be(std::span<std::uint8_t> buf, std::size_t offset, std::size_t width,
+                     std::uint64_t value) {
+  assert(width >= 1 && width <= 8);
+  assert(offset + width <= buf.size());
+  for (std::size_t i = 0; i < width; ++i) {
+    buf[offset + width - 1 - i] = static_cast<std::uint8_t>(value & 0xffu);
+    value >>= 8;
+  }
+}
+
+/// Read a bit-field of `bit_width` bits starting `bit_offset` bits into the
+/// buffer (bit 0 = MSB of byte 0, as header diagrams are drawn).
+inline std::uint64_t read_bits(std::span<const std::uint8_t> buf, std::size_t bit_offset,
+                               std::size_t bit_width) {
+  assert(bit_width >= 1 && bit_width <= 64);
+  // Fast path: byte-aligned fields (the vast majority of header fields).
+  if ((bit_offset & 7) == 0 && (bit_width & 7) == 0) {
+    return read_be(buf, bit_offset / 8, bit_width / 8);
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < bit_width; ++i) {
+    const std::size_t bit = bit_offset + i;
+    const std::size_t byte = bit / 8;
+    assert(byte < buf.size());
+    const unsigned shift = 7u - static_cast<unsigned>(bit % 8);
+    value = (value << 1) | ((buf[byte] >> shift) & 1u);
+  }
+  return value;
+}
+
+/// Write a bit-field of `bit_width` bits starting `bit_offset` bits in.
+inline void write_bits(std::span<std::uint8_t> buf, std::size_t bit_offset,
+                       std::size_t bit_width, std::uint64_t value) {
+  assert(bit_width >= 1 && bit_width <= 64);
+  if ((bit_offset & 7) == 0 && (bit_width & 7) == 0) {
+    write_be(buf, bit_offset / 8, bit_width / 8, value);
+    return;
+  }
+  for (std::size_t i = 0; i < bit_width; ++i) {
+    const std::size_t bit = bit_offset + i;
+    const std::size_t byte = bit / 8;
+    assert(byte < buf.size());
+    const unsigned shift = 7u - static_cast<unsigned>(bit % 8);
+    const std::uint64_t src_bit = (value >> (bit_width - 1 - i)) & 1u;
+    if (src_bit != 0) {
+      buf[byte] = static_cast<std::uint8_t>(buf[byte] | (1u << shift));
+    } else {
+      buf[byte] = static_cast<std::uint8_t>(buf[byte] & ~(1u << shift));
+    }
+  }
+}
+
+/// Mask with the low `bits` bits set (bits in 1..64).
+constexpr std::uint64_t low_mask(std::size_t bits) {
+  return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+}  // namespace ht::net

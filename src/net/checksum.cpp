@@ -1,0 +1,48 @@
+#include "net/checksum.hpp"
+
+namespace ht::net {
+
+void ChecksumAccumulator::add(std::span<const std::uint8_t> bytes) {
+  std::size_t i = 0;
+  if (odd_ && !bytes.empty()) {
+    // Complete the dangling high byte with this range's first byte.
+    sum_ += bytes[0];
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum_ += (static_cast<std::uint64_t>(bytes[i]) << 8) | bytes[i + 1];
+  }
+  if (i < bytes.size()) {
+    sum_ += static_cast<std::uint64_t>(bytes[i]) << 8;
+    odd_ = true;
+  }
+}
+
+void ChecksumAccumulator::add_word(std::uint16_t word) { sum_ += word; }
+
+std::uint16_t ChecksumAccumulator::finish() const {
+  std::uint64_t sum = sum_;
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xffffu) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xffffu);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) {
+  ChecksumAccumulator acc;
+  acc.add(bytes);
+  return acc.finish();
+}
+
+void add_ipv4_pseudo_header(ChecksumAccumulator& acc, std::uint32_t sip, std::uint32_t dip,
+                            std::uint8_t proto, std::uint16_t l4_len) {
+  acc.add_word(static_cast<std::uint16_t>(sip >> 16));
+  acc.add_word(static_cast<std::uint16_t>(sip & 0xffffu));
+  acc.add_word(static_cast<std::uint16_t>(dip >> 16));
+  acc.add_word(static_cast<std::uint16_t>(dip & 0xffffu));
+  acc.add_word(proto);
+  acc.add_word(l4_len);
+}
+
+}  // namespace ht::net

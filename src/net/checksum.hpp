@@ -1,0 +1,31 @@
+// Internet checksum (RFC 1071) and helpers for IPv4/TCP/UDP/ICMP.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ht::net {
+
+/// One's-complement sum accumulator. Feed byte ranges (odd lengths are
+/// handled by zero-padding the final byte), then call `finish()`.
+class ChecksumAccumulator {
+ public:
+  void add(std::span<const std::uint8_t> bytes);
+  /// Add a 16-bit word in host order (already network-meaningful value).
+  void add_word(std::uint16_t word);
+  /// Final one's-complement of the folded sum.
+  std::uint16_t finish() const;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  ///< true when a dangling high byte is pending
+};
+
+/// Checksum over a single contiguous range.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes);
+
+/// IPv4 pseudo-header contribution for TCP/UDP checksums.
+void add_ipv4_pseudo_header(ChecksumAccumulator& acc, std::uint32_t sip, std::uint32_t dip,
+                            std::uint8_t proto, std::uint16_t l4_len);
+
+}  // namespace ht::net

@@ -1,0 +1,30 @@
+#include "net/five_tuple.hpp"
+
+#include "net/headers.hpp"
+#include "net/packet_builder.hpp"
+
+namespace ht::net {
+
+FiveTuple FiveTuple::from_packet(const Packet& pkt) {
+  FiveTuple t;
+  if (!has_field(pkt, FieldId::kIpv4Dip)) return t;
+  t.sip = static_cast<std::uint32_t>(get_field(pkt, FieldId::kIpv4Sip));
+  t.dip = static_cast<std::uint32_t>(get_field(pkt, FieldId::kIpv4Dip));
+  t.proto = static_cast<std::uint8_t>(get_field(pkt, FieldId::kIpv4Proto));
+  const auto l4 = l4_kind(pkt);
+  if (l4 == HeaderKind::kTcp && has_field(pkt, FieldId::kTcpDport)) {
+    t.sport = static_cast<std::uint16_t>(get_field(pkt, FieldId::kTcpSport));
+    t.dport = static_cast<std::uint16_t>(get_field(pkt, FieldId::kTcpDport));
+  } else if (l4 == HeaderKind::kUdp && has_field(pkt, FieldId::kUdpDport)) {
+    t.sport = static_cast<std::uint16_t>(get_field(pkt, FieldId::kUdpSport));
+    t.dport = static_cast<std::uint16_t>(get_field(pkt, FieldId::kUdpDport));
+  }
+  return t;
+}
+
+std::string FiveTuple::to_string() const {
+  return ipv4_to_string(sip) + ':' + std::to_string(sport) + "->" + ipv4_to_string(dip) + ':' +
+         std::to_string(dport) + '/' + std::to_string(proto);
+}
+
+}  // namespace ht::net

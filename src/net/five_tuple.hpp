@@ -1,0 +1,53 @@
+// FiveTuple: the canonical flow key used by HTPR queries.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/fields.hpp"
+#include "net/packet.hpp"
+
+namespace ht::net {
+
+struct FiveTuple {
+  std::uint32_t sip = 0;
+  std::uint32_t dip = 0;
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint8_t proto = 0;
+
+  auto operator<=>(const FiveTuple&) const = default;
+
+  /// Extract from a canonical packet. Port fields come from TCP or UDP
+  /// depending on ipv4.proto; other protocols leave ports zero.
+  static FiveTuple from_packet(const Packet& pkt);
+
+  /// Connection-direction swap (server's view of a client flow).
+  FiveTuple reversed() const { return {dip, sip, dport, sport, proto}; }
+
+  std::string to_string() const;
+};
+
+}  // namespace ht::net
+
+template <>
+struct std::hash<ht::net::FiveTuple> {
+  std::size_t operator()(const ht::net::FiveTuple& t) const noexcept {
+    // FNV-1a over the packed tuple; good enough for host-side maps.
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v, int bytes) {
+      for (int i = 0; i < bytes; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= 1099511628211ull;
+      }
+    };
+    mix(t.sip, 4);
+    mix(t.dip, 4);
+    mix(t.sport, 2);
+    mix(t.dport, 2);
+    mix(t.proto, 1);
+    return static_cast<std::size_t>(h);
+  }
+};

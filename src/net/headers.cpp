@@ -1,0 +1,167 @@
+#include "net/headers.hpp"
+
+#include <stdexcept>
+
+#include "net/bytes.hpp"
+#include "net/checksum.hpp"
+
+namespace ht::net {
+
+std::optional<std::size_t> header_base_offset(HeaderKind header) {
+  switch (header) {
+    case HeaderKind::kEthernet:
+      return 0;
+    case HeaderKind::kIpv4:
+      return kEthernetBytes;
+    case HeaderKind::kTcp:
+    case HeaderKind::kUdp:
+    case HeaderKind::kIcmp:
+    case HeaderKind::kNvp:
+      return kEthernetBytes + kIpv4Bytes;
+    case HeaderKind::kNone:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::size_t min_packet_size(HeaderKind l4) {
+  const std::size_t l3 = kEthernetBytes + kIpv4Bytes;
+  switch (l4) {
+    case HeaderKind::kTcp:
+      return l3 + kTcpBytes;
+    case HeaderKind::kUdp:
+      return l3 + kUdpBytes;
+    case HeaderKind::kIcmp:
+      return l3 + kIcmpBytes;
+    case HeaderKind::kNvp:
+      return l3 + kNvpBytes;
+    default:
+      return l3;
+  }
+}
+
+namespace {
+
+// Absolute bit position of a wire field in the canonical stack.
+std::size_t absolute_bit_offset(FieldId id) {
+  const auto& fi = FieldRegistry::instance().info(id);
+  const auto base = header_base_offset(fi.header);
+  if (!base) throw std::invalid_argument("field has no wire position: " + std::string(fi.name));
+  return *base * 8 + fi.bit_offset;
+}
+
+}  // namespace
+
+std::uint64_t get_field(const Packet& pkt, FieldId id) {
+  const auto& fi = FieldRegistry::instance().info(id);
+  const std::size_t bit = absolute_bit_offset(id);
+  if ((bit + fi.bit_width + 7) / 8 > pkt.size()) {
+    throw std::out_of_range("packet too short for field " + std::string(fi.name));
+  }
+  return read_bits(pkt.bytes(), bit, fi.bit_width);
+}
+
+void set_field(Packet& pkt, FieldId id, std::uint64_t value) {
+  const auto& fi = FieldRegistry::instance().info(id);
+  const std::size_t bit = absolute_bit_offset(id);
+  if ((bit + fi.bit_width + 7) / 8 > pkt.size()) {
+    throw std::out_of_range("packet too short for field " + std::string(fi.name));
+  }
+  write_bits(pkt.bytes(), bit, fi.bit_width, value & low_mask(fi.bit_width));
+}
+
+bool has_field(const Packet& pkt, FieldId id) {
+  const auto& fi = FieldRegistry::instance().info(id);
+  const auto base = header_base_offset(fi.header);
+  if (!base) return false;
+  const std::size_t end_bit = *base * 8 + fi.bit_offset + fi.bit_width;
+  return (end_bit + 7) / 8 <= pkt.size();
+}
+
+std::optional<HeaderKind> l4_kind(const Packet& pkt) {
+  if (pkt.size() < kEthernetBytes + kIpv4Bytes) return std::nullopt;
+  if (get_field(pkt, FieldId::kEthType) != ethertype::kIpv4) return std::nullopt;
+  switch (get_field(pkt, FieldId::kIpv4Proto)) {
+    case ipproto::kTcp:
+      return HeaderKind::kTcp;
+    case ipproto::kUdp:
+      return HeaderKind::kUdp;
+    case ipproto::kIcmp:
+      return HeaderKind::kIcmp;
+    case ipproto::kNvp:
+      return HeaderKind::kNvp;
+    default:
+      return std::nullopt;
+  }
+}
+
+namespace {
+
+std::uint16_t compute_l4_checksum(const Packet& pkt, HeaderKind l4) {
+  const std::size_t l4_off = kEthernetBytes + kIpv4Bytes;
+  const std::size_t l4_len = pkt.size() - l4_off;
+  ChecksumAccumulator acc;
+  if (l4 != HeaderKind::kIcmp) {
+    add_ipv4_pseudo_header(acc, static_cast<std::uint32_t>(get_field(pkt, FieldId::kIpv4Sip)),
+                           static_cast<std::uint32_t>(get_field(pkt, FieldId::kIpv4Dip)),
+                           static_cast<std::uint8_t>(get_field(pkt, FieldId::kIpv4Proto)),
+                           static_cast<std::uint16_t>(l4_len));
+  }
+  // Sum the L4 header+payload with the checksum field itself zeroed.
+  const FieldId csum_field = l4 == HeaderKind::kTcp   ? FieldId::kTcpChecksum
+                             : l4 == HeaderKind::kUdp ? FieldId::kUdpChecksum
+                                                      : FieldId::kIcmpChecksum;
+  const std::size_t csum_off =
+      l4_off + FieldRegistry::instance().info(csum_field).bit_offset / 8;
+  auto bytes = pkt.bytes();
+  acc.add(bytes.subspan(l4_off, csum_off - l4_off));
+  acc.add_word(0);
+  acc.add(bytes.subspan(csum_off + 2));
+  return acc.finish();
+}
+
+}  // namespace
+
+void fix_checksums(Packet& pkt) {
+  if (pkt.size() < kEthernetBytes + kIpv4Bytes) return;
+  if (get_field(pkt, FieldId::kEthType) != ethertype::kIpv4) return;
+
+  // IPv4 header checksum.
+  set_field(pkt, FieldId::kIpv4Checksum, 0);
+  const auto ipv4 = pkt.bytes().subspan(kEthernetBytes, kIpv4Bytes);
+  set_field(pkt, FieldId::kIpv4Checksum, internet_checksum(ipv4));
+
+  const auto l4 = l4_kind(pkt);
+  if (!l4 || *l4 == HeaderKind::kNvp) return;  // NVP carries no checksum
+  if (pkt.size() < min_packet_size(*l4)) return;
+  const FieldId csum_field = *l4 == HeaderKind::kTcp   ? FieldId::kTcpChecksum
+                             : *l4 == HeaderKind::kUdp ? FieldId::kUdpChecksum
+                                                       : FieldId::kIcmpChecksum;
+  if (*l4 == HeaderKind::kUdp && get_field(pkt, FieldId::kUdpChecksum) == 0) {
+    return;  // UDP checksum is optional; zero means "not used".
+  }
+  set_field(pkt, csum_field, 0);
+  std::uint16_t csum = compute_l4_checksum(pkt, *l4);
+  if (*l4 == HeaderKind::kUdp && csum == 0) csum = 0xffff;  // RFC 768
+  set_field(pkt, csum_field, csum);
+}
+
+bool verify_checksums(const Packet& pkt) {
+  if (pkt.size() < kEthernetBytes + kIpv4Bytes) return true;
+  if (get_field(pkt, FieldId::kEthType) != ethertype::kIpv4) return true;
+  if (internet_checksum(pkt.bytes().subspan(kEthernetBytes, kIpv4Bytes)) != 0) return false;
+  const auto l4 = l4_kind(pkt);
+  if (!l4 || *l4 == HeaderKind::kNvp || pkt.size() < min_packet_size(*l4)) return true;
+  if (*l4 == HeaderKind::kUdp && get_field(pkt, FieldId::kUdpChecksum) == 0) return true;
+  const FieldId csum_field = *l4 == HeaderKind::kTcp   ? FieldId::kTcpChecksum
+                             : *l4 == HeaderKind::kUdp ? FieldId::kUdpChecksum
+                                                       : FieldId::kIcmpChecksum;
+  const std::uint16_t stored = static_cast<std::uint16_t>(get_field(pkt, csum_field));
+  Packet copy(std::vector<std::uint8_t>(pkt.bytes().begin(), pkt.bytes().end()));
+  set_field(copy, csum_field, 0);
+  std::uint16_t computed = compute_l4_checksum(copy, *l4);
+  if (*l4 == HeaderKind::kUdp && computed == 0) computed = 0xffff;
+  return stored == computed;
+}
+
+}  // namespace ht::net

@@ -1,0 +1,52 @@
+// Header layout constants and direct field access on raw packets.
+//
+// The authoritative field offsets live in FieldRegistry; this module adds
+// header base offsets for the canonical Eth/IPv4/{TCP|UDP|ICMP} stack and
+// convenience functions to read/write any FieldId directly on a raw packet.
+// The RMT parser performs the same job programmably; devices outside the
+// switch use these helpers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/fields.hpp"
+#include "net/packet.hpp"
+
+namespace ht::net {
+
+constexpr std::size_t kEthernetBytes = 14;
+constexpr std::size_t kIpv4Bytes = 20;
+constexpr std::size_t kTcpBytes = 20;
+constexpr std::size_t kUdpBytes = 8;
+constexpr std::size_t kIcmpBytes = 8;
+constexpr std::size_t kNvpBytes = 12;
+
+/// Byte offset where `header` starts in the canonical stack; nullopt for
+/// HeaderKind::kNone.
+std::optional<std::size_t> header_base_offset(HeaderKind header);
+
+/// Minimum total packet size for a stack ending in the given L4 header.
+std::size_t min_packet_size(HeaderKind l4);
+
+/// Read a wire field from a raw packet laid out as the canonical stack.
+/// Throws std::out_of_range when the packet is too short.
+std::uint64_t get_field(const Packet& pkt, FieldId id);
+
+/// Write a wire field into a raw packet. Value is masked to field width.
+void set_field(Packet& pkt, FieldId id, std::uint64_t value);
+
+/// True when the packet is long enough to contain `id`'s header.
+bool has_field(const Packet& pkt, FieldId id);
+
+/// Recompute the IPv4 header checksum and, when the protocol is TCP/UDP/
+/// ICMP, the L4 checksum (with pseudo-header). UDP checksum zero stays zero.
+void fix_checksums(Packet& pkt);
+
+/// Verify checksums; returns false when any present checksum is wrong.
+bool verify_checksums(const Packet& pkt);
+
+/// Which L4 protocol the packet carries (by ipv4.proto), if IPv4 at all.
+std::optional<HeaderKind> l4_kind(const Packet& pkt);
+
+}  // namespace ht::net

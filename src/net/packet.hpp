@@ -1,0 +1,64 @@
+// Packet: the unit moving through the simulated testbed.
+//
+// A Packet owns its raw bytes plus simulation metadata (ports, timestamps,
+// template bookkeeping). The RMT pipeline does not mutate the raw bytes
+// directly — it parses into a PHV, edits fields there, and the deparser
+// writes back — but devices outside the switch (servers, baseline testers)
+// work with Packet directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace ht::net {
+
+/// Simulation-side metadata travelling with a packet.
+struct PacketMeta {
+  std::uint16_t ingress_port = 0;
+  std::uint16_t egress_port = 0;
+  std::uint64_t ingress_tstamp_ns = 0;  ///< MAC timestamp on arrival
+  std::uint64_t egress_tstamp_ns = 0;   ///< timestamp at egress
+  std::uint32_t template_id = 0;        ///< which template this replica came from
+  std::uint32_t replica_index = 0;      ///< index assigned by the mcast engine
+  bool is_template = false;             ///< true while circulating in the accelerator
+  std::uint32_t recirc_count = 0;       ///< number of completed recirculation loops
+  /// Ingress-to-egress bridged metadata (Tofino bridge header). The
+  /// stateless-connection path pops a trigger record at ingress and the
+  /// egress editor consumes it from here (§5.3).
+  std::vector<std::uint64_t> bridged;
+};
+
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(std::vector<std::uint8_t> data) : data_(std::move(data)) {}
+  Packet(std::size_t size, std::uint8_t fill) : data_(size, fill) {}
+
+  std::span<const std::uint8_t> bytes() const { return data_; }
+  std::span<std::uint8_t> bytes() { return data_; }
+  std::size_t size() const { return data_.size(); }
+  void resize(std::size_t size, std::uint8_t fill = 0) { data_.resize(size, fill); }
+
+  const PacketMeta& meta() const { return meta_; }
+  PacketMeta& meta() { return meta_; }
+
+  /// Size on the wire including Ethernet overhead (preamble 8B + FCS 4B +
+  /// inter-packet gap 12B) — what line-rate arithmetic must use.
+  static constexpr std::size_t kWireOverhead = 24;
+  std::size_t wire_size() const { return data_.size() + 4; }            ///< frame + FCS
+  std::size_t line_size() const { return data_.size() + kWireOverhead; }  ///< incl. IPG
+
+ private:
+  std::vector<std::uint8_t> data_;
+  PacketMeta meta_;
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+inline PacketPtr make_packet(std::size_t size, std::uint8_t fill = 0) {
+  return std::make_shared<Packet>(size, fill);
+}
+
+}  // namespace ht::net

@@ -1,0 +1,119 @@
+#include "net/packet_builder.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+#include "net/headers.hpp"
+
+namespace ht::net {
+
+PacketBuilder::PacketBuilder(HeaderKind l4, std::size_t total_len) : l4_(l4) {
+  const std::size_t min = min_packet_size(l4);
+  pkt_.resize(std::max(total_len, min));
+  set(FieldId::kEthType, ethertype::kIpv4);
+  set(FieldId::kIpv4Version, 4);
+  set(FieldId::kIpv4Ihl, 5);
+  set(FieldId::kIpv4Ttl, 64);
+  switch (l4) {
+    case HeaderKind::kTcp:
+      set(FieldId::kIpv4Proto, ipproto::kTcp);
+      set(FieldId::kTcpDataOff, 5);
+      break;
+    case HeaderKind::kUdp:
+      set(FieldId::kIpv4Proto, ipproto::kUdp);
+      break;
+    case HeaderKind::kIcmp:
+      set(FieldId::kIpv4Proto, ipproto::kIcmp);
+      break;
+    case HeaderKind::kNvp:
+      set(FieldId::kIpv4Proto, ipproto::kNvp);
+      break;
+    default:
+      break;
+  }
+}
+
+PacketBuilder& PacketBuilder::set(FieldId id, std::uint64_t value) {
+  set_field(pkt_, id, value);
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::payload(std::string_view bytes) {
+  const std::size_t off = min_packet_size(l4_);
+  if (pkt_.size() < off + bytes.size()) pkt_.resize(off + bytes.size());
+  std::copy(bytes.begin(), bytes.end(), pkt_.bytes().begin() + static_cast<std::ptrdiff_t>(off));
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::payload_fill(std::uint8_t byte) {
+  const std::size_t off = min_packet_size(l4_);
+  std::fill(pkt_.bytes().begin() + static_cast<std::ptrdiff_t>(off), pkt_.bytes().end(), byte);
+  return *this;
+}
+
+Packet PacketBuilder::build() const {
+  Packet out = pkt_;
+  set_field(out, FieldId::kIpv4TotalLen, out.size() - kEthernetBytes);
+  if (l4_ == HeaderKind::kUdp) {
+    set_field(out, FieldId::kUdpLen, out.size() - kEthernetBytes - kIpv4Bytes);
+  }
+  fix_checksums(out);
+  return out;
+}
+
+Packet make_udp_packet(std::uint32_t sip, std::uint32_t dip, std::uint16_t sport,
+                       std::uint16_t dport, std::size_t total_len) {
+  return PacketBuilder(HeaderKind::kUdp, total_len)
+      .set(FieldId::kIpv4Sip, sip)
+      .set(FieldId::kIpv4Dip, dip)
+      .set(FieldId::kUdpSport, sport)
+      .set(FieldId::kUdpDport, dport)
+      .build();
+}
+
+Packet make_tcp_packet(std::uint32_t sip, std::uint32_t dip, std::uint16_t sport,
+                       std::uint16_t dport, std::uint64_t flags, std::uint32_t seq,
+                       std::uint32_t ack, std::size_t total_len) {
+  return PacketBuilder(HeaderKind::kTcp, total_len)
+      .set(FieldId::kIpv4Sip, sip)
+      .set(FieldId::kIpv4Dip, dip)
+      .set(FieldId::kTcpSport, sport)
+      .set(FieldId::kTcpDport, dport)
+      .set(FieldId::kTcpFlags, flags)
+      .set(FieldId::kTcpSeqNo, seq)
+      .set(FieldId::kTcpAckNo, ack)
+      .build();
+}
+
+std::uint32_t ipv4_address(std::string_view dotted) {
+  std::uint32_t out = 0;
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t dot = dotted.find('.', pos);
+    const std::string_view part =
+        dotted.substr(pos, dot == std::string_view::npos ? std::string_view::npos : dot - pos);
+    unsigned value = 0;
+    const auto [ptr, ec] = std::from_chars(part.data(), part.data() + part.size(), value);
+    if (ec != std::errc{} || ptr != part.data() + part.size() || value > 255) {
+      throw std::invalid_argument("bad IPv4 address: " + std::string(dotted));
+    }
+    out = (out << 8) | value;
+    if (i < 3) {
+      if (dot == std::string_view::npos) {
+        throw std::invalid_argument("bad IPv4 address: " + std::string(dotted));
+      }
+      pos = dot + 1;
+    } else if (dot != std::string_view::npos) {
+      throw std::invalid_argument("bad IPv4 address: " + std::string(dotted));
+    }
+  }
+  return out;
+}
+
+std::string ipv4_to_string(std::uint32_t addr) {
+  return std::to_string((addr >> 24) & 0xff) + '.' + std::to_string((addr >> 16) & 0xff) + '.' +
+         std::to_string((addr >> 8) & 0xff) + '.' + std::to_string(addr & 0xff);
+}
+
+}  // namespace ht::net

@@ -1,0 +1,52 @@
+// PacketBuilder: construct well-formed packets from field values.
+//
+// This is the code path the switch CPU uses to materialize template packets
+// (§5.1 "template packet generation": payload customization and header
+// initialization happen on the CPU). It is also used by DUT models and the
+// software-baseline generator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/fields.hpp"
+#include "net/packet.hpp"
+
+namespace ht::net {
+
+class PacketBuilder {
+ public:
+  /// Start a canonical Eth/IPv4/<l4> packet of `total_len` bytes (padded
+  /// with zeros). `total_len` is clamped up to the minimum stack size.
+  explicit PacketBuilder(HeaderKind l4, std::size_t total_len = 64);
+
+  /// Set any wire field; value is masked to the field width.
+  PacketBuilder& set(FieldId id, std::uint64_t value);
+  /// Set the payload to a byte string starting right after the L4 header;
+  /// extends the packet if needed.
+  PacketBuilder& payload(std::string_view bytes);
+  PacketBuilder& payload_fill(std::uint8_t byte);
+
+  /// Finalize: sets eth.type/ipv4 invariants, lengths, and checksums.
+  Packet build() const;
+
+ private:
+  HeaderKind l4_;
+  Packet pkt_;
+};
+
+/// Shorthand constructors used by tests and applications.
+Packet make_udp_packet(std::uint32_t sip, std::uint32_t dip, std::uint16_t sport,
+                       std::uint16_t dport, std::size_t total_len = 64);
+Packet make_tcp_packet(std::uint32_t sip, std::uint32_t dip, std::uint16_t sport,
+                       std::uint16_t dport, std::uint64_t flags, std::uint32_t seq = 0,
+                       std::uint32_t ack = 0, std::size_t total_len = 64);
+
+/// Parse dotted-quad "a.b.c.d" into a host-order uint32. Throws on error.
+std::uint32_t ipv4_address(std::string_view dotted);
+/// Format a host-order uint32 as dotted-quad.
+std::string ipv4_to_string(std::uint32_t addr);
+
+}  // namespace ht::net

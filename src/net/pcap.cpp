@@ -1,0 +1,47 @@
+#include "net/pcap.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace ht::net {
+
+namespace {
+
+void put_u32(std::ofstream& out, std::uint32_t v) {
+  const std::array<char, 4> b = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+                                 static_cast<char>((v >> 16) & 0xff),
+                                 static_cast<char>((v >> 24) & 0xff)};
+  out.write(b.data(), b.size());
+}
+
+void put_u16(std::ofstream& out, std::uint16_t v) {
+  const std::array<char, 2> b = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff)};
+  out.write(b.data(), b.size());
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path) : out_(path, std::ios::binary) {
+  if (!out_) throw std::runtime_error("PcapWriter: cannot open " + path);
+  put_u32(out_, 0xa1b23c4d);  // magic: nanosecond-resolution pcap
+  put_u16(out_, 2);           // major
+  put_u16(out_, 4);           // minor
+  put_u32(out_, 0);           // thiszone
+  put_u32(out_, 0);           // sigfigs
+  put_u32(out_, 65535);       // snaplen
+  put_u32(out_, 1);           // linktype: Ethernet
+}
+
+PcapWriter::~PcapWriter() = default;
+
+void PcapWriter::write(const Packet& pkt, std::uint64_t timestamp_ns) {
+  put_u32(out_, static_cast<std::uint32_t>(timestamp_ns / 1000000000ull));
+  put_u32(out_, static_cast<std::uint32_t>(timestamp_ns % 1000000000ull));
+  put_u32(out_, static_cast<std::uint32_t>(pkt.size()));
+  put_u32(out_, static_cast<std::uint32_t>(pkt.size()));
+  out_.write(reinterpret_cast<const char*>(pkt.bytes().data()),
+             static_cast<std::streamsize>(pkt.size()));
+  ++count_;
+}
+
+}  // namespace ht::net

@@ -1,0 +1,33 @@
+// Minimal pcap (libpcap classic format) writer for captured test traffic.
+//
+// HyperTester itself never writes pcaps — this exists so examples can dump
+// generated traffic for inspection with standard tools.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace ht::net {
+
+class PcapWriter {
+ public:
+  /// Opens `path` and writes the global header. Throws on I/O failure.
+  explicit PcapWriter(const std::string& path);
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  /// Append one packet with the given capture timestamp.
+  void write(const Packet& pkt, std::uint64_t timestamp_ns);
+  std::size_t packets_written() const { return count_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace ht::net

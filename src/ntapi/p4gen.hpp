@@ -1,0 +1,29 @@
+// Pseudo-P4₁₄ backend.
+//
+// The NTAPI compiler emits the P4 program a Tofino deployment would
+// install. The output is structurally faithful (registers, actions,
+// match-action tables, ingress/egress control flow for every compiled
+// construct) and is what Table 5's "P4" LoC column measures. Per the
+// paper, only control flow, tables, and actions are counted — headers and
+// the parser are shared boilerplate.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ht::ntapi {
+
+class Task;
+struct CompiledTask;
+
+/// Generate the full P4 program text for a compiled task.
+std::string generate_p4(const Task& task, const CompiledTask& compiled);
+
+/// Count the lines the paper counts: non-empty, non-comment lines after
+/// the "tables, actions and control" marker.
+std::size_t count_p4_loc(const std::string& p4_source);
+
+/// The marker separating boilerplate from counted code.
+inline constexpr const char* kP4CountedMarker = "// === tables, actions, control ===";
+
+}  // namespace ht::ntapi

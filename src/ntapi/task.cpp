@@ -1,0 +1,123 @@
+#include "ntapi/task.hpp"
+
+#include <stdexcept>
+
+namespace ht::ntapi {
+
+Trigger& Trigger::set(net::FieldId field, Value value) {
+  bindings_.push_back(SetBinding{field, std::move(value)});
+  ++set_calls_;
+  return *this;
+}
+
+Trigger& Trigger::set(net::FieldId field, QueryFieldRef ref) {
+  bindings_.push_back(SetBinding{field, ref});
+  ++set_calls_;
+  return *this;
+}
+
+Trigger& Trigger::set(const std::vector<net::FieldId>& fields, const std::vector<Value>& values) {
+  if (fields.size() != values.size()) {
+    throw std::invalid_argument("Trigger::set: field/value list length mismatch");
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    bindings_.push_back(SetBinding{fields[i], values[i]});
+  }
+  ++set_calls_;  // one NTAPI statement, many bindings
+  return *this;
+}
+
+Trigger& Trigger::set(net::FieldId field, MetaFieldRef ref) {
+  bindings_.push_back(SetBinding{field, ref});
+  ++set_calls_;
+  return *this;
+}
+
+Trigger& Trigger::record_timestamp(net::FieldId index_field) {
+  ts_records_.push_back(index_field);
+  ++set_calls_;
+  return *this;
+}
+
+Trigger& Trigger::payload(std::string bytes) {
+  payload_ = std::move(bytes);
+  ++set_calls_;
+  return *this;
+}
+
+const SetBinding* Trigger::find(net::FieldId field) const {
+  // Later set() calls override earlier ones, as in the paper's examples.
+  for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it) {
+    if (it->field == field) return &*it;
+  }
+  return nullptr;
+}
+
+Query& Query::filter(net::FieldId field, htpr::Cmp cmp, std::uint64_t value) {
+  steps_.push_back(QFilter{field, cmp, value, false});
+  return *this;
+}
+
+Query& Query::filter_result(htpr::Cmp cmp, std::uint64_t value) {
+  steps_.push_back(QFilter{net::FieldId::kPktLen, cmp, value, true});
+  return *this;
+}
+
+Query& Query::map(std::vector<net::FieldId> keys, std::optional<net::FieldId> value_field) {
+  steps_.push_back(QMap{std::move(keys), value_field});
+  return *this;
+}
+
+Query& Query::map_delta(net::FieldId value_field, net::FieldId minus_field,
+                        std::vector<net::FieldId> keys) {
+  steps_.push_back(QMap{std::move(keys), value_field, minus_field});
+  return *this;
+}
+
+Query& Query::map_state_delay(TriggerHandle trigger, net::FieldId index_field) {
+  QMap m;
+  m.state_trigger = trigger;
+  m.state_index_field = index_field;
+  steps_.push_back(std::move(m));
+  return *this;
+}
+
+Query& Query::reduce(Reduce func) {
+  steps_.push_back(QReduce{func});
+  return *this;
+}
+
+Query& Query::distinct() {
+  steps_.push_back(QDistinct{});
+  return *this;
+}
+
+Query& Query::monitor_ports(std::vector<std::uint16_t> ports) {
+  ports_ = std::move(ports);
+  return *this;
+}
+
+Query& Query::store_shape(std::size_t buckets, unsigned digest_bits) {
+  store_buckets_ = buckets;
+  store_digest_bits_ = digest_bits;
+  return *this;
+}
+
+TriggerHandle Task::add_trigger(Trigger t) {
+  triggers_.push_back(std::move(t));
+  return TriggerHandle{triggers_.size() - 1};
+}
+
+QueryHandle Task::add_query(Query q) {
+  queries_.push_back(std::move(q));
+  return QueryHandle{queries_.size() - 1};
+}
+
+std::size_t Task::ntapi_loc() const {
+  std::size_t loc = 0;
+  for (const auto& t : triggers_) loc += t.loc();
+  for (const auto& q : queries_) loc += q.loc();
+  return loc;
+}
+
+}  // namespace ht::ntapi

@@ -1,0 +1,70 @@
+// Lexer for the textual NTAPI (Table 2 of the paper).
+//
+// The paper presents NTAPI as a small textual language:
+//
+//   T1 = trigger()
+//        .set([dip, sip, proto, dport, sport], [10.1.0.1, 10.0.0.1, udp, 1, 1])
+//        .set([loop, pkt_len], [0, 64])
+//   Q1 = query(T1).map(pkt_len).reduce(sum)
+//   Q2 = query().filter(tcp.flags == SYN+ACK).map(sip).distinct()
+//
+// This lexer produces the token stream for the recursive-descent parser in
+// parser.hpp. Numbers accept time suffixes (ns/us/ms/s -> nanoseconds).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ht::ntapi::text {
+
+enum class TokKind : std::uint8_t {
+  kIdent,     ///< identifiers incl. dotted names (tcp.flags, Q1.sip)
+  kNumber,    ///< integer literal, possibly with a time suffix
+  kIpAddr,    ///< dotted-quad IPv4 literal
+  kString,    ///< "double quoted"
+  kEquals,    ///< =
+  kEqEq,      ///< ==
+  kNotEq,     ///< !=
+  kLess,      ///< <
+  kLessEq,    ///< <=
+  kGreater,   ///< >
+  kGreaterEq, ///< >=
+  kPlus,      ///< +
+  kMinus,     ///< -
+  kDot,       ///< .
+  kComma,     ///< ,
+  kLParen,    ///< (
+  kRParen,    ///< )
+  kLBracket,  ///< [
+  kRBracket,  ///< ]
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;        ///< raw text (identifier/string contents)
+  std::uint64_t number = 0;  ///< value for kNumber (suffix applied)
+  int line = 1;
+  int column = 1;
+};
+
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& message, int line, int column);
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_, column_;
+};
+
+/// Tokenize a whole program. `#` and `//` start line comments.
+std::vector<Token> lex(std::string_view source);
+
+/// Token kind name, for error messages.
+std::string_view token_kind_name(TokKind kind);
+
+}  // namespace ht::ntapi::text

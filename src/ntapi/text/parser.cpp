@@ -1,0 +1,516 @@
+#include "ntapi/text/parser.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "net/packet_builder.hpp"
+#include "ntapi/text/lexer.hpp"
+
+namespace ht::ntapi::text {
+
+ParseError::ParseError(const std::string& message, int line, int column)
+    : std::runtime_error("parse error at " + std::to_string(line) + ":" +
+                         std::to_string(column) + ": " + message),
+      line_(line),
+      column_(column) {}
+
+TriggerHandle ParsedProgram::trigger(const std::string& name) const {
+  const auto it = triggers.find(name);
+  if (it == triggers.end()) throw std::out_of_range("no trigger named " + name);
+  return it->second;
+}
+
+QueryHandle ParsedProgram::query(const std::string& name) const {
+  const auto it = queries.find(name);
+  if (it == queries.end()) throw std::out_of_range("no query named " + name);
+  return it->second;
+}
+
+std::optional<net::FieldId> resolve_field(std::string_view name, net::HeaderKind l4) {
+  using F = net::FieldId;
+  // Canonical dotted names first.
+  if (const auto id = net::FieldRegistry::instance().by_name(name)) return id;
+  // Paper-style aliases (Table 1 and the §4/§5.4 examples).
+  const bool tcp = l4 == net::HeaderKind::kTcp;
+  if (name == "sip") return F::kIpv4Sip;
+  if (name == "dip") return F::kIpv4Dip;
+  if (name == "proto") return F::kIpv4Proto;
+  if (name == "ttl") return F::kIpv4Ttl;
+  if (name == "id") return F::kIpv4Id;
+  if (name == "sport" || name == "sp") return tcp ? F::kTcpSport : F::kUdpSport;
+  if (name == "dport" || name == "dp") return tcp ? F::kTcpDport : F::kUdpDport;
+  if (name == "flag" || name == "flags" || name == "tcp_flag") return F::kTcpFlags;
+  if (name == "seq_no") return F::kTcpSeqNo;
+  if (name == "ack_no") return F::kTcpAckNo;
+  if (name == "window") return F::kTcpWindow;
+  if (name == "icmp_type") return F::kIcmpType;
+  if (name == "icmp_seq") return F::kIcmpSeq;
+  if (name == "length") return F::kPktLen;  // the §5.4 example's alias
+  if (name == "count") return F::kPktLen;   // resolved to a result filter upstream
+  return std::nullopt;
+}
+
+namespace {
+
+std::optional<std::uint64_t> symbolic_constant(std::string_view name) {
+  namespace flag = net::tcpflag;
+  if (name == "udp") return net::ipproto::kUdp;
+  if (name == "tcp") return net::ipproto::kTcp;
+  if (name == "icmp") return net::ipproto::kIcmp;
+  if (name == "nvp") return net::ipproto::kNvp;
+  if (name == "SYN") return flag::kSyn;
+  if (name == "ACK") return flag::kAck;
+  if (name == "FIN") return flag::kFin;
+  if (name == "RST") return flag::kRst;
+  if (name == "PSH") return flag::kPsh;
+  if (name == "URG") return flag::kUrg;
+  return std::nullopt;
+}
+
+/// A raw parsed value: either a Value, or a query-field reference.
+struct RawValue {
+  std::variant<Value, QueryFieldRef, MetaFieldRef> v;
+};
+
+/// One textual `.set(...)` before field resolution.
+struct RawSet {
+  std::vector<std::string> fields;
+  std::vector<RawValue> values;
+  bool is_payload = false;
+  std::string payload;
+  int line = 0, column = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view source, std::string task_name)
+      : tokens_(lex(source)), program_{Task(std::move(task_name)), {}, {}} {}
+
+  ParsedProgram run() {
+    while (!at(TokKind::kEnd)) statement();
+    return std::move(program_);
+  }
+
+ private:
+  // --- token plumbing --------------------------------------------------------
+  const Token& cur() const { return tokens_[pos_]; }
+  bool at(TokKind kind) const { return cur().kind == kind; }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool accept(TokKind kind) {
+    if (!at(kind)) return false;
+    ++pos_;
+    return true;
+  }
+  const Token& expect(TokKind kind, const std::string& context) {
+    if (!at(kind)) {
+      fail("expected " + std::string(token_kind_name(kind)) + " " + context + ", found " +
+           std::string(token_kind_name(cur().kind)));
+    }
+    return tokens_[pos_++];
+  }
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, cur().line, cur().column);
+  }
+
+  // --- grammar ----------------------------------------------------------------
+  void statement() {
+    const Token name = expect(TokKind::kIdent, "at statement start");
+    expect(TokKind::kEquals, "after statement name");
+    const Token kind = expect(TokKind::kIdent, "(trigger or query)");
+    if (kind.text == "trigger") {
+      trigger_statement(name.text);
+    } else if (kind.text == "query") {
+      query_statement(name.text);
+    } else {
+      throw ParseError("expected 'trigger' or 'query', found '" + kind.text + "'", kind.line,
+                       kind.column);
+    }
+  }
+
+  void trigger_statement(const std::string& name) {
+    expect(TokKind::kLParen, "after 'trigger'");
+    std::optional<QueryHandle> source;
+    if (at(TokKind::kIdent)) {
+      const Token q = advance();
+      const auto it = program_.queries.find(q.text);
+      if (it == program_.queries.end()) {
+        throw ParseError("trigger references undefined query '" + q.text + "'", q.line,
+                         q.column);
+      }
+      source = it->second;
+    }
+    expect(TokKind::kRParen, "closing trigger(...)");
+
+    std::vector<RawSet> sets;
+    while (accept(TokKind::kDot)) {
+      const Token method = expect(TokKind::kIdent, "method name after '.'");
+      if (method.text == "set") {
+        sets.push_back(parse_set());
+      } else if (method.text == "payload") {
+        expect(TokKind::kLParen, "after payload");
+        RawSet rs;
+        rs.is_payload = true;
+        rs.payload = expect(TokKind::kString, "payload bytes").text;
+        expect(TokKind::kRParen, "closing payload(...)");
+        sets.push_back(std::move(rs));
+      } else {
+        throw ParseError("unknown trigger method '" + method.text + "'", method.line,
+                         method.column);
+      }
+    }
+
+    // Resolve fields with the trigger's protocol context.
+    const net::HeaderKind l4 = infer_l4_from_sets(sets);
+    Trigger trigger = source ? Trigger(*source) : Trigger();
+    for (const RawSet& rs : sets) {
+      if (rs.is_payload) {
+        trigger.payload(rs.payload);
+        continue;
+      }
+      if (rs.fields.size() == 1) {
+        apply_set(trigger, rs, 0, l4);
+        continue;
+      }
+      // Parallel-list form: constants go through the vector overload (one
+      // NTAPI statement); references are applied per field.
+      bool all_plain = true;
+      for (const auto& rv : rs.values) all_plain &= std::holds_alternative<Value>(rv.v);
+      if (all_plain) {
+        std::vector<net::FieldId> fields;
+        std::vector<Value> values;
+        for (std::size_t k = 0; k < rs.fields.size(); ++k) {
+          fields.push_back(field_or_fail(rs.fields[k], l4, rs.line, rs.column));
+          values.push_back(std::get<Value>(rs.values[k].v));
+        }
+        trigger.set(fields, values);
+      } else {
+        for (std::size_t k = 0; k < rs.fields.size(); ++k) apply_set(trigger, rs, k, l4);
+      }
+    }
+    program_.triggers.emplace(name, program_.task.add_trigger(std::move(trigger)));
+  }
+
+  void query_statement(const std::string& name) {
+    expect(TokKind::kLParen, "after 'query'");
+    Query query;
+    if (at(TokKind::kIdent)) {
+      const Token t = advance();
+      const auto it = program_.triggers.find(t.text);
+      if (it == program_.triggers.end()) {
+        throw ParseError("query monitors undefined trigger '" + t.text + "'", t.line, t.column);
+      }
+      query = Query(it->second);
+    }
+    expect(TokKind::kRParen, "closing query(...)");
+
+    // Queries resolve short L4 aliases as TCP (the paper's query examples
+    // are TCP-centric); dotted names are exact.
+    const net::HeaderKind ctx = net::HeaderKind::kTcp;
+    while (accept(TokKind::kDot)) {
+      const Token method = expect(TokKind::kIdent, "method name after '.'");
+      expect(TokKind::kLParen, "after method name");
+      if (method.text == "filter") {
+        parse_filter(query, ctx);
+      } else if (method.text == "map") {
+        parse_map(query, ctx);
+      } else if (method.text == "reduce") {
+        const Token func = expect(TokKind::kIdent, "reduce function");
+        std::string fname = func.text;
+        if (fname == "func") {  // reduce(func = sum)
+          expect(TokKind::kEquals, "after 'func'");
+          fname = expect(TokKind::kIdent, "reduce function").text;
+        }
+        if (fname == "sum") {
+          query.reduce(Reduce::kSum);
+        } else if (fname == "count") {
+          query.reduce(Reduce::kCount);
+        } else if (fname == "max") {
+          query.reduce(Reduce::kMax);
+        } else if (fname == "min") {
+          query.reduce(Reduce::kMin);
+        } else {
+          throw ParseError("unknown reduce function '" + fname + "'", func.line, func.column);
+        }
+      } else if (method.text == "distinct") {
+        query.distinct();
+      } else if (method.text == "monitor_ports") {
+        std::vector<std::uint16_t> ports;
+        expect(TokKind::kLBracket, "port list");
+        do {
+          ports.push_back(
+              static_cast<std::uint16_t>(expect(TokKind::kNumber, "port").number));
+        } while (accept(TokKind::kComma));
+        expect(TokKind::kRBracket, "closing port list");
+        query.monitor_ports(std::move(ports));
+      } else if (method.text == "store") {
+        const auto buckets = expect(TokKind::kNumber, "store buckets").number;
+        expect(TokKind::kComma, "between store args");
+        const auto bits = expect(TokKind::kNumber, "digest bits").number;
+        query.store_shape(static_cast<std::size_t>(buckets), static_cast<unsigned>(bits));
+      } else {
+        throw ParseError("unknown query method '" + method.text + "'", method.line,
+                         method.column);
+      }
+      expect(TokKind::kRParen, "closing method call");
+    }
+    program_.queries.emplace(name, program_.task.add_query(std::move(query)));
+  }
+
+  // --- pieces -----------------------------------------------------------------
+  RawSet parse_set() {
+    RawSet rs;
+    rs.line = cur().line;
+    rs.column = cur().column;
+    expect(TokKind::kLParen, "after set");
+    if (accept(TokKind::kLBracket)) {
+      do {
+        rs.fields.push_back(expect(TokKind::kIdent, "field name").text);
+      } while (accept(TokKind::kComma));
+      expect(TokKind::kRBracket, "closing field list");
+    } else {
+      rs.fields.push_back(expect(TokKind::kIdent, "field name").text);
+    }
+    expect(TokKind::kComma, "between fields and values");
+    if (accept(TokKind::kLBracket)) {
+      do {
+        rs.values.push_back(parse_value());
+      } while (accept(TokKind::kComma));
+      expect(TokKind::kRBracket, "closing value list");
+    } else {
+      rs.values.push_back(parse_value());
+    }
+    expect(TokKind::kRParen, "closing set(...)");
+    // set(field, [v1, v2, ...]): one field with a value *array* (Table 2's
+    // array type), as opposed to the parallel-list form.
+    if (rs.fields.size() == 1 && rs.values.size() > 1) {
+      std::vector<std::uint64_t> entries;
+      entries.reserve(rs.values.size());
+      for (const auto& rv : rs.values) {
+        const auto* v = std::get_if<Value>(&rv.v);
+        if (v == nullptr || !v->is_constant()) {
+          throw ParseError("value arrays may only contain constants", rs.line, rs.column);
+        }
+        entries.push_back(v->initial_value());
+      }
+      rs.values.clear();
+      rs.values.push_back({Value::array(std::move(entries))});
+    }
+    if (rs.fields.size() != rs.values.size()) {
+      throw ParseError("set(): " + std::to_string(rs.fields.size()) + " fields but " +
+                           std::to_string(rs.values.size()) + " values",
+                       rs.line, rs.column);
+    }
+    return rs;
+  }
+
+  RawValue parse_value() {
+    // range(a, b, c)
+    if (at(TokKind::kIdent) && cur().text == "range") {
+      advance();
+      expect(TokKind::kLParen, "after range");
+      const auto start = parse_scalar();
+      expect(TokKind::kComma, "in range()");
+      const auto end = parse_scalar();
+      std::uint64_t step = 1;
+      if (accept(TokKind::kComma)) step = parse_scalar();
+      expect(TokKind::kRParen, "closing range()");
+      return {Value::range(start, end, step)};
+    }
+    // random(ALG, p1[, p2])
+    if (at(TokKind::kIdent) && cur().text == "random") {
+      advance();
+      expect(TokKind::kLParen, "after random");
+      const Token alg = expect(TokKind::kIdent, "distribution (U/N/E)");
+      expect(TokKind::kComma, "in random()");
+      const auto p1 = static_cast<double>(parse_scalar());
+      double p2 = 0;
+      if (accept(TokKind::kComma)) p2 = static_cast<double>(parse_scalar());
+      expect(TokKind::kRParen, "closing random()");
+      if (alg.text == "U") {
+        return {Value::random_uniform(static_cast<std::uint64_t>(p1),
+                                      static_cast<std::uint64_t>(p2))};
+      }
+      if (alg.text == "N") return {Value::random_normal(p1, p2)};
+      if (alg.text == "E") return {Value::random_exponential(p1)};
+      throw ParseError("unknown distribution '" + alg.text + "' (use U, N or E)", alg.line,
+                       alg.column);
+    }
+    // Query-field reference: Qname.field [± offset]
+    if (at(TokKind::kIdent)) {
+      const std::string& text = cur().text;
+      const auto dot = text.find('.');
+      if (dot != std::string::npos &&
+          program_.queries.count(text.substr(0, dot)) != 0) {
+        const Token tok = advance();
+        const std::string fname = tok.text.substr(dot + 1);
+        const auto field = resolve_field(fname, net::HeaderKind::kTcp);
+        if (!field) {
+          throw ParseError("unknown field '" + fname + "' in reference", tok.line, tok.column);
+        }
+        std::int64_t offset = 0;
+        if (accept(TokKind::kPlus)) {
+          offset = static_cast<std::int64_t>(expect(TokKind::kNumber, "offset").number);
+        } else if (accept(TokKind::kMinus)) {
+          offset = -static_cast<std::int64_t>(expect(TokKind::kNumber, "offset").number);
+        }
+        return {from_query(*field, offset)};
+      }
+      // now.egress / now.ingress: pipeline-timestamp references.
+      if (text == "now.egress") {
+        advance();
+        return {from_meta(net::FieldId::kMetaEgressTstamp)};
+      }
+      if (text == "now.ingress") {
+        advance();
+        return {from_meta(net::FieldId::kMetaIngressTstamp)};
+      }
+    }
+    // Scalar expression (numbers, IPs, symbolic constants, '+' sums).
+    return {Value::constant(parse_scalar())};
+  }
+
+  /// number | ip | symbol, combined with '+'/'-' (flag sums, arithmetic).
+  std::uint64_t parse_scalar() {
+    std::uint64_t value = parse_scalar_atom();
+    while (at(TokKind::kPlus) || at(TokKind::kMinus)) {
+      const bool plus = advance().kind == TokKind::kPlus;
+      const std::uint64_t rhs = parse_scalar_atom();
+      value = plus ? value + rhs : value - rhs;
+    }
+    return value;
+  }
+
+  std::uint64_t parse_scalar_atom() {
+    if (at(TokKind::kNumber)) return advance().number;
+    if (at(TokKind::kIpAddr)) return net::ipv4_address(advance().text);
+    if (at(TokKind::kIdent)) {
+      const Token tok = advance();
+      if (const auto sym = symbolic_constant(tok.text)) return *sym;
+      throw ParseError("unknown constant '" + tok.text + "'", tok.line, tok.column);
+    }
+    fail("expected a value");
+  }
+
+  void parse_filter(Query& query, net::HeaderKind ctx) {
+    const Token lhs = expect(TokKind::kIdent, "filter field");
+    htpr::Cmp cmp;
+    if (accept(TokKind::kEqEq)) {
+      cmp = htpr::Cmp::kEq;
+    } else if (accept(TokKind::kNotEq)) {
+      cmp = htpr::Cmp::kNe;
+    } else if (accept(TokKind::kLessEq)) {
+      cmp = htpr::Cmp::kLe;
+    } else if (accept(TokKind::kLess)) {
+      cmp = htpr::Cmp::kLt;
+    } else if (accept(TokKind::kGreaterEq)) {
+      cmp = htpr::Cmp::kGe;
+    } else if (accept(TokKind::kGreater)) {
+      cmp = htpr::Cmp::kGt;
+    } else {
+      fail("expected a comparison operator in filter()");
+    }
+    const std::uint64_t rhs = parse_scalar();
+    if (lhs.text == "count") {
+      query.filter_result(cmp, rhs);  // post-reduce filter (web testing)
+      return;
+    }
+    const auto field = resolve_field(lhs.text, ctx);
+    if (!field) {
+      throw ParseError("unknown filter field '" + lhs.text + "'", lhs.line, lhs.column);
+    }
+    query.filter(*field, cmp, rhs);
+  }
+
+  void parse_map(Query& query, net::HeaderKind ctx) {
+    std::vector<net::FieldId> keys;
+    std::optional<net::FieldId> value_field;
+    if (accept(TokKind::kLBracket)) {
+      do {
+        const Token f = expect(TokKind::kIdent, "map key");
+        const auto field = resolve_field(f.text, ctx);
+        if (!field) throw ParseError("unknown map key '" + f.text + "'", f.line, f.column);
+        keys.push_back(*field);
+      } while (accept(TokKind::kComma));
+      expect(TokKind::kRBracket, "closing key list");
+      if (accept(TokKind::kComma)) {
+        const Token f = expect(TokKind::kIdent, "map value field");
+        value_field = resolve_field(f.text, ctx);
+        if (!value_field) {
+          throw ParseError("unknown map value '" + f.text + "'", f.line, f.column);
+        }
+      }
+    } else {
+      // map(field): a keyless value projection (map(p -> (pkt_len))).
+      const Token f = expect(TokKind::kIdent, "map field");
+      value_field = resolve_field(f.text, ctx);
+      if (!value_field) throw ParseError("unknown map field '" + f.text + "'", f.line, f.column);
+    }
+    query.map(std::move(keys), value_field);
+  }
+
+  void apply_set(Trigger& trigger, const RawSet& rs, std::size_t k, net::HeaderKind l4) {
+    const net::FieldId field = field_or_fail(rs.fields[k], l4, rs.line, rs.column);
+    std::visit(
+        [&](const auto& v) {
+          using T = std::decay_t<decltype(v)>;
+          if constexpr (std::is_same_v<T, Value>) {
+            trigger.set(field, v);
+          } else if constexpr (std::is_same_v<T, QueryFieldRef>) {
+            trigger.set(field, v);
+          } else {
+            trigger.set(field, v);
+          }
+        },
+        rs.values[k].v);
+  }
+
+  net::FieldId field_or_fail(const std::string& name, net::HeaderKind l4, int line, int column) {
+    const auto field = resolve_field(name, l4);
+    if (!field) throw ParseError("unknown field '" + name + "'", line, column);
+    return *field;
+  }
+
+  /// The protocol context of a trigger: set(proto, tcp/udp/icmp) wins,
+  /// else TCP-ish field names hint TCP, else UDP (matching infer_l4).
+  static net::HeaderKind infer_l4_from_sets(const std::vector<RawSet>& sets) {
+    for (const RawSet& rs : sets) {
+      for (std::size_t k = 0; k < rs.fields.size(); ++k) {
+        if (rs.fields[k] != "proto" && rs.fields[k] != "ipv4.proto") continue;
+        if (const auto* v = std::get_if<Value>(&rs.values[k].v); v && v->is_constant()) {
+          switch (v->initial_value()) {
+            case net::ipproto::kTcp:
+              return net::HeaderKind::kTcp;
+            case net::ipproto::kIcmp:
+              return net::HeaderKind::kIcmp;
+            default:
+              return net::HeaderKind::kUdp;
+          }
+        }
+      }
+    }
+    for (const RawSet& rs : sets) {
+      for (const auto& f : rs.fields) {
+        if (f == "flag" || f == "flags" || f == "tcp_flag" || f == "seq_no" || f == "ack_no" ||
+            f.rfind("tcp.", 0) == 0) {
+          return net::HeaderKind::kTcp;
+        }
+        if (f == "icmp_type" || f.rfind("icmp.", 0) == 0) return net::HeaderKind::kIcmp;
+      }
+    }
+    return net::HeaderKind::kUdp;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  ParsedProgram program_;
+};
+
+}  // namespace
+
+ParsedProgram parse_ntapi(std::string_view source, std::string task_name) {
+  return Parser(source, std::move(task_name)).run();
+}
+
+}  // namespace ht::ntapi::text

@@ -1,0 +1,65 @@
+// Parser for the textual NTAPI (Table 2).
+//
+// Grammar (statements in dependency order, as in the paper's examples):
+//
+//   program   := statement*
+//   statement := NAME '=' ('trigger' | 'query') '(' [NAME] ')' chain*
+//   chain     := '.' method '(' args ')'
+//
+// Trigger methods:
+//   set(field, value)            set([f1, f2, ...], [v1, v2, ...])
+//   payload("bytes")
+// Query methods:
+//   filter(field CMP value)      filter(count CMP n)
+//   map(field)                   map([k1, k2, ...])    map([k...], value)
+//   reduce(sum|count|max|min)    distinct()
+//   monitor_ports([p1, p2])      store(buckets, digest_bits)
+//
+// Values: integers (with ns/us/ms/s/K/M suffixes), IPv4 literals,
+// protocol names (udp/tcp/icmp), TCP flag sums (SYN+ACK), [arrays],
+// range(start, end, step), random('U'|'N'|'E', p1[, p2]), and query-field
+// references with offsets (Q1.seq_no + 1) inside query-based triggers.
+//
+// Field names: canonical dotted names (tcp.dport) always work; the
+// paper's short aliases (dip, sip, proto, sport, dport, flag, seq_no,
+// ack_no, ...) resolve against the trigger's protocol (set(proto, ...)),
+// defaulting to UDP — matching §4's examples.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "ntapi/task.hpp"
+
+namespace ht::ntapi::text {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line, int column);
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_, column_;
+};
+
+struct ParsedProgram {
+  Task task;
+  std::map<std::string, TriggerHandle> triggers;
+  std::map<std::string, QueryHandle> queries;
+
+  TriggerHandle trigger(const std::string& name) const;
+  QueryHandle query(const std::string& name) const;
+};
+
+/// Parse a complete NTAPI program. Throws ParseError (or LexError) on
+/// malformed input; semantic validation still happens at compile time.
+ParsedProgram parse_ntapi(std::string_view source, std::string task_name = "ntapi_script");
+
+/// Resolve a field name (canonical or paper-style alias) against an L4
+/// context. Returns nullopt for unknown names.
+std::optional<net::FieldId> resolve_field(std::string_view name, net::HeaderKind l4);
+
+}  // namespace ht::ntapi::text

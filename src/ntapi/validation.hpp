@@ -1,0 +1,31 @@
+// NTAPI semantic validation (§6.1 "errors in network testing tasks").
+//
+// HyperTester rejects mistaken tasks during compilation: field values that
+// exceed their width (the paper's example: a TCP port above 65535),
+// malformed value sources, references to nonexistent triggers/queries,
+// operator sequences the query engine cannot run, and programs that do not
+// fit the switching ASIC. `validate` returns every problem found; the
+// compiler refuses tasks with a non-empty error list.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ntapi/task.hpp"
+#include "rmt/asic.hpp"
+
+namespace ht::ntapi {
+
+struct ValidationError {
+  std::string where;    ///< e.g. "trigger[0]" or "query[2]"
+  std::string message;
+};
+
+std::vector<ValidationError> validate(const Task& task, const rmt::AsicConfig& asic_cfg);
+
+/// The L4 protocol a trigger's packets carry, inferred from its
+/// `set(proto, ...)` binding (default: UDP, as in most of the paper's
+/// examples).
+net::HeaderKind infer_l4(const Trigger& trigger);
+
+}  // namespace ht::ntapi

@@ -1,0 +1,174 @@
+#include "ntapi/value.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "htps/inverse_transform.hpp"
+
+namespace ht::ntapi {
+
+namespace {
+
+htps::InverseTransformTable build_itt(const RandomArray& r) {
+  switch (r.dist) {
+    case RandomArray::Dist::kUniform:
+      return htps::InverseTransformTable::uniform(static_cast<std::uint64_t>(r.p1),
+                                                  static_cast<std::uint64_t>(r.p2), r.buckets,
+                                                  r.rng_bits);
+    case RandomArray::Dist::kNormal:
+      return htps::InverseTransformTable::normal(r.p1, r.p2, r.buckets, r.rng_bits);
+    case RandomArray::Dist::kExponential:
+      return htps::InverseTransformTable::exponential(r.p1, r.buckets, r.rng_bits);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::uint64_t Value::stream_length() const {
+  return std::visit(
+      [](const auto& v) -> std::uint64_t {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, Constant>) {
+          return 1;
+        } else if constexpr (std::is_same_v<T, ValueArray>) {
+          return v.values.size();
+        } else if constexpr (std::is_same_v<T, RangeArray>) {
+          return v.size();
+        } else {
+          return 1;  // random: each packet draws independently
+        }
+      },
+      v_);
+}
+
+std::uint64_t Value::min_value() const {
+  return std::visit(
+      [](const auto& v) -> std::uint64_t {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, Constant>) {
+          return v.value;
+        } else if constexpr (std::is_same_v<T, ValueArray>) {
+          return v.values.empty() ? 0 : *std::min_element(v.values.begin(), v.values.end());
+        } else if constexpr (std::is_same_v<T, RangeArray>) {
+          return v.start;
+        } else {
+          // Analytic lower bound (validation runs before the table can be
+          // built, so invalid parameters must not throw here).
+          switch (v.dist) {
+            case RandomArray::Dist::kUniform:
+              return static_cast<std::uint64_t>(std::max(0.0, std::min(v.p1, v.p2)));
+            case RandomArray::Dist::kNormal:
+              return static_cast<std::uint64_t>(std::max(0.0, v.p1 - 6.0 * std::abs(v.p2)));
+            case RandomArray::Dist::kExponential:
+              return 0;
+          }
+          return 0;
+        }
+      },
+      v_);
+}
+
+std::uint64_t Value::max_value() const {
+  return std::visit(
+      [](const auto& v) -> std::uint64_t {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, Constant>) {
+          return v.value;
+        } else if constexpr (std::is_same_v<T, ValueArray>) {
+          return v.values.empty() ? 0 : *std::max_element(v.values.begin(), v.values.end());
+        } else if constexpr (std::is_same_v<T, RangeArray>) {
+          return v.size() == 0 ? v.start : v.start + (v.size() - 1) * v.step;
+        } else {
+          switch (v.dist) {
+            case RandomArray::Dist::kUniform:
+              return static_cast<std::uint64_t>(std::max(0.0, std::max(v.p1, v.p2)));
+            case RandomArray::Dist::kNormal:
+              return static_cast<std::uint64_t>(std::max(0.0, v.p1 + 6.0 * std::abs(v.p2)));
+            case RandomArray::Dist::kExponential:
+              // quantile at the clamp limit: -mean*log(1e-9) ~ 20.7*mean
+              return static_cast<std::uint64_t>(std::max(0.0, v.p1 * 21.0));
+          }
+          return 0;
+        }
+      },
+      v_);
+}
+
+std::uint64_t Value::initial_value() const {
+  return std::visit(
+      [](const auto& v) -> std::uint64_t {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, Constant>) {
+          return v.value;
+        } else if constexpr (std::is_same_v<T, ValueArray>) {
+          return v.values.empty() ? 0 : v.values.front();
+        } else if constexpr (std::is_same_v<T, RangeArray>) {
+          return v.start;
+        } else {
+          return 0;
+        }
+      },
+      v_);
+}
+
+bool Value::enumerate(std::vector<std::uint64_t>& out, std::size_t limit) const {
+  return std::visit(
+      [&out, limit](const auto& v) -> bool {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, Constant>) {
+          out.push_back(v.value);
+          return true;
+        } else if constexpr (std::is_same_v<T, ValueArray>) {
+          if (v.values.size() > limit) return false;
+          out.insert(out.end(), v.values.begin(), v.values.end());
+          return true;
+        } else if constexpr (std::is_same_v<T, RangeArray>) {
+          if (v.size() > limit) return false;
+          for (std::uint64_t x = v.start;; x += v.step) {
+            out.push_back(x);
+            if (v.step == 0 || x + v.step > v.end) break;
+          }
+          return true;
+        } else {
+          // Random values land exactly on the inverse-transform bucket
+          // values — the on-wire support is enumerable.
+          const auto itt = build_itt(v);
+          std::set<std::uint64_t> support;
+          for (const auto& b : itt.buckets()) support.insert(b.value);
+          if (support.size() > limit) return false;
+          out.insert(out.end(), support.begin(), support.end());
+          return true;
+        }
+      },
+      v_);
+}
+
+std::string Value::to_string() const {
+  return std::visit(
+      [](const auto& v) -> std::string {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, Constant>) {
+          return std::to_string(v.value);
+        } else if constexpr (std::is_same_v<T, ValueArray>) {
+          std::string s = "[";
+          for (std::size_t i = 0; i < v.values.size() && i < 4; ++i) {
+            if (i) s += ", ";
+            s += std::to_string(v.values[i]);
+          }
+          if (v.values.size() > 4) s += ", ...";
+          return s + "]";
+        } else if constexpr (std::is_same_v<T, RangeArray>) {
+          return "range(" + std::to_string(v.start) + ", " + std::to_string(v.end) + ", " +
+                 std::to_string(v.step) + ")";
+        } else {
+          const char* names[] = {"uniform", "normal", "exponential"};
+          return std::string("random(") + names[static_cast<int>(v.dist)] + ", " +
+                 std::to_string(v.p1) + ", " + std::to_string(v.p2) + ")";
+        }
+      },
+      v_);
+}
+
+}  // namespace ht::ntapi

@@ -1,0 +1,97 @@
+// NTAPI value types (Table 2): constant, array, range array, random array.
+//
+// A `set` primitive assigns one of these to a field. Constants are burned
+// into the template packet by the switch CPU; the other three compile to
+// editor programs in the egress pipeline (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+namespace ht::ntapi {
+
+struct Constant {
+  std::uint64_t value = 0;
+};
+
+struct ValueArray {
+  std::vector<std::uint64_t> values;
+};
+
+/// range(start, end, step): an inclusive arithmetic progression.
+struct RangeArray {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  std::uint64_t step = 1;
+  std::uint64_t size() const { return step == 0 ? 0 : (end - start) / step + 1; }
+};
+
+/// random(ALG, P, n): values drawn from a distribution, realized on the
+/// data plane via inverse-transform tables.
+struct RandomArray {
+  enum class Dist { kUniform, kNormal, kExponential };
+  Dist dist = Dist::kUniform;
+  double p1 = 0;  ///< uniform: lo / normal: mean / exponential: mean
+  double p2 = 0;  ///< uniform: hi / normal: stddev / exponential: unused
+  unsigned rng_bits = 16;
+  std::size_t buckets = 256;
+};
+
+class Value {
+ public:
+  Value() : v_(Constant{}) {}
+  Value(Constant c) : v_(c) {}
+  Value(ValueArray a) : v_(std::move(a)) {}
+  Value(RangeArray r) : v_(r) {}
+  Value(RandomArray r) : v_(r) {}
+  /// Implicit from integers: `set(f, 80)` reads like the paper's examples.
+  template <typename T>
+    requires std::is_integral_v<T>
+  Value(T c) : v_(Constant{static_cast<std::uint64_t>(c)}) {}
+
+  static Value constant(std::uint64_t v) { return Value(Constant{v}); }
+  static Value array(std::vector<std::uint64_t> vs) { return Value(ValueArray{std::move(vs)}); }
+  static Value range(std::uint64_t start, std::uint64_t end, std::uint64_t step = 1) {
+    return Value(RangeArray{start, end, step});
+  }
+  static Value random_uniform(std::uint64_t lo, std::uint64_t hi) {
+    return Value(RandomArray{RandomArray::Dist::kUniform, static_cast<double>(lo),
+                             static_cast<double>(hi), 16, 256});
+  }
+  static Value random_normal(double mean, double stddev) {
+    return Value(RandomArray{RandomArray::Dist::kNormal, mean, stddev, 16, 256});
+  }
+  static Value random_exponential(double mean) {
+    return Value(RandomArray{RandomArray::Dist::kExponential, mean, 0, 16, 256});
+  }
+
+  bool is_constant() const { return std::holds_alternative<Constant>(v_); }
+  bool is_random() const { return std::holds_alternative<RandomArray>(v_); }
+  const std::variant<Constant, ValueArray, RangeArray, RandomArray>& get() const { return v_; }
+
+  /// Number of elements in the packet stream this value defines (1 for
+  /// constants; random arrays count as 1 — each packet draws fresh).
+  std::uint64_t stream_length() const;
+
+  /// Smallest and largest value this source can emit.
+  std::uint64_t min_value() const;
+  std::uint64_t max_value() const;
+
+  /// The initial value placed into the template packet by the switch CPU.
+  std::uint64_t initial_value() const;
+
+  /// Enumerate the value support, capped at `limit` entries. Random arrays
+  /// enumerate their inverse-transform bucket values (the exact on-wire
+  /// support). Returns false when the support exceeds `limit`.
+  bool enumerate(std::vector<std::uint64_t>& out, std::size_t limit) const;
+
+  std::string to_string() const;
+
+ private:
+  std::variant<Constant, ValueArray, RangeArray, RandomArray> v_;
+};
+
+}  // namespace ht::ntapi

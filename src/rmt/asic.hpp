@@ -1,0 +1,124 @@
+// SwitchAsic: the full switching-ASIC model.
+//
+// One instance is one Tofino-class device: front-panel ports, a
+// programmable parser, ingress and egress match-action pipelines, a
+// traffic manager with multicast engine, recirculation channels, a digest
+// engine toward the switch CPU, register state, and resource accounting.
+//
+// Packet life cycle (all latencies from TimingModel):
+//   port RX -> parse -> ingress pipeline -> [ingress_latency] ->
+//   traffic manager (drop | unicast | mcast replicate) -> [tm delay] ->
+//   parse -> egress pipeline -> deparse+checksums -> [egress_latency] ->
+//   port TX | recirculation loop | CPU punt
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "rmt/digest.hpp"
+#include "rmt/hashing.hpp"
+#include "rmt/mcast.hpp"
+#include "rmt/parser.hpp"
+#include "rmt/pipeline.hpp"
+#include "rmt/registers.hpp"
+#include "rmt/resources.hpp"
+#include "rmt/timing.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/port.hpp"
+#include "sim/random.hpp"
+
+namespace ht::rmt {
+
+struct AsicConfig {
+  std::size_t num_ports = 32;
+  double port_rate_gbps = 100.0;
+  std::size_t num_recirc_channels = 1;
+  int max_stages = 12;
+  TimingModel timing;
+  std::uint64_t seed = 1;
+  DigestEngine::Config digest;
+};
+
+class SwitchAsic {
+ public:
+  /// Port-id space: front-panel ports are [0, num_ports); recirculation
+  /// channels and the CPU port live high in the id space.
+  static constexpr std::uint16_t kRecircPortBase = 0xF000;
+  static constexpr std::uint16_t kCpuPort = 0xFFF0;
+
+  SwitchAsic(sim::EventQueue& ev, AsicConfig cfg);
+
+  // --- ports ---------------------------------------------------------------
+  sim::Port& port(std::uint16_t i);
+  std::size_t port_count() const { return ports_.size(); }
+  bool is_recirc_port(std::uint16_t p) const {
+    return p >= kRecircPortBase && p < kRecircPortBase + recirc_.size();
+  }
+
+  // --- programmable blocks ---------------------------------------------------
+  void set_parser(Parser p) { parser_ = std::move(p); }
+  const Parser& parser() const { return parser_; }
+  Pipeline& ingress() { return ingress_; }
+  Pipeline& egress() { return egress_; }
+  RegisterFile& registers() { return registers_; }
+  DigestEngine& digests() { return digests_; }
+  McastGroupTable& mcast() { return mcast_; }
+  ResourceAccountant& resources() { return resources_; }
+  sim::Rng& rng() { return rng_; }
+  sim::EventQueue& events() { return ev_; }
+  const TimingModel& timing() const { return cfg_.timing; }
+  const AsicConfig& config() const { return cfg_; }
+
+  /// Switch-CPU packet injection (template packets arrive over PCIe).
+  void inject_from_cpu(net::PacketPtr pkt);
+  /// Handler for packets the pipeline directs to the CPU port.
+  void set_cpu_punt(std::function<void(net::PacketPtr)> fn) { cpu_punt_ = std::move(fn); }
+
+  /// Drain all state installed by a previous task (pipelines, groups).
+  void reset_program();
+
+  // --- counters --------------------------------------------------------------
+  std::uint64_t ingress_packets() const { return ingress_packets_; }
+  std::uint64_t egress_packets() const { return egress_packets_; }
+  std::uint64_t dropped_packets() const { return dropped_; }
+  std::uint64_t recirculations() const { return recirculations_; }
+  std::uint64_t replicas_created() const { return replicas_; }
+
+ private:
+  void enter_ingress(net::PacketPtr pkt);
+  void run_ingress(net::PacketPtr pkt);
+  void to_traffic_manager(net::PacketPtr pkt, IntrinsicMeta im);
+  void run_egress(net::PacketPtr pkt, std::uint16_t eport, std::uint16_t rid);
+  void emit(net::PacketPtr pkt, std::uint16_t eport);
+  ActionContext make_ctx(Phv& phv);
+
+  struct RecircChannel {
+    double busy_until = 0.0;
+    std::uint64_t loops = 0;
+  };
+
+  sim::EventQueue& ev_;
+  AsicConfig cfg_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<sim::Port>> ports_;
+  std::vector<RecircChannel> recirc_;
+  Parser parser_;
+  Pipeline ingress_;
+  Pipeline egress_;
+  RegisterFile registers_;
+  DigestEngine digests_;
+  McastGroupTable mcast_;
+  ResourceAccountant resources_;
+  std::function<void(net::PacketPtr)> cpu_punt_;
+
+  std::uint64_t ingress_packets_ = 0;
+  std::uint64_t egress_packets_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t recirculations_ = 0;
+  std::uint64_t replicas_ = 0;
+};
+
+}  // namespace ht::rmt

@@ -1,0 +1,37 @@
+#include "rmt/digest.hpp"
+
+#include <cmath>
+
+namespace ht::rmt {
+
+DigestEngine::DigestEngine(sim::EventQueue& ev) : DigestEngine(ev, Config{}) {}
+
+void DigestEngine::emit(DigestMessage msg) {
+  ++emitted_;
+  if (queue_.size() >= cfg_.queue_capacity) {
+    ++dropped_;
+    return;
+  }
+  msg.asic_time_ns = ev_.now();
+  queue_.push_back(std::move(msg));
+  if (!busy_) pump();
+}
+
+void DigestEngine::pump() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  DigestMessage msg = std::move(queue_.front());
+  queue_.pop_front();
+  const auto delay = static_cast<sim::TimeNs>(std::llround(service_ns(msg.byte_size)));
+  ev_.schedule_in(delay, [this, msg = std::move(msg)]() {
+    ++delivered_;
+    delivered_bytes_ += msg.byte_size;
+    if (receiver_) receiver_(msg);
+    pump();
+  });
+}
+
+}  // namespace ht::rmt

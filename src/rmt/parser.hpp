@@ -1,0 +1,66 @@
+// Programmable parser: a parse graph in the P4 sense.
+//
+// Each state optionally extracts one header (all of its registry fields)
+// and then selects the next state on a field value. The default graph
+// parses the canonical Ethernet/IPv4/{TCP,UDP,ICMP} stack, but tasks that
+// test new protocols can install their own graph — the "protocol
+// independence" the paper leans on (§2.3 "Testing new protocols").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fields.hpp"
+#include "net/packet.hpp"
+#include "rmt/phv.hpp"
+
+namespace ht::rmt {
+
+struct ParseState {
+  std::string name;
+  std::optional<net::HeaderKind> extract;  ///< header pulled off the wire here
+  std::optional<net::FieldId> select;      ///< field steering the transition
+  std::vector<std::pair<std::uint64_t, std::string>> transitions;
+  std::string default_next;  ///< empty = accept
+};
+
+class Parser {
+ public:
+  /// The canonical Eth/IPv4/{TCP,UDP,ICMP} graph.
+  static Parser default_graph();
+
+  void add_state(ParseState state);
+  void set_entry(std::string name) { entry_ = std::move(name); }
+
+  /// Parse a packet into a fresh PHV. Packets too short for a header stop
+  /// parsing at that header (headers parsed so far stay valid), mirroring
+  /// a hardware parser that runs out of bytes.
+  Phv parse(net::PacketPtr pkt) const;
+
+  /// Write all valid headers of `phv` back into its raw packet.
+  static void deparse(Phv& phv);
+
+  std::size_t state_count() const { return states_.size(); }
+
+ private:
+  /// Resolve state names to indices once; parse() then runs index-only.
+  void finalize() const;
+
+  struct CompiledState {
+    std::optional<net::HeaderKind> extract;
+    std::optional<net::FieldId> select;
+    std::vector<std::pair<std::uint64_t, int>> transitions;  ///< -1 = accept
+    int default_next = -1;
+  };
+
+  std::unordered_map<std::string, ParseState> states_;
+  std::string entry_;
+  mutable std::vector<CompiledState> compiled_;
+  mutable int compiled_entry_ = -1;
+  mutable bool dirty_ = true;
+};
+
+}  // namespace ht::rmt

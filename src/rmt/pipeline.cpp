@@ -1,0 +1,59 @@
+#include "rmt/pipeline.hpp"
+
+namespace ht::rmt {
+
+MatchActionTable& Pipeline::add_table(std::unique_ptr<MatchActionTable> table, GatewayFn gate) {
+  nodes_.push_back(PipelineNode{std::move(table), std::move(gate), -1});
+  return *nodes_.back().table;
+}
+
+MatchActionTable& Pipeline::add_table(std::string table_name, std::vector<MatchSpec> key,
+                                      std::size_t size_hint, GatewayFn gate) {
+  return add_table(
+      std::make_unique<MatchActionTable>(std::move(table_name), std::move(key), size_hint),
+      std::move(gate));
+}
+
+MatchActionTable* Pipeline::find_table(const std::string& table_name) {
+  for (auto& node : nodes_) {
+    if (node.table->name() == table_name) return node.table.get();
+  }
+  return nullptr;
+}
+
+void Pipeline::apply(ActionContext& ctx) {
+  for (auto& node : nodes_) {
+    if (node.gate && !node.gate(ctx.phv)) continue;
+    node.table->apply(ctx);
+  }
+}
+
+bool Pipeline::place() {
+  // Sequential dependence: every table may read what the previous wrote, so
+  // the conservative placement is one stage per table.
+  int stage = 0;
+  for (auto& node : nodes_) {
+    if (stage >= max_stages_) return false;
+    node.stage = stage++;
+  }
+  return true;
+}
+
+int Pipeline::stages_used() const {
+  int used = 0;
+  for (const auto& node : nodes_) {
+    if (node.stage >= used) used = node.stage + 1;
+  }
+  return used;
+}
+
+ResourceUsage Pipeline::estimate_resources() const {
+  ResourceUsage u;
+  for (const auto& node : nodes_) {
+    u += node.table->estimate_resources();
+    if (node.gate) u.gateway += 1.0;
+  }
+  return u;
+}
+
+}  // namespace ht::rmt

@@ -1,0 +1,62 @@
+// Pipeline: an ordered program of gateway-guarded match-action tables,
+// placed onto physical stages for resource/feasibility accounting.
+//
+// Execution is sequential (the RMT model executes one table per stage per
+// packet; our logical tables are assigned to stages first-fit). A gateway
+// is a predicate on the PHV — the hardware's condition resources.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rmt/table.hpp"
+
+namespace ht::rmt {
+
+using GatewayFn = std::function<bool(const Phv&)>;
+
+struct PipelineNode {
+  std::unique_ptr<MatchActionTable> table;
+  GatewayFn gate;  ///< table runs only when null or true
+  int stage = -1;  ///< physical stage assigned by place()
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(std::string name, int max_stages = 12) : name_(std::move(name)),
+                                                             max_stages_(max_stages) {}
+
+  /// Append a table; returns a stable reference for entry installation.
+  MatchActionTable& add_table(std::unique_ptr<MatchActionTable> table, GatewayFn gate = nullptr);
+  MatchActionTable& add_table(std::string table_name, std::vector<MatchSpec> key,
+                              std::size_t size_hint = 1024, GatewayFn gate = nullptr);
+
+  MatchActionTable* find_table(const std::string& table_name);
+
+  /// Run every (gated) table in order over the PHV.
+  void apply(ActionContext& ctx);
+
+  /// Assign logical tables to physical stages (each table gets its own
+  /// stage; dependent chains longer than max_stages are infeasible).
+  /// Returns false when the program does not fit — the compiler surfaces
+  /// this as a task rejection (§6.1 "errors in network testing tasks").
+  bool place();
+  int stages_used() const;
+  int max_stages() const { return max_stages_; }
+
+  std::size_t table_count() const { return nodes_.size(); }
+  const std::string& name() const { return name_; }
+
+  ResourceUsage estimate_resources() const;
+
+  void clear() { nodes_.clear(); }
+
+ private:
+  std::string name_;
+  int max_stages_;
+  std::vector<PipelineNode> nodes_;
+};
+
+}  // namespace ht::rmt

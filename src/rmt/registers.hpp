@@ -1,0 +1,92 @@
+// Register arrays and stateful ALUs.
+//
+// P4 registers are the only mutable per-packet state in the ASIC. A
+// stateful ALU performs one atomic read-modify-write on one cell per packet
+// — the constraint that shapes the FIFO (§6.1) and cuckoo (§5.2) designs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ht::rmt {
+
+class RegisterArray {
+ public:
+  RegisterArray(std::string name, std::size_t size, unsigned bit_width = 32)
+      : name_(std::move(name)), bit_width_(bit_width), cells_(size, 0) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return cells_.size(); }
+  unsigned bit_width() const { return bit_width_; }
+
+  std::uint64_t read(std::size_t i) const {
+    check(i);
+    return cells_[i];
+  }
+  void write(std::size_t i, std::uint64_t v) {
+    check(i);
+    cells_[i] = mask(v);
+  }
+
+  /// Atomic stateful-ALU execution: `salu` sees the cell by reference and
+  /// returns the value forwarded to the PHV. One cell per invocation —
+  /// exactly the hardware contract.
+  std::uint64_t execute(std::size_t i, const std::function<std::uint64_t(std::uint64_t&)>& salu) {
+    check(i);
+    std::uint64_t cell = cells_[i];
+    const std::uint64_t out = salu(cell);
+    cells_[i] = mask(cell);
+    ++salu_executions_;
+    return out;
+  }
+
+  void fill(std::uint64_t v) {
+    for (auto& c : cells_) c = mask(v);
+  }
+
+  std::uint64_t salu_executions() const { return salu_executions_; }
+
+ private:
+  void check(std::size_t i) const {
+    if (i >= cells_.size()) {
+      throw std::out_of_range("RegisterArray " + name_ + ": index " + std::to_string(i));
+    }
+  }
+  std::uint64_t mask(std::uint64_t v) const {
+    return bit_width_ >= 64 ? v : (v & ((std::uint64_t{1} << bit_width_) - 1));
+  }
+
+  std::string name_;
+  unsigned bit_width_;
+  std::vector<std::uint64_t> cells_;
+  std::uint64_t salu_executions_ = 0;
+};
+
+/// Owns every register array declared by a program; handed to actions via
+/// the ActionContext.
+class RegisterFile {
+ public:
+  RegisterArray& create(const std::string& name, std::size_t size, unsigned bit_width = 32) {
+    const auto [it, inserted] =
+        arrays_.try_emplace(name, std::make_unique<RegisterArray>(name, size, bit_width));
+    if (!inserted) throw std::invalid_argument("register already exists: " + name);
+    return *it->second;
+  }
+  RegisterArray& get(const std::string& name) {
+    const auto it = arrays_.find(name);
+    if (it == arrays_.end()) throw std::out_of_range("no such register: " + name);
+    return *it->second;
+  }
+  bool contains(const std::string& name) const { return arrays_.count(name) != 0; }
+  std::size_t count() const { return arrays_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<RegisterArray>> arrays_;
+};
+
+}  // namespace ht::rmt

@@ -1,0 +1,51 @@
+#include "rmt/resources.hpp"
+
+namespace ht::rmt {
+
+ResourceUsage switch_p4_baseline() {
+  // Absolute totals for switch.p4 on a 12-stage Tofino pipe. These are the
+  // denominators of Table 7; the paper only publishes the ratios, so the
+  // absolute scale is an estimate consistent with public Tofino numbers
+  // (e.g. P4FPGA / dRMT papers report switch.p4 using roughly half of most
+  // resource classes of a 12-stage pipe).
+  ResourceUsage u;
+  u.match_crossbar_bits = 12 * 8 * 80.0;  // 12 stages x 8 crossbars x 80 bits
+  u.sram_kb = 12 * 60 * 16.0;             // 60% of 80 blocks x 16KB per stage
+  u.tcam_kb = 12 * 12 * 5.5;              // 12 of 24 TCAM blocks per stage
+  u.vliw_slots = 12 * 24.0;
+  u.hash_bits = 12 * 2 * 52.0;
+  u.salu = 18.0;  // switch.p4 is mostly stateless: few SALUs
+  u.gateway = 12 * 7.0;
+  return u;
+}
+
+NormalizedUsage normalize(const ResourceUsage& u) {
+  const ResourceUsage base = switch_p4_baseline();
+  NormalizedUsage n;
+  const auto pct = [](double x, double b) { return b > 0 ? 100.0 * x / b : 0.0; };
+  n.match_crossbar_pct = pct(u.match_crossbar_bits, base.match_crossbar_bits);
+  n.sram_pct = pct(u.sram_kb, base.sram_kb);
+  n.tcam_pct = pct(u.tcam_kb, base.tcam_kb);
+  n.vliw_pct = pct(u.vliw_slots, base.vliw_slots);
+  n.hash_bits_pct = pct(u.hash_bits, base.hash_bits);
+  n.salu_pct = pct(u.salu, base.salu);
+  n.gateway_pct = pct(u.gateway, base.gateway);
+  return n;
+}
+
+void ResourceAccountant::add(const std::string& component, const ResourceUsage& usage) {
+  components_[component] += usage;
+}
+
+ResourceUsage ResourceAccountant::component(const std::string& name) const {
+  const auto it = components_.find(name);
+  return it == components_.end() ? ResourceUsage{} : it->second;
+}
+
+ResourceUsage ResourceAccountant::total() const {
+  ResourceUsage t;
+  for (const auto& [_, u] : components_) t += u;
+  return t;
+}
+
+}  // namespace ht::rmt

@@ -1,0 +1,65 @@
+// Resource accounting for Table 7.
+//
+// Tofino reports per-program usage of seven resource classes; the paper
+// normalizes each component's usage by switch.p4's. We track absolute
+// units per named component; the normalization constants for switch.p4
+// are estimates consistent with published figures for that program.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ht::rmt {
+
+/// Absolute resource units consumed by a component.
+struct ResourceUsage {
+  double match_crossbar_bits = 0;  ///< match key bits fed to the crossbar
+  double sram_kb = 0;              ///< SRAM for exact tables, registers
+  double tcam_kb = 0;              ///< TCAM for ternary/range tables
+  double vliw_slots = 0;           ///< action instruction slots
+  double hash_bits = 0;            ///< hash-generator output bits
+  double salu = 0;                 ///< stateful ALUs
+  double gateway = 0;              ///< gateway (condition) resources
+
+  ResourceUsage& operator+=(const ResourceUsage& o) {
+    match_crossbar_bits += o.match_crossbar_bits;
+    sram_kb += o.sram_kb;
+    tcam_kb += o.tcam_kb;
+    vliw_slots += o.vliw_slots;
+    hash_bits += o.hash_bits;
+    salu += o.salu;
+    gateway += o.gateway;
+    return *this;
+  }
+};
+
+/// switch.p4 baseline usage (absolute units) used as the normalization
+/// denominator in Table 7.
+ResourceUsage switch_p4_baseline();
+
+/// Usage expressed as a percentage of switch.p4, per class.
+struct NormalizedUsage {
+  double match_crossbar_pct = 0;
+  double sram_pct = 0;
+  double tcam_pct = 0;
+  double vliw_pct = 0;
+  double hash_bits_pct = 0;
+  double salu_pct = 0;
+  double gateway_pct = 0;
+};
+
+NormalizedUsage normalize(const ResourceUsage& u);
+
+class ResourceAccountant {
+ public:
+  void add(const std::string& component, const ResourceUsage& usage);
+  ResourceUsage component(const std::string& name) const;
+  ResourceUsage total() const;
+  const std::map<std::string, ResourceUsage>& components() const { return components_; }
+
+ private:
+  std::map<std::string, ResourceUsage> components_;
+};
+
+}  // namespace ht::rmt

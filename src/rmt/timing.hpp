@@ -1,0 +1,95 @@
+// ASIC timing model, calibrated to the paper's micro-benchmarks.
+//
+// Absolute values are taken from §7.3 of the paper so the reproduced
+// figures land on the same numbers:
+//  - Fig 14a: a 64-byte template packet completes a recirculation loop in
+//    ~570ns with RMSE < 5ns; RTT grows with packet size.
+//  - Fig 14b: accelerator capacity = RTT / min arrival interval; the
+//    minimal arrival interval for 64B at 100G recirculation is 6.4ns
+//    (i.e. 16B of internal per-packet overhead), giving 89 packets.
+//  - Fig 15a: the mcast engine delays 64B replicas by ~389ns, rising by
+//    ~65ns at 1280B, with RMSE < 4.5ns.
+//  - Fig 15b: mcast delay is independent of port count and speed.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace ht::rmt {
+
+struct TimingModel {
+  // Pipeline traversal latencies (ns). These split the recirculation RTT;
+  // only their sum is observable.
+  double ingress_latency_ns = 150.0;
+  double egress_latency_ns = 150.0;
+  double tm_unicast_latency_ns = 80.0;
+
+  // Recirculation path: internal 100G loop with 16B per-packet overhead
+  // (6.4ns min arrival interval for 64B) plus a fixed MAC turnaround.
+  double recirc_rate_gbps = 100.0;
+  double recirc_overhead_bytes = 16.0;
+  double recirc_fixed_ns = 183.6;  ///< tuned so 64B RTT ≈ 570ns
+  double recirc_jitter_sigma_ns = 3.5;
+
+  // Multicast engine (Fig 15): base + linear growth with packet size.
+  double mcast_base_ns = 389.0;
+  double mcast_per_byte_ns = 65.0 / (1280.0 - 64.0);
+  double mcast_jitter_sigma_ns = 3.2;
+
+  // PCIe hop between switch CPU and ASIC (template injection, §5.1).
+  double pcie_injection_ns = 2'000.0;
+
+  /// Serialization time on the internal recirculation loop.
+  double recirc_serialization_ns(std::size_t bytes) const {
+    return (static_cast<double>(bytes) + recirc_overhead_bytes) * 8.0 / recirc_rate_gbps;
+  }
+
+  /// Full recirculation RTT (ingress + TM + egress + loop) without jitter.
+  double recirc_rtt_ns(std::size_t bytes) const {
+    return ingress_latency_ns + tm_unicast_latency_ns + egress_latency_ns +
+           recirc_serialization_ns(bytes) + recirc_fixed_ns;
+  }
+
+  /// Minimum arrival interval between recirculating template packets —
+  /// the granularity of the replicator's rate-control timer (§5.1).
+  double min_arrival_interval_ns(std::size_t bytes) const {
+    return recirc_serialization_ns(bytes);
+  }
+
+  /// Accelerator capacity: how many templates of `bytes` fit in the
+  /// recirculation wire (the Fig 14b definition: RTT / min interval).
+  std::uint64_t accelerator_capacity(std::size_t bytes) const {
+    return static_cast<std::uint64_t>(recirc_rtt_ns(bytes) / min_arrival_interval_ns(bytes));
+  }
+
+  /// Loop RTT when the template fires (multicast path instead of the TM
+  /// unicast path).
+  double firing_rtt_ns(std::size_t bytes) const {
+    return ingress_latency_ns + mcast_delay_ns(bytes) + egress_latency_ns +
+           recirc_serialization_ns(bytes) + recirc_fixed_ns;
+  }
+
+  /// How many copies keep the recirculation channel backlogged even when
+  /// every arrival fires — in hardware the extra copies live inside the
+  /// pipelined mcast engine; our event model must hold them explicitly so
+  /// template arrivals stay back-to-back (6.4ns for 64B).
+  std::uint64_t loop_fill_target(std::size_t bytes) const {
+    return static_cast<std::uint64_t>(firing_rtt_ns(bytes) / min_arrival_interval_ns(bytes)) + 2;
+  }
+
+  /// Mcast engine delay (without jitter) for a replica of `bytes`.
+  double mcast_delay_ns(std::size_t bytes) const {
+    const double extra = bytes > 64 ? static_cast<double>(bytes - 64) : 0.0;
+    return mcast_base_ns + extra * mcast_per_byte_ns;
+  }
+
+  /// Draw a jittered delay, truncated at zero.
+  static double jittered(sim::Rng& rng, double mean, double sigma) {
+    const double v = rng.gaussian(mean, sigma);
+    return v > 0.0 ? v : 0.0;
+  }
+};
+
+}  // namespace ht::rmt

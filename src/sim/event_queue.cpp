@@ -1,0 +1,41 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace ht::sim {
+
+void EventQueue::schedule_at(TimeNs at, Handler fn) {
+  if (at < now_) at = now_;
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; the closure must be moved out, so we
+  // const_cast the node we are about to pop. This is the standard idiom for
+  // move-only payloads in a priority_queue.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t EventQueue::run_until(TimeNs deadline) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.top().at <= deadline) {
+    step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+std::uint64_t EventQueue::run_all() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+}  // namespace ht::sim

@@ -1,0 +1,60 @@
+// Discrete-event engine.
+//
+// A single-threaded priority queue of (time, sequence, closure). Sequence
+// numbers make ordering of same-timestamp events deterministic (FIFO), which
+// keeps every experiment reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ht::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  TimeNs now() const { return now_; }
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+  /// Schedule `fn` at absolute time `at` (>= now; earlier times are clamped
+  /// to now so causality is never violated).
+  void schedule_at(TimeNs at, Handler fn);
+  /// Schedule `fn` `delay` ns from now.
+  void schedule_in(TimeNs delay, Handler fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Run events until the queue is empty or the next event is after
+  /// `deadline`; the clock ends at min(deadline, last-event time is not
+  /// advanced past deadline). Returns the number of events executed.
+  std::uint64_t run_until(TimeNs deadline);
+  /// Run everything (use with care: self-rescheduling components never
+  /// drain; prefer run_until).
+  std::uint64_t run_all();
+  /// Execute exactly one event if any is pending; returns false when empty.
+  bool step();
+
+ private:
+  struct Event {
+    TimeNs at;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ht::sim

@@ -1,0 +1,51 @@
+#include "sim/port.hpp"
+
+namespace ht::sim {
+
+void Port::send(net::PacketPtr pkt) {
+  if (peer_ == nullptr) {
+    ++dropped_no_peer_;
+    return;
+  }
+  if (tx_in_flight_ >= tx_queue_capacity_) {
+    ++dropped_queue_full_;
+    return;
+  }
+  const double now = static_cast<double>(ev_.now());
+  const double start = std::max(now, busy_until_);
+  const double tx_time = serialization_ns(pkt->line_size(), rate_gbps_);
+  busy_until_ = start + tx_time;
+
+  ++tx_packets_;
+  tx_bytes_ += pkt->size();
+  tx_line_bytes_ += pkt->line_size();
+  ++tx_in_flight_;
+
+  const TimeNs start_ns = static_cast<TimeNs>(std::llround(start));
+  if (on_transmit) on_transmit(*pkt, start_ns);
+
+  // The last bit leaves at busy_until_; arrival is propagation later.
+  const TimeNs arrive = static_cast<TimeNs>(std::llround(busy_until_)) + propagation_ns_;
+  Port* peer = peer_;
+  const std::uint64_t line_bytes = pkt->line_size();
+  ev_.schedule_at(arrive, [this, peer, line_bytes, pkt = std::move(pkt)]() mutable {
+    --tx_in_flight_;
+    tx_completed_line_bytes_ += line_bytes;
+    peer->deliver(std::move(pkt));
+  });
+}
+
+void Port::deliver(net::PacketPtr pkt) {
+  ++rx_packets_;
+  rx_bytes_ += pkt->size();
+  pkt->meta().ingress_port = id_;
+  pkt->meta().ingress_tstamp_ns = ev_.now();  // MAC hardware timestamp
+  if (on_receive) on_receive(std::move(pkt));
+}
+
+double Port::tx_line_rate_gbps() const {
+  if (ev_.now() == 0) return 0.0;
+  return static_cast<double>(tx_completed_line_bytes_) * 8.0 / static_cast<double>(ev_.now());
+}
+
+}  // namespace ht::sim

@@ -1,0 +1,90 @@
+// Port: a full-duplex MAC with serialization-accurate transmission.
+//
+// A Port models one switch/NIC port. Transmission occupies the line for
+// line_size()*8/rate ns per packet (including preamble/FCS/IPG), which is
+// exactly the arithmetic behind every line-rate figure in the paper. The
+// MAC keeps fractional-nanosecond credit so long runs do not accumulate
+// rounding drift, and stamps hardware (MAC) timestamps on receive — the
+// paper's most accurate delay-testing mode (Fig. 18 "HW").
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace ht::sim {
+
+class Port {
+ public:
+  Port(EventQueue& ev, std::uint16_t id, double rate_gbps)
+      : ev_(ev), id_(id), rate_gbps_(rate_gbps) {}
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  std::uint16_t id() const { return id_; }
+  double rate_gbps() const { return rate_gbps_; }
+
+  /// Attach the far end. `peer == this` makes a loopback port (used to
+  /// extend recirculation capacity, §6.1).
+  void connect(Port* peer, TimeNs propagation_ns = 0) {
+    peer_ = peer;
+    propagation_ns_ = propagation_ns;
+  }
+  Port* peer() const { return peer_; }
+
+  /// Queue a packet for transmission. The TX start time respects the
+  /// serialization of everything queued before it. When the egress queue
+  /// is full the packet is tail-dropped, as a real MAC queue would.
+  void send(net::PacketPtr pkt);
+
+  void set_tx_queue_capacity(std::size_t cap) { tx_queue_capacity_ = cap; }
+  std::uint64_t dropped_queue_full() const { return dropped_queue_full_; }
+
+  /// Deliver a packet arriving from the wire (called by the peer's MAC).
+  void deliver(net::PacketPtr pkt);
+
+  /// Owner-device hook: invoked at packet arrival time.
+  std::function<void(net::PacketPtr)> on_receive;
+  /// Observation hook: invoked with (packet, first-bit TX time in ns).
+  std::function<void(const net::Packet&, TimeNs)> on_transmit;
+
+  // --- counters -----------------------------------------------------------
+  std::uint64_t tx_packets() const { return tx_packets_; }
+  std::uint64_t tx_bytes() const { return tx_bytes_; }
+  std::uint64_t rx_packets() const { return rx_packets_; }
+  std::uint64_t rx_bytes() const { return rx_bytes_; }
+  std::uint64_t dropped_no_peer() const { return dropped_no_peer_; }
+  std::size_t tx_queue_depth() const { return tx_in_flight_; }
+
+  /// Achieved TX throughput in Gbps over [0, now], counting full wire size
+  /// (the convention used when a tester claims "line rate").
+  double tx_line_rate_gbps() const;
+
+ private:
+  EventQueue& ev_;
+  std::uint16_t id_;
+  double rate_gbps_;
+  Port* peer_ = nullptr;
+  TimeNs propagation_ns_ = 0;
+
+  double busy_until_ = 0.0;  ///< fractional ns; next TX can start here
+  std::size_t tx_in_flight_ = 0;
+  std::size_t tx_queue_capacity_ = 16384;
+  std::uint64_t dropped_queue_full_ = 0;
+
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t tx_bytes_ = 0;       ///< frame bytes (excl. IPG/preamble)
+  std::uint64_t tx_line_bytes_ = 0;  ///< incl. Ethernet overhead (enqueued)
+  std::uint64_t tx_completed_line_bytes_ = 0;  ///< fully serialized onto the wire
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t rx_bytes_ = 0;
+  std::uint64_t dropped_no_peer_ = 0;
+};
+
+}  // namespace ht::sim

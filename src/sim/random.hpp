@@ -1,0 +1,41 @@
+// Deterministic randomness for the simulation.
+//
+// Every stochastic component (MAC jitter, baseline-tester timing noise,
+// workload generators) draws from an Rng seeded explicitly, so experiments
+// are reproducible and tests can assert exact statistics.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace ht::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedull) : engine_(seed) {}
+
+  std::uint64_t next_u64() { return engine_(); }
+  /// Uniform in [0, bound) — bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound) {
+    return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(engine_);
+  }
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+  double uniform01() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+  double gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ht::sim

@@ -1,0 +1,101 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ht::sim {
+
+void RunningStats::push(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+ErrorMetrics compute_error_metrics(const std::vector<double>& samples, double target) {
+  ErrorMetrics m;
+  m.samples = samples.size();
+  if (samples.empty()) return m;
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  const double mean = sum / static_cast<double>(samples.size());
+  double abs_err = 0.0, abs_dev = 0.0, sq_err = 0.0;
+  for (double x : samples) {
+    abs_err += std::abs(x - target);
+    abs_dev += std::abs(x - mean);
+    sq_err += (x - target) * (x - target);
+  }
+  const double n = static_cast<double>(samples.size());
+  m.mae = abs_err / n;
+  m.mad = abs_dev / n;
+  m.rmse = std::sqrt(sq_err / n);
+  return m;
+}
+
+std::vector<double> inter_departure_times(const std::vector<std::uint64_t>& timestamps_ns) {
+  std::vector<double> deltas;
+  if (timestamps_ns.size() < 2) return deltas;
+  deltas.reserve(timestamps_ns.size() - 1);
+  for (std::size_t i = 1; i < timestamps_ns.size(); ++i) {
+    deltas.push_back(static_cast<double>(timestamps_ns[i]) -
+                     static_cast<double>(timestamps_ns[i - 1]));
+  }
+  return deltas;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), bins_(bins, 0) {
+  if (bins == 0 || hi <= lo) throw std::invalid_argument("Histogram: bad range");
+}
+
+void Histogram::push(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  ++bins_[static_cast<std::size_t>((x - lo_) / width_)];
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double next = cum + static_cast<double>(bins_[i]);
+    if (target <= next && bins_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(bins_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+}  // namespace ht::sim

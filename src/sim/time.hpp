@@ -1,0 +1,25 @@
+// Simulated time: nanoseconds since simulation start.
+#pragma once
+
+#include <cstdint>
+
+namespace ht::sim {
+
+using TimeNs = std::uint64_t;
+
+constexpr TimeNs kMicrosecond = 1'000;
+constexpr TimeNs kMillisecond = 1'000'000;
+constexpr TimeNs kSecond = 1'000'000'000;
+
+constexpr TimeNs us(std::uint64_t n) { return n * kMicrosecond; }
+constexpr TimeNs ms(std::uint64_t n) { return n * kMillisecond; }
+constexpr TimeNs seconds(std::uint64_t n) { return n * kSecond; }
+
+/// Serialization time of `bytes` at `rate_gbps` gigabits per second,
+/// rounded to the nearest nanosecond (sub-ns precision is carried by the
+/// caller where it matters, e.g. the port MAC keeps fractional credit).
+constexpr double serialization_ns(std::size_t bytes, double rate_gbps) {
+  return static_cast<double>(bytes) * 8.0 / rate_gbps;
+}
+
+}  // namespace ht::sim

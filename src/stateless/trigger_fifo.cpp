@@ -1,0 +1,33 @@
+#include "stateless/trigger_fifo.hpp"
+
+#include <stdexcept>
+
+namespace ht::stateless {
+
+TriggerFifo::TriggerFifo(rmt::RegisterFile& rf, const std::string& name,
+                         std::vector<net::FieldId> lanes, std::size_t capacity)
+    : lanes_(std::move(lanes)), fifo_(rf, name, capacity, lanes_.size()) {
+  if (lanes_.empty()) throw std::invalid_argument("TriggerFifo: empty record schema");
+}
+
+std::size_t TriggerFifo::lane_of(net::FieldId field) const {
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i] == field) return i;
+  }
+  throw std::out_of_range("TriggerFifo: field not captured: " +
+                          std::string(net::field_name(field)));
+}
+
+htpr::TriggerExtract TriggerFifo::extract_spec() {
+  return htpr::TriggerExtract{.fifo = &fifo_, .lanes = lanes_};
+}
+
+htps::EditOp TriggerFifo::edit_from(net::FieldId dst_field, net::FieldId src_field,
+                                    std::int64_t offset) const {
+  return htps::EditOp{.field = dst_field,
+                      .kind = htps::EditOp::Kind::kFromTrigger,
+                      .trigger_lane = lane_of(src_field),
+                      .trigger_offset = offset};
+}
+
+}  // namespace ht::stateless

@@ -1,0 +1,49 @@
+// Stateless connections (§5.3, Fig 6).
+//
+// HyperTester stores no connection state: the receiver extracts a *trigger
+// record* from each interesting packet (e.g. a SYN+ACK) and pushes it into
+// a register FIFO; the sender's FIFO-triggered templates pop one record per
+// recirculation loop and emit the response packet, with the editor copying
+// record fields (address/port swaps, seq/ack arithmetic) into the replica.
+//
+// TriggerFifo owns the FIFO plus its record schema, and builds the two
+// halves of the wiring: the HTPR TriggerExtract and the HTPS EditOps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "htpr/receiver.hpp"
+#include "htps/sender.hpp"
+#include "regfifo/register_fifo.hpp"
+
+namespace ht::stateless {
+
+class TriggerFifo {
+ public:
+  /// `lanes` defines the record schema: which packet fields HTPR captures,
+  /// in order. Capacity must be a power of two.
+  TriggerFifo(rmt::RegisterFile& rf, const std::string& name,
+              std::vector<net::FieldId> lanes, std::size_t capacity = 1024);
+
+  regfifo::RegisterFifo& fifo() { return fifo_; }
+  const std::vector<net::FieldId>& lanes() const { return lanes_; }
+
+  /// Index of a captured field within the record; throws if absent.
+  std::size_t lane_of(net::FieldId field) const;
+
+  /// The HTPR side: extraction spec for the monitoring query.
+  htpr::TriggerExtract extract_spec();
+
+  /// The HTPS side: an edit that sets `dst_field` from the captured
+  /// `src_field` plus an offset (e.g. ack_no = seq_no + 1).
+  htps::EditOp edit_from(net::FieldId dst_field, net::FieldId src_field,
+                         std::int64_t offset = 0) const;
+
+ private:
+  std::vector<net::FieldId> lanes_;
+  regfifo::RegisterFifo fifo_;
+};
+
+}  // namespace ht::stateless

@@ -1,0 +1,82 @@
+// Switch CPU: the control plane of the ASIC.
+//
+// The controller plays three roles from the paper:
+//  1. configuration — installing table entries, mcast groups, and register
+//     presets produced by the NTAPI compiler;
+//  2. pull-mode statistic collection — reading data-plane counters over the
+//     control-plane API, either one RPC per counter or batched (Fig 16b);
+//  3. push-mode collection — receiving generate_digest records (Fig 16a)
+//     and folding evicted counter-store entries into CPU DRAM.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rmt/asic.hpp"
+
+namespace ht::switchcpu {
+
+/// Latency model of the control-plane counter API, calibrated to Fig 16b:
+/// batched reads fetch 65536 counters in < 0.2s; one-by-one reads pay a
+/// full RPC each and are an order of magnitude slower.
+struct PullModel {
+  double rpc_ns = 45'000.0;          ///< one synchronous read
+  double batch_setup_ns = 500'000.0; ///< DMA/bulk-read setup
+  double batch_per_entry_ns = 3'000.0;
+
+  double one_by_one_ns(std::size_t n) const { return rpc_ns * static_cast<double>(n); }
+  double batched_ns(std::size_t n) const {
+    return batch_setup_ns + batch_per_entry_ns * static_cast<double>(n);
+  }
+};
+
+class Controller {
+ public:
+  explicit Controller(rmt::SwitchAsic& asic);
+
+  rmt::SwitchAsic& asic() { return asic_; }
+  const PullModel& pull_model() const { return pull_model_; }
+
+  // --- pull mode -----------------------------------------------------------
+  /// Read one counter synchronously (advances no simulated time; the cost
+  /// is returned so callers — and Fig 16b — can account for it).
+  std::uint64_t read_counter(const std::string& reg, std::size_t index);
+
+  /// Read a whole register array. `batched` selects the bulk API. The
+  /// result is delivered through `done` after the modeled latency.
+  void read_counters(const std::string& reg, bool batched,
+                     std::function<void(std::vector<std::uint64_t>)> done);
+
+  // --- push mode -----------------------------------------------------------
+  /// Digest messages, stored per type. Type ids are assigned by the
+  /// compiler; evicted counter-store records are additionally folded into
+  /// `evicted_counters()` keyed by the digest's first value.
+  const std::vector<rmt::DigestMessage>& digests(std::uint32_t type) const;
+  std::uint64_t digest_count() const { return digest_count_; }
+
+  /// CPU-DRAM aggregation of evicted (fingerprint, count) pairs.
+  void set_eviction_digest_type(std::uint32_t type) { eviction_type_ = type; }
+  const std::map<std::uint64_t, std::uint64_t>& evicted_counters() const { return evicted_; }
+
+  /// Extra subscriber for digest types (e.g. the stateless-connection
+  /// monitor queries that report to the CPU).
+  void subscribe(std::uint32_t type, std::function<void(const rmt::DigestMessage&)> fn);
+
+ private:
+  void on_digest(const rmt::DigestMessage& msg);
+
+  rmt::SwitchAsic& asic_;
+  PullModel pull_model_;
+  std::unordered_map<std::uint32_t, std::vector<rmt::DigestMessage>> digests_;
+  std::unordered_map<std::uint32_t, std::vector<std::function<void(const rmt::DigestMessage&)>>>
+      subscribers_;
+  std::map<std::uint64_t, std::uint64_t> evicted_;
+  std::uint32_t eviction_type_ = 0xFFFFFFFF;
+  std::uint64_t digest_count_ = 0;
+};
+
+}  // namespace ht::switchcpu

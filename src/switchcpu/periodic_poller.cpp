@@ -1,0 +1,44 @@
+#include "switchcpu/periodic_poller.hpp"
+
+namespace ht::switchcpu {
+
+PeriodicPoller::PeriodicPoller(Controller& controller, std::string reg, sim::TimeNs period)
+    : controller_(controller), reg_(std::move(reg)), period_(period) {}
+
+void PeriodicPoller::start() {
+  if (running_) return;
+  running_ = true;
+  poll();
+}
+
+void PeriodicPoller::poll() {
+  if (!running_) return;
+  auto& ev = controller_.asic().events();
+  Sample sample;
+  sample.requested_at = ev.now();
+  controller_.read_counters(reg_, /*batched=*/true,
+                            [this, sample](std::vector<std::uint64_t> values) mutable {
+                              sample.delivered_at = controller_.asic().events().now();
+                              sample.values = std::move(values);
+                              samples_.push_back(sample);
+                              if (on_sample) on_sample(samples_.back());
+                            });
+  ev.schedule_in(period_, [this] { poll(); });
+}
+
+std::vector<double> PeriodicPoller::rate_series(std::size_t index) const {
+  std::vector<double> out;
+  if (samples_.size() < 2) return out;
+  out.reserve(samples_.size() - 1);
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const double prev = index < samples_[i - 1].values.size()
+                            ? static_cast<double>(samples_[i - 1].values[index])
+                            : 0.0;
+    const double curr =
+        index < samples_[i].values.size() ? static_cast<double>(samples_[i].values[index]) : 0.0;
+    out.push_back(curr - prev);
+  }
+  return out;
+}
+
+}  // namespace ht::switchcpu

@@ -1,0 +1,55 @@
+// Periodic pull-mode collection (§5.2 "the pull mode").
+//
+// Real deployments sample data-plane counters on a schedule to build time
+// series (throughput over time, per-flow growth). The poller issues one
+// batched read per period through the Controller's latency model and
+// stores the sampled series, so reporting honestly pays the control-plane
+// cost Fig 16b measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "switchcpu/controller.hpp"
+
+namespace ht::switchcpu {
+
+class PeriodicPoller {
+ public:
+  struct Sample {
+    sim::TimeNs requested_at = 0;  ///< when the poll was issued
+    sim::TimeNs delivered_at = 0;  ///< when the values arrived at the CPU
+    std::vector<std::uint64_t> values;
+  };
+
+  /// Polls `reg` every `period` using the batched API. Sampling starts on
+  /// start() and continues until stop() (or forever).
+  PeriodicPoller(Controller& controller, std::string reg, sim::TimeNs period);
+
+  void start();
+  void stop() { running_ = false; }
+  bool running() const { return running_; }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  std::size_t sample_count() const { return samples_.size(); }
+
+  /// Per-period delta of one counter index across consecutive samples —
+  /// e.g. bytes/period for a throughput time series. Empty with <2 samples.
+  std::vector<double> rate_series(std::size_t index) const;
+
+  /// Optional hook invoked as each sample lands.
+  std::function<void(const Sample&)> on_sample;
+
+ private:
+  void poll();
+
+  Controller& controller_;
+  std::string reg_;
+  sim::TimeNs period_;
+  bool running_ = false;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace ht::switchcpu

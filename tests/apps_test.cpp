@@ -1,0 +1,127 @@
+// Tests for the application library: every shipped task compiles, fits the
+// ASIC, and the remaining apps not covered by core_test run end to end.
+#include <gtest/gtest.h>
+
+#include "apps/tasks.hpp"
+#include "core/hypertester.hpp"
+#include "dut/capture.hpp"
+#include "net/headers.hpp"
+#include "net/packet_builder.hpp"
+#include "ntapi/compiler.hpp"
+
+namespace ht::apps {
+namespace {
+
+using net::FieldId;
+
+TEST(Apps, EveryTaskCompilesAndFitsTheAsic) {
+  std::vector<ntapi::Task> tasks;
+  tasks.push_back(throughput_test(1, 2, {0}).task);
+  tasks.push_back(delay_test(1, 2, {0}, {1}).task);
+  tasks.push_back(ip_scan(0x0A000000, 1024, 80, {0}).task);
+  tasks.push_back(syn_flood(1, 80, {0, 1, 2, 3}).task);
+  tasks.push_back(web_test(1, 80, 0x01010001, 64, {0}).task);
+  tasks.push_back(udp_flood(1, 53, {0}).task);
+  tasks.push_back(dns_amplification(1, 0x08080800, 32, {0}).task);
+  tasks.push_back(loss_test(1, 2, {0}, {1}, 1000).task);
+  tasks.push_back(port_bandwidth().task);
+  tasks.push_back(ping_sweep(0x0A000000, 128, {0}).task);
+
+  for (const auto& task : tasks) {
+    SCOPED_TRACE(task.name());
+    // Compile (validation + codegen)…
+    ntapi::Compiler compiler(rmt::AsicConfig{.num_ports = 8});
+    const auto compiled = compiler.compile(task);
+    EXPECT_GT(compiled.p4_loc, compiled.ntapi_loc);
+    // …and install on a fresh switch (stage placement must succeed).
+    TesterConfig cfg;
+    cfg.asic.num_ports = 8;
+    HyperTester tester(cfg);
+    EXPECT_NO_THROW(tester.load(task));
+  }
+}
+
+TEST(Apps, UdpFloodSaturatesWithRandomizedHeaders) {
+  TesterConfig cfg;
+  cfg.asic.num_ports = 2;
+  HyperTester tester(cfg);
+  dut::Capture sink(tester.events(), 100, 100.0);
+  sink.attach(tester.asic().port(1));
+
+  auto app = udp_flood(0x0E0E0E0E, 53, {1}, 512);
+  tester.load(app.task);
+  tester.start();
+  tester.run_for(sim::us(300));
+
+  ASSERT_GT(sink.count(), 50u);
+  std::set<std::uint64_t> sources, sports;
+  for (const auto& p : sink.packets()) {
+    EXPECT_EQ(p->size(), 512u);
+    EXPECT_EQ(net::get_field(*p, FieldId::kUdpDport), 53u);
+    EXPECT_EQ(net::get_field(*p, FieldId::kIpv4Dip), 0x0E0E0E0Eu);
+    sources.insert(net::get_field(*p, FieldId::kIpv4Sip));
+    sports.insert(net::get_field(*p, FieldId::kUdpSport));
+  }
+  // Spoofed headers spread over (nearly all of) the inverse-transform
+  // table's 256 buckets — the on-ASIC RNG's value resolution.
+  EXPECT_GT(sources.size(), 200u);
+  EXPECT_GT(sports.size(), 200u);
+}
+
+TEST(Apps, DnsAmplificationSweepsResolversWithSpoofedVictim) {
+  TesterConfig cfg;
+  cfg.asic.num_ports = 2;
+  HyperTester tester(cfg);
+  dut::Capture resolver_side(tester.events(), 100, 100.0);
+  resolver_side.attach(tester.asic().port(1));
+
+  constexpr std::uint32_t kVictim = 0x0C0C0C0C;
+  constexpr std::uint32_t kResolverBase = 0x08080800;
+  auto app = dns_amplification(kVictim, kResolverBase, 16, {1});
+  tester.load(app.task);
+  tester.start();
+  tester.run_for(sim::us(200));
+
+  ASSERT_GT(resolver_side.count(), 32u);
+  std::set<std::uint64_t> resolvers;
+  for (const auto& p : resolver_side.packets()) {
+    // Every query pretends to come from the victim (reflection).
+    EXPECT_EQ(net::get_field(*p, FieldId::kIpv4Sip), kVictim);
+    EXPECT_EQ(net::get_field(*p, FieldId::kUdpDport), 53u);
+    resolvers.insert(net::get_field(*p, FieldId::kIpv4Dip));
+  }
+  EXPECT_EQ(resolvers.size(), 16u);  // the range cycles over all resolvers
+  // The DNS payload ("ANY ..." bytes) survived template materialization.
+  const auto& pkt = *resolver_side.packets()[0];
+  const auto payload_off = net::min_packet_size(net::HeaderKind::kUdp);
+  EXPECT_EQ(pkt.bytes()[payload_off + 1], 0x01);
+}
+
+TEST(Apps, OversizedTaskIsRejectedByStagePlacement) {
+  // §6.1: tasks needing more physical stages than the ASIC has are
+  // rejected. 16 received-traffic queries exceed a 12-stage ingress.
+  ntapi::Task task("huge");
+  for (int q = 0; q < 16; ++q) {
+    task.add_query(ntapi::Query()
+                       .filter(FieldId::kUdpDport, htpr::Cmp::kEq, 1000 + q)
+                       .map({})
+                       .reduce(ntapi::Reduce::kCount));
+  }
+  TesterConfig cfg;
+  cfg.asic.num_ports = 2;
+  HyperTester tester(cfg);
+  EXPECT_THROW(tester.load(task), std::runtime_error);
+}
+
+TEST(Apps, LocInventoryMatchesTable5Scale) {
+  // Table 5 sanity at the app-library level: single digits to low tens of
+  // NTAPI statements for every shipped application.
+  EXPECT_LE(throughput_test(1, 2, {0}).task.ntapi_loc(), 12u);
+  EXPECT_LE(delay_test(1, 2, {0}, {1}).task.ntapi_loc(), 12u);
+  EXPECT_LE(ip_scan(0x0A000000, 64, 80, {0}).task.ntapi_loc(), 12u);
+  EXPECT_LE(syn_flood(1, 80, {0}).task.ntapi_loc(), 12u);
+  EXPECT_GE(web_test(1, 80, 0x01010001, 16, {0}).task.ntapi_loc(), 30u);  // 6T+5Q
+}
+
+}  // namespace
+}  // namespace ht::apps

@@ -1,0 +1,144 @@
+// Tests for the MoonGen baseline model, Lua inventory, and cost model.
+#include <gtest/gtest.h>
+
+#include "baseline/cost_model.hpp"
+#include "baseline/lua_inventory.hpp"
+#include "baseline/moongen.hpp"
+#include "sim/stats.hpp"
+
+namespace ht::baseline {
+namespace {
+
+TEST(MoonGenModel, EightCoresReachEightyGbps) {
+  // Fig 10b: one core per 10Gbps, 80Gbps with 8 cores (64B packets,
+  // eight 10G ports).
+  const MoonGenModel m;
+  EXPECT_NEAR(m.throughput_gbps(64, 8, 8, 10.0), 80.0, 1.0);
+  EXPECT_NEAR(m.throughput_gbps(64, 1, 8, 10.0), 10.0, 0.6);
+  EXPECT_NEAR(m.throughput_gbps(64, 4, 8, 10.0), 40.0, 2.0);
+}
+
+TEST(MoonGenModel, SingleCoreBelowLineRateForSmallPackets) {
+  // Fig 9b: on a 40G port, one core cannot generate 64B at line rate but
+  // reaches line rate for large packets.
+  const MoonGenModel m;
+  EXPECT_LT(m.throughput_gbps(64, 1, 1, 40.0), 12.0);
+  EXPECT_LT(m.throughput_gbps(64, 1, 1, 40.0), 40.0 * 0.5);
+  EXPECT_NEAR(m.throughput_gbps(1500, 1, 1, 40.0), 40.0, 1.0);
+  // One core's pps bound: throughput grows with size until line rate.
+  EXPECT_GT(m.throughput_gbps(256, 1, 1, 40.0), 2.5 * m.throughput_gbps(64, 1, 1, 40.0));
+}
+
+TEST(MoonGenModel, PortBoundsThroughput) {
+  const MoonGenModel m;
+  EXPECT_LE(m.throughput_gbps(64, 32, 1, 40.0), 40.0 + 1e-9);
+}
+
+TEST(MoonGenGenerator, HwRateControlIsCoarserThanAsic) {
+  // Fig 11's claim, relative form: the NIC-paced generator shows
+  // inter-departure errors an order of magnitude above the ASIC timer's
+  // few-ns precision.
+  sim::EventQueue ev;
+  sim::Port tx(ev, 0, 40.0), rx(ev, 1, 40.0);
+  tx.connect(&rx);
+  rx.connect(&tx);
+  std::vector<std::uint64_t> tx_times;
+  tx.on_transmit = [&](const net::Packet&, sim::TimeNs t) { tx_times.push_back(t); };
+
+  MoonGenGenerator::Config cfg;
+  cfg.target_pps = 1e6;  // 1us interval
+  cfg.rate_control = MoonGenGenerator::RateControl::kHardwareNic;
+  MoonGenGenerator gen(ev, tx, cfg);
+  gen.start();
+  ev.run_until(sim::ms(50));
+  gen.stop();
+
+  ASSERT_GT(tx_times.size(), 10'000u);
+  const auto deltas = sim::inter_departure_times(tx_times);
+  const auto m = sim::compute_error_metrics(deltas, 1'000.0);
+  EXPECT_GT(m.mae, 20.0);    // an order of magnitude above the ASIC's ~2-6ns
+  EXPECT_LT(m.mae, 500.0);   // but still pacing at roughly the right rate
+  EXPECT_GT(m.rmse, 25.0);
+}
+
+TEST(MoonGenGenerator, SoftwarePacingIsBursty) {
+  sim::EventQueue ev;
+  sim::Port tx(ev, 0, 40.0), rx(ev, 1, 40.0);
+  tx.connect(&rx);
+  rx.connect(&tx);
+  std::vector<std::uint64_t> tx_times;
+  tx.on_transmit = [&](const net::Packet&, sim::TimeNs t) { tx_times.push_back(t); };
+
+  MoonGenGenerator::Config cfg;
+  cfg.target_pps = 1e6;
+  cfg.rate_control = MoonGenGenerator::RateControl::kSoftware;
+  MoonGenGenerator gen(ev, tx, cfg);
+  gen.start();
+  ev.run_until(sim::ms(50));
+  gen.stop();
+
+  const auto deltas = sim::inter_departure_times(tx_times);
+  const auto m = sim::compute_error_metrics(deltas, 1'000.0);
+  // Batched bursts: back-to-back packets then long sleeps — huge MAD.
+  EXPECT_GT(m.mad, 500.0);
+}
+
+TEST(MoonGenGenerator, RespectsCoreCap) {
+  sim::EventQueue ev;
+  sim::Port tx(ev, 0, 40.0), rx(ev, 1, 40.0);
+  tx.connect(&rx);
+  rx.connect(&tx);
+  MoonGenGenerator::Config cfg;
+  cfg.target_pps = 100e6;  // far beyond one core
+  cfg.cores = 1;
+  MoonGenGenerator gen(ev, tx, cfg);
+  gen.start();
+  ev.run_until(sim::ms(10));
+  gen.stop();
+  // ~14.88 Mpps cap -> ~148.8K packets in 10ms.
+  EXPECT_LT(gen.emitted(), 180'000u);
+  EXPECT_GT(gen.emitted(), 120'000u);
+}
+
+TEST(MoonGenModel, SwTimestampsInflateDelay) {
+  const MoonGenModel m;
+  sim::Rng rng(1);
+  sim::RunningStats s;
+  for (int i = 0; i < 5000; ++i) {
+    s.push(MoonGenGenerator::sw_timestamped_delay_ns(m, 700.0, rng));
+  }
+  // Fig 18: software timestamping deviates by ~3x on sub-us true delays.
+  EXPECT_GT(s.mean(), 3.0 * 700.0);
+  EXPECT_GT(s.stddev(), 100.0);
+}
+
+TEST(LuaInventory, AppsPresentWithPlausibleSizes) {
+  ASSERT_EQ(lua_apps().size(), 4u);
+  // Table 5's right column: 43 / 71 / 48 / 63 lines. Our recreations of
+  // the scripts should land in the same range.
+  for (const auto& app : lua_apps()) {
+    const auto loc = count_lua_loc(app.source);
+    EXPECT_GE(loc, 35u) << app.name;
+    EXPECT_LE(loc, 90u) << app.name;
+  }
+  EXPECT_NE(find_lua_app("throughput"), nullptr);
+  EXPECT_EQ(find_lua_app("nonexistent"), nullptr);
+}
+
+TEST(LuaInventory, LocCountingRules) {
+  EXPECT_EQ(count_lua_loc("-- comment only\n\n"), 0u);
+  EXPECT_EQ(count_lua_loc("a = 1\n-- c\nb = 2"), 2u);
+}
+
+TEST(CostModel, ReproducesTable6) {
+  const CostModel c;
+  EXPECT_NEAR(c.moongen_cost_per_tbps_usd(), 42'000.0, 1.0);
+  EXPECT_NEAR(c.moongen_power_per_tbps_w(), 7'200.0, 1.0);
+  EXPECT_NEAR(c.saving_usd_per_tbps(), 38'400.0, 1.0);
+  EXPECT_NEAR(c.saving_w_per_tbps(), 7'050.0, 1.0);
+  // §7.4: a 6.5Tbps switch replaces 81 8-core servers.
+  EXPECT_EQ(c.servers_replaced(6.5), 81u);
+}
+
+}  // namespace
+}  // namespace ht::baseline

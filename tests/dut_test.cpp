@@ -1,0 +1,189 @@
+// Tests for the devices under test: forwarder, TCP server, scan targets.
+#include <gtest/gtest.h>
+
+#include "dut/capture.hpp"
+#include "dut/forwarder.hpp"
+#include "dut/scan_targets.hpp"
+#include "dut/tcp_server.hpp"
+#include "net/headers.hpp"
+#include "net/packet_builder.hpp"
+
+namespace ht::dut {
+namespace {
+
+using net::FieldId;
+namespace flag = net::tcpflag;
+
+TEST(Forwarder, ForwardsWithConfiguredDelay) {
+  sim::EventQueue ev;
+  Forwarder fwd(ev, {.num_ports = 2, .forward_delay_ns = 1'000.0});
+  Capture a(ev, 10, 100.0), b(ev, 11, 100.0);
+  a.attach(fwd.port(0));
+  b.attach(fwd.port(1));
+  a.port().send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64)));
+  ev.run_until(sim::us(100));
+  ASSERT_EQ(b.count(), 1u);
+  EXPECT_EQ(fwd.forwarded(), 1u);
+  // serialization (~7ns) + delay 1000 + serialization out (~7ns).
+  EXPECT_NEAR(static_cast<double>(b.arrival_times()[0]), 1014.0, 5.0);
+}
+
+TEST(Forwarder, LossRateIsRespected) {
+  sim::EventQueue ev;
+  Forwarder fwd(ev, {.num_ports = 2, .forward_delay_ns = 10, .loss_rate = 0.5, .seed = 3});
+  Capture a(ev, 10, 100.0), b(ev, 11, 100.0);
+  b.set_count_only(true);
+  a.attach(fwd.port(0));
+  b.attach(fwd.port(1));
+  for (int i = 0; i < 2000; ++i) {
+    a.port().send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64)));
+  }
+  ev.run_until(sim::ms(10));
+  EXPECT_NEAR(static_cast<double>(b.counted()), 1000.0, 80.0);
+  EXPECT_EQ(fwd.forwarded() + fwd.lost(), 2000u);
+}
+
+TEST(Forwarder, CustomRoutes) {
+  sim::EventQueue ev;
+  Forwarder fwd(ev, {.num_ports = 4, .forward_delay_ns = 10});
+  fwd.set_route(0, 3);
+  Capture a(ev, 10, 100.0), d(ev, 13, 100.0);
+  a.attach(fwd.port(0));
+  d.attach(fwd.port(3));
+  a.port().send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64)));
+  ev.run_until(sim::us(10));
+  EXPECT_EQ(d.count(), 1u);
+}
+
+TEST(TcpServer, CompletesHandshakeAndServesPage) {
+  sim::EventQueue ev;
+  TcpServer server(ev, {.listen_port = 80, .page_segments = 3, .segment_bytes = 100});
+  Capture client(ev, 10, 100.0);
+  client.attach(server.port());
+
+  const std::uint32_t c = 0x01010101, s = 0x05050505;
+  client.port().send(
+      std::make_shared<net::Packet>(net::make_tcp_packet(c, s, 1024, 80, flag::kSyn, 10)));
+  ev.run_until(sim::us(50));
+  ASSERT_EQ(client.count(), 1u);
+  const auto& synack = *client.packets()[0];
+  EXPECT_EQ(net::get_field(synack, FieldId::kTcpFlags), flag::kSynAck);
+  EXPECT_EQ(net::get_field(synack, FieldId::kTcpAckNo), 11u);
+  EXPECT_TRUE(net::verify_checksums(synack));
+
+  // Complete the handshake, then request the page.
+  client.port().send(
+      std::make_shared<net::Packet>(net::make_tcp_packet(c, s, 1024, 80, flag::kAck, 11)));
+  ev.run_until(sim::us(100));
+  EXPECT_EQ(server.handshakes_completed(), 1u);
+  client.port().send(std::make_shared<net::Packet>(
+      net::make_tcp_packet(c, s, 1024, 80, flag::kPshAck, 11, 1, 80)));
+  ev.run_until(sim::us(200));
+  EXPECT_EQ(server.requests_served(), 1u);
+  // 3 data segments of 100B payload each arrived.
+  ASSERT_EQ(client.count(), 1u + 3u);
+  EXPECT_EQ(client.packets()[1]->size(), net::min_packet_size(net::HeaderKind::kTcp) + 100);
+
+  // Close.
+  client.port().send(
+      std::make_shared<net::Packet>(net::make_tcp_packet(c, s, 1024, 80, flag::kFin, 12)));
+  ev.run_until(sim::us(300));
+  EXPECT_EQ(server.connections_closed(), 1u);
+  EXPECT_EQ(server.open_connections(), 0u);
+  EXPECT_EQ(net::get_field(*client.packets().back(), FieldId::kTcpFlags), flag::kFinAck);
+}
+
+TEST(TcpServer, IgnoresWrongPortAndUnknownConnections) {
+  sim::EventQueue ev;
+  TcpServer server(ev, {.listen_port = 80});
+  Capture client(ev, 10, 100.0);
+  client.attach(server.port());
+  client.port().send(
+      std::make_shared<net::Packet>(net::make_tcp_packet(1, 2, 1024, 8080, flag::kSyn)));
+  client.port().send(
+      std::make_shared<net::Packet>(net::make_tcp_packet(1, 2, 1024, 80, flag::kAck)));
+  ev.run_until(sim::us(100));
+  EXPECT_EQ(client.count(), 0u);
+  EXPECT_EQ(server.syns_received(), 0u);
+}
+
+TEST(ScanTargets, LivenessIsDeterministicAndFractional) {
+  sim::EventQueue ev;
+  ScanTargets t(ev, {.subnet = 0x0A000000, .alive_fraction = 0.3});
+  const auto alive = t.alive_in_range(0x0A000000, 0x0A000000 + 9999);
+  EXPECT_NEAR(static_cast<double>(alive), 3000.0, 150.0);
+  // Determinism.
+  ScanTargets t2(ev, {.subnet = 0x0A000000, .alive_fraction = 0.3});
+  EXPECT_EQ(t2.alive_in_range(0x0A000000, 0x0A000000 + 9999), alive);
+  // Outside the subnet: dead.
+  EXPECT_FALSE(t.is_alive(0x0B000001));
+}
+
+TEST(ScanTargets, RespondsPerProtocol) {
+  sim::EventQueue ev;
+  ScanTargets t(ev, {.subnet = 0x0A000000, .alive_fraction = 1.0, .open_port = 80});
+  Capture scanner(ev, 10, 100.0);
+  scanner.attach(t.port());
+
+  // SYN to the open port -> SYN+ACK.
+  scanner.port().send(std::make_shared<net::Packet>(
+      net::make_tcp_packet(1, 0x0A000005, 1024, 80, flag::kSyn, 77)));
+  // SYN to a closed port -> RST.
+  scanner.port().send(std::make_shared<net::Packet>(
+      net::make_tcp_packet(1, 0x0A000005, 1024, 81, flag::kSyn, 78)));
+  ev.run_until(sim::us(100));
+  ASSERT_EQ(scanner.count(), 2u);
+  EXPECT_EQ(net::get_field(*scanner.packets()[0], FieldId::kTcpFlags), flag::kSynAck);
+  EXPECT_EQ(net::get_field(*scanner.packets()[0], FieldId::kTcpAckNo), 78u);
+  EXPECT_EQ(net::get_field(*scanner.packets()[1], FieldId::kTcpFlags) & flag::kRst, flag::kRst);
+  EXPECT_EQ(t.synacks_sent(), 1u);
+  EXPECT_EQ(t.rsts_sent(), 1u);
+
+  // ICMP echo -> reply with matching id/seq.
+  net::Packet echo = net::PacketBuilder(net::HeaderKind::kIcmp, 64)
+                         .set(FieldId::kIpv4Sip, 1)
+                         .set(FieldId::kIpv4Dip, 0x0A000009)
+                         .set(FieldId::kIcmpType, 8)
+                         .set(FieldId::kIcmpId, 42)
+                         .set(FieldId::kIcmpSeq, 7)
+                         .build();
+  scanner.port().send(std::make_shared<net::Packet>(std::move(echo)));
+  ev.run_until(sim::us(200));
+  ASSERT_EQ(scanner.count(), 3u);
+  const auto& reply = *scanner.packets()[2];
+  EXPECT_EQ(net::get_field(reply, FieldId::kIcmpType), 0u);
+  EXPECT_EQ(net::get_field(reply, FieldId::kIcmpId), 42u);
+  EXPECT_EQ(net::get_field(reply, FieldId::kIcmpSeq), 7u);
+  EXPECT_EQ(t.echo_replies_sent(), 1u);
+}
+
+TEST(ScanTargets, DeadHostsSilent) {
+  sim::EventQueue ev;
+  ScanTargets t(ev, {.subnet = 0x0A000000, .alive_fraction = 0.0});
+  Capture scanner(ev, 10, 100.0);
+  scanner.attach(t.port());
+  scanner.port().send(std::make_shared<net::Packet>(
+      net::make_tcp_packet(1, 0x0A000005, 1024, 80, flag::kSyn)));
+  ev.run_until(sim::us(100));
+  EXPECT_EQ(scanner.count(), 0u);
+  EXPECT_EQ(t.probes_received(), 1u);
+}
+
+TEST(Capture, RecordsAndClears) {
+  sim::EventQueue ev;
+  Capture a(ev, 0, 100.0), b(ev, 1, 100.0);
+  a.port().connect(&b.port());
+  b.port().connect(&a.port());
+  bool hook_ran = false;
+  b.on_packet = [&](const net::Packet&, sim::TimeNs) { hook_ran = true; };
+  a.port().send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 99)));
+  ev.run_until(sim::us(10));
+  EXPECT_TRUE(hook_ran);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.bytes(), 99u);
+  b.clear();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+}  // namespace
+}  // namespace ht::dut

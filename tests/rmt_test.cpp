@@ -1,0 +1,452 @@
+// Unit tests for the RMT ASIC substrate: parser, tables, registers,
+// pipelines, traffic manager, recirculation, digests, resources.
+#include <gtest/gtest.h>
+
+#include "net/headers.hpp"
+#include "net/packet_builder.hpp"
+#include "rmt/asic.hpp"
+#include "rmt/hashing.hpp"
+#include "sim/stats.hpp"
+#include "testutil.hpp"
+
+namespace ht::rmt {
+namespace {
+
+using net::FieldId;
+
+Phv parse_udp(std::uint16_t sport = 10, std::uint16_t dport = 20) {
+  auto pkt = std::make_shared<net::Packet>(net::make_udp_packet(0x01010101, 0x02020202, sport,
+                                                                dport, 64));
+  return Parser::default_graph().parse(pkt);
+}
+
+TEST(Parser, ExtractsCanonicalStack) {
+  const Phv phv = parse_udp(1234, 80);
+  EXPECT_TRUE(phv.header_valid(net::HeaderKind::kEthernet));
+  EXPECT_TRUE(phv.header_valid(net::HeaderKind::kIpv4));
+  EXPECT_TRUE(phv.header_valid(net::HeaderKind::kUdp));
+  EXPECT_FALSE(phv.header_valid(net::HeaderKind::kTcp));
+  EXPECT_EQ(phv.get(FieldId::kUdpSport), 1234u);
+  EXPECT_EQ(phv.get(FieldId::kUdpDport), 80u);
+  EXPECT_EQ(phv.get(FieldId::kIpv4Sip), 0x01010101u);
+  EXPECT_EQ(phv.get(FieldId::kPktLen), 64u);
+}
+
+TEST(Parser, StopsOnTruncatedPacket) {
+  auto pkt = net::make_packet(16);  // Ethernet only, no room for IPv4
+  net::set_field(*pkt, FieldId::kEthType, net::ethertype::kIpv4);
+  const Phv phv = Parser::default_graph().parse(pkt);
+  EXPECT_TRUE(phv.header_valid(net::HeaderKind::kEthernet));
+  EXPECT_FALSE(phv.header_valid(net::HeaderKind::kIpv4));
+}
+
+TEST(Parser, DeparseWritesFieldsBack) {
+  auto pkt = std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64));
+  Phv phv = Parser::default_graph().parse(pkt);
+  phv.set(FieldId::kUdpDport, 9999);
+  phv.set(FieldId::kIpv4Ttl, 7);
+  Parser::deparse(phv);
+  EXPECT_EQ(net::get_field(*pkt, FieldId::kUdpDport), 9999u);
+  EXPECT_EQ(net::get_field(*pkt, FieldId::kIpv4Ttl), 7u);
+}
+
+TEST(Parser, CustomGraphUnknownEtherTypeAccepts) {
+  auto pkt = std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64));
+  net::set_field(*pkt, FieldId::kEthType, 0x88B5);  // experimental
+  const Phv phv = Parser::default_graph().parse(pkt);
+  EXPECT_TRUE(phv.header_valid(net::HeaderKind::kEthernet));
+  EXPECT_FALSE(phv.header_valid(net::HeaderKind::kIpv4));
+}
+
+TEST(HashUnit, DeterministicAndSeeded) {
+  const HashUnit h1(0), h2(0), h3(99);
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4};
+  EXPECT_EQ(h1.crc32(data), h2.crc32(data));
+  EXPECT_NE(h1.crc32(data), h3.crc32(data));
+}
+
+TEST(HashUnit, FieldHashTruncates) {
+  const HashUnit h(0);
+  const std::vector<std::uint64_t> values = {0x01020304, 80};
+  const std::vector<net::FieldId> fields = {FieldId::kIpv4Sip, FieldId::kTcpDport};
+  const auto h16 = h.hash_fields(values, fields, 16);
+  const auto h32 = h.hash_fields(values, fields, 32);
+  EXPECT_LT(h16, 1u << 16);
+  EXPECT_EQ(h16, h32 & 0xFFFFu);
+}
+
+TEST(RegisterArray, SaluAtomicity) {
+  RegisterArray reg("r", 4, 32);
+  const auto out = reg.execute(2, [](std::uint64_t& c) {
+    c += 5;
+    return c * 2;
+  });
+  EXPECT_EQ(out, 10u);
+  EXPECT_EQ(reg.read(2), 5u);
+  EXPECT_EQ(reg.salu_executions(), 1u);
+}
+
+TEST(RegisterArray, WidthMasking) {
+  RegisterArray reg("r", 1, 8);
+  reg.write(0, 0x1FF);
+  EXPECT_EQ(reg.read(0), 0xFFu);
+}
+
+TEST(RegisterArray, OutOfRangeThrows) {
+  RegisterArray reg("r", 2, 32);
+  EXPECT_THROW(reg.read(2), std::out_of_range);
+  EXPECT_THROW(reg.write(5, 1), std::out_of_range);
+}
+
+TEST(RegisterFile, NamedCreateGetDuplicates) {
+  RegisterFile rf;
+  rf.create("a", 8);
+  EXPECT_TRUE(rf.contains("a"));
+  EXPECT_EQ(rf.get("a").size(), 8u);
+  EXPECT_THROW(rf.create("a", 4), std::invalid_argument);
+  EXPECT_THROW(rf.get("b"), std::out_of_range);
+}
+
+TEST(Table, ExactMatchHitAndMiss) {
+  MatchActionTable t("t", {{FieldId::kUdpDport, MatchKind::kExact}}, 16);
+  bool hit = false;
+  t.add_entry({{KeyMatch{.value = 80}}, 0, "a", [&](ActionContext&) { hit = true; }});
+  Phv phv = parse_udp(10, 80);
+  RegisterFile rf;
+  sim::Rng rng;
+  ActionContext ctx{phv, rf, rng, 0, nullptr};
+  EXPECT_TRUE(t.apply(ctx));
+  EXPECT_TRUE(hit);
+  Phv miss_phv = parse_udp(10, 81);
+  ActionContext miss_ctx{miss_phv, rf, rng, 0, nullptr};
+  EXPECT_FALSE(t.apply(miss_ctx));
+  EXPECT_EQ(t.hits(), 1u);
+  EXPECT_EQ(t.misses(), 1u);
+}
+
+TEST(Table, DefaultActionRunsOnMiss) {
+  MatchActionTable t("t", {{FieldId::kUdpDport, MatchKind::kExact}}, 4);
+  bool fallback = false;
+  t.set_default("d", [&](ActionContext&) { fallback = true; });
+  Phv phv = parse_udp();
+  RegisterFile rf;
+  sim::Rng rng;
+  ActionContext ctx{phv, rf, rng, 0, nullptr};
+  EXPECT_FALSE(t.apply(ctx));
+  EXPECT_TRUE(fallback);
+}
+
+TEST(Table, TernaryPriority) {
+  MatchActionTable t("t", {{FieldId::kIpv4Dip, MatchKind::kTernary}}, 8);
+  int which = 0;
+  t.add_entry({{KeyMatch{.value = 0x0A000000, .mask = 0xFF000000}},
+               1,
+               "low",
+               [&](ActionContext&) { which = 1; }});
+  t.add_entry({{KeyMatch{.value = 0x0A0B0000, .mask = 0xFFFF0000}},
+               2,
+               "high",
+               [&](ActionContext&) { which = 2; }});
+  auto pkt = std::make_shared<net::Packet>(net::make_udp_packet(1, 0x0A0B0C0D, 1, 2, 64));
+  Phv phv = Parser::default_graph().parse(pkt);
+  RegisterFile rf;
+  sim::Rng rng;
+  ActionContext ctx{phv, rf, rng, 0, nullptr};
+  EXPECT_TRUE(t.apply(ctx));
+  EXPECT_EQ(which, 2);  // longer prefix has higher priority
+}
+
+TEST(Table, RangeMatch) {
+  MatchActionTable t("t", {{FieldId::kUdpDport, MatchKind::kRange}}, 8);
+  bool hit = false;
+  t.add_entry({{KeyMatch{.value = 100, .high = 200}}, 0, "r", [&](ActionContext&) { hit = true; }});
+  Phv in_range = parse_udp(1, 150);
+  Phv below = parse_udp(1, 99);
+  Phv above = parse_udp(1, 201);
+  RegisterFile rf;
+  sim::Rng rng;
+  ActionContext c1{in_range, rf, rng, 0, nullptr};
+  ActionContext c2{below, rf, rng, 0, nullptr};
+  ActionContext c3{above, rf, rng, 0, nullptr};
+  EXPECT_TRUE(t.apply(c1));
+  EXPECT_FALSE(t.apply(c2));
+  EXPECT_FALSE(t.apply(c3));
+  EXPECT_TRUE(hit);
+}
+
+TEST(Table, LpmLongestPrefixWins) {
+  MatchActionTable t("routes", {{FieldId::kIpv4Dip, MatchKind::kLpm}}, 8);
+  int which = 0;
+  t.add_entry({{lpm_match(0x0A000000, 8, 32)}, 0, "slash8", [&](ActionContext&) { which = 8; }});
+  t.add_entry({{lpm_match(0x0A0B0000, 16, 32)}, 0, "slash16",
+               [&](ActionContext&) { which = 16; }});
+  t.add_entry({{lpm_match(0x0A0B0C00, 24, 32)}, 0, "slash24",
+               [&](ActionContext&) { which = 24; }});
+  RegisterFile rf;
+  sim::Rng rng;
+  const auto lookup = [&](std::uint32_t dip) {
+    auto pkt = std::make_shared<net::Packet>(net::make_udp_packet(1, dip, 1, 2, 64));
+    Phv phv = Parser::default_graph().parse(pkt);
+    ActionContext ctx{phv, rf, rng, 0, nullptr};
+    which = 0;
+    t.apply(ctx);
+    return which;
+  };
+  EXPECT_EQ(lookup(0x0A0B0C0D), 24);  // most specific
+  EXPECT_EQ(lookup(0x0A0B0F01), 16);
+  EXPECT_EQ(lookup(0x0AFF0001), 8);
+  EXPECT_EQ(lookup(0x0B000001), 0);  // miss
+}
+
+TEST(Table, LpmDefaultRouteMatchesEverything) {
+  MatchActionTable t("routes", {{FieldId::kIpv4Dip, MatchKind::kLpm}}, 4);
+  bool hit = false;
+  t.add_entry({{lpm_match(0, 0, 32)}, 0, "default", [&](ActionContext&) { hit = true; }});
+  auto pkt = std::make_shared<net::Packet>(net::make_udp_packet(1, 0xDEADBEEF, 1, 2, 64));
+  Phv phv = Parser::default_graph().parse(pkt);
+  RegisterFile rf;
+  sim::Rng rng;
+  ActionContext ctx{phv, rf, rng, 0, nullptr};
+  EXPECT_TRUE(t.apply(ctx));
+  EXPECT_TRUE(hit);
+}
+
+TEST(Mcast, GroupTableConfigureAndRemove) {
+  McastGroupTable mc;
+  EXPECT_FALSE(mc.contains(3));
+  EXPECT_THROW(mc.members(3), std::out_of_range);
+  mc.configure(3, {{1, 1}, {2, 2}});
+  EXPECT_TRUE(mc.contains(3));
+  EXPECT_EQ(mc.members(3).size(), 2u);
+  mc.configure(3, {{5, 1}});  // reconfigure replaces
+  EXPECT_EQ(mc.members(3).size(), 1u);
+  EXPECT_EQ(mc.members(3)[0].port, 5);
+  mc.remove(3);
+  EXPECT_FALSE(mc.contains(3));
+}
+
+TEST(Asic, ResetProgramClearsPipelines) {
+  sim::EventQueue ev;
+  rmt::SwitchAsic asic(ev, rmt::AsicConfig{.num_ports = 2});
+  asic.ingress().add_table("a", {}, 4);
+  asic.egress().add_table("b", {}, 4);
+  EXPECT_EQ(asic.ingress().table_count(), 1u);
+  asic.reset_program();
+  EXPECT_EQ(asic.ingress().table_count(), 0u);
+  EXPECT_EQ(asic.egress().table_count(), 0u);
+}
+
+TEST(Timing, ModelInvariants) {
+  const TimingModel tm;
+  // RTT grows monotonically with size; capacity shrinks.
+  double prev_rtt = 0;
+  std::uint64_t prev_cap = ~0ull;
+  for (const std::size_t s : {64u, 128u, 512u, 1500u}) {
+    EXPECT_GT(tm.recirc_rtt_ns(s), prev_rtt);
+    EXPECT_LE(tm.accelerator_capacity(s), prev_cap);
+    prev_rtt = tm.recirc_rtt_ns(s);
+    prev_cap = tm.accelerator_capacity(s);
+  }
+  // The firing path is slower than the idle loop (mcast vs unicast TM).
+  EXPECT_GT(tm.firing_rtt_ns(64), tm.recirc_rtt_ns(64));
+  EXPECT_GT(tm.loop_fill_target(64), tm.accelerator_capacity(64));
+  // Mcast delay interpolates Fig 15a's endpoints.
+  EXPECT_NEAR(tm.mcast_delay_ns(64), 389.0, 0.1);
+  EXPECT_NEAR(tm.mcast_delay_ns(1280), 454.0, 0.5);
+}
+
+TEST(Table, CapacityAndDuplicateEnforced) {
+  MatchActionTable t("t", {{FieldId::kUdpDport, MatchKind::kExact}}, 1);
+  t.add_entry({{KeyMatch{.value = 1}}, 0, "a", nullptr});
+  EXPECT_THROW(t.add_entry({{KeyMatch{.value = 2}}, 0, "b", nullptr}), std::length_error);
+  MatchActionTable t2("t2", {{FieldId::kUdpDport, MatchKind::kExact}}, 8);
+  t2.add_entry({{KeyMatch{.value = 1}}, 0, "a", nullptr});
+  EXPECT_THROW(t2.add_entry({{KeyMatch{.value = 1}}, 0, "b", nullptr}), std::invalid_argument);
+}
+
+TEST(Pipeline, GatewaySkipsTable) {
+  Pipeline p("ingress", 12);
+  int runs = 0;
+  auto& t = p.add_table("t", {}, 4, [](const Phv& phv) {
+    return phv.get(FieldId::kUdpDport) == 80;
+  });
+  t.set_default("count", [&](ActionContext&) { ++runs; });
+  Phv yes = parse_udp(1, 80);
+  Phv no = parse_udp(1, 81);
+  RegisterFile rf;
+  sim::Rng rng;
+  ActionContext cy{yes, rf, rng, 0, nullptr};
+  ActionContext cn{no, rf, rng, 0, nullptr};
+  p.apply(cy);
+  p.apply(cn);
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Pipeline, PlacementRejectsOversizedPrograms) {
+  Pipeline p("ingress", 3);
+  for (int i = 0; i < 3; ++i) p.add_table("t" + std::to_string(i), {}, 4);
+  EXPECT_TRUE(p.place());
+  EXPECT_EQ(p.stages_used(), 3);
+  p.add_table("overflow", {}, 4);
+  EXPECT_FALSE(p.place());
+}
+
+TEST(Resources, NormalizationAgainstSwitchP4) {
+  ResourceUsage u;
+  u.sram_kb = switch_p4_baseline().sram_kb / 10.0;
+  const NormalizedUsage n = normalize(u);
+  EXPECT_NEAR(n.sram_pct, 10.0, 1e-9);
+  EXPECT_EQ(n.tcam_pct, 0.0);
+}
+
+TEST(Resources, AccountantAggregates) {
+  ResourceAccountant acc;
+  acc.add("a", {.sram_kb = 1.0});
+  acc.add("a", {.sram_kb = 2.0});
+  acc.add("b", {.tcam_kb = 3.0});
+  EXPECT_DOUBLE_EQ(acc.component("a").sram_kb, 3.0);
+  EXPECT_DOUBLE_EQ(acc.total().tcam_kb, 3.0);
+}
+
+// --- full-ASIC flows -------------------------------------------------------
+
+TEST(Asic, UnicastForwardsWithPipelineLatency) {
+  test::AsicTestbed tb(rmt::AsicConfig{.num_ports = 4, .port_rate_gbps = 100.0});
+  // Program: everything arriving on port 0 goes out port 1.
+  auto& t = tb.asic.ingress().add_table("fwd", {}, 4);
+  t.set_default("fwd", [](ActionContext& ctx) {
+    ctx.phv.intrinsic().dest = Destination::kUnicast;
+    ctx.phv.intrinsic().ucast_port = 1;
+  });
+  tb.sinks[0]->port.send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64)));
+  tb.ev.run_until(sim::us(100));
+  ASSERT_EQ(tb.sinks[1]->packets.size(), 1u);
+  EXPECT_EQ(tb.asic.ingress_packets(), 1u);
+  EXPECT_EQ(tb.asic.egress_packets(), 1u);
+  // Latency through the box: serialization + ingress + TM + egress + out.
+  EXPECT_GT(tb.sinks[1]->arrival_times[0], 300u);
+}
+
+TEST(Asic, DropByDefault) {
+  test::AsicTestbed tb(rmt::AsicConfig{.num_ports = 2});
+  tb.sinks[0]->port.send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64)));
+  tb.ev.run_until(sim::us(10));
+  EXPECT_EQ(tb.asic.dropped_packets(), 1u);
+  EXPECT_TRUE(tb.sinks[1]->packets.empty());
+}
+
+TEST(Asic, MulticastReplicatesToMembers) {
+  test::AsicTestbed tb(rmt::AsicConfig{.num_ports = 4});
+  tb.asic.mcast().configure(7, {{1, 1}, {2, 2}, {3, 3}});
+  auto& t = tb.asic.ingress().add_table("mc", {}, 4);
+  t.set_default("mc", [](ActionContext& ctx) {
+    ctx.phv.intrinsic().dest = Destination::kMulticast;
+    ctx.phv.intrinsic().mcast_group = 7;
+  });
+  tb.sinks[0]->port.send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64)));
+  tb.ev.run_until(sim::us(100));
+  EXPECT_EQ(tb.sinks[1]->packets.size(), 1u);
+  EXPECT_EQ(tb.sinks[2]->packets.size(), 1u);
+  EXPECT_EQ(tb.sinks[3]->packets.size(), 1u);
+  EXPECT_EQ(tb.asic.replicas_created(), 3u);
+  // Replicas are independent copies.
+  EXPECT_NE(tb.sinks[1]->packets[0].get(), tb.sinks[2]->packets[0].get());
+}
+
+TEST(Asic, McastDelayMatchesCalibration) {
+  // Fig 15a: ~389ns mcast delay for 64B with RMSE < 4.5ns.
+  test::AsicTestbed tb(rmt::AsicConfig{.num_ports = 2});
+  tb.asic.mcast().configure(1, {{1, 1}});
+  auto& t = tb.asic.ingress().add_table("mc", {}, 4);
+  t.set_default("mc", [](ActionContext& ctx) {
+    ctx.phv.intrinsic().dest = Destination::kMulticast;
+    ctx.phv.intrinsic().mcast_group = 1;
+  });
+  const auto& tm = tb.asic.timing();
+  EXPECT_NEAR(tm.mcast_delay_ns(64), 389.0, 0.5);
+  EXPECT_NEAR(tm.mcast_delay_ns(1280), 454.0, 1.0);
+}
+
+TEST(Asic, RecirculationLoopRttMatchesFig14) {
+  sim::EventQueue ev;
+  rmt::SwitchAsic asic(ev, rmt::AsicConfig{.num_ports = 2});
+  // Count loop arrivals of the template packet.
+  std::vector<sim::TimeNs> arrivals;
+  auto& t = asic.ingress().add_table("loop", {}, 4);
+  t.set_default("loop", [&](ActionContext& ctx) {
+    if (ctx.phv.get(net::FieldId::kMetaIngressPort) != rmt::SwitchAsic::kCpuPort) {
+      arrivals.push_back(ctx.now);
+    }
+    ctx.phv.intrinsic().dest = Destination::kUnicast;
+    ctx.phv.intrinsic().ucast_port = rmt::SwitchAsic::kRecircPortBase;
+  });
+  auto pkt = std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64));
+  asic.inject_from_cpu(pkt);
+  ev.run_until(sim::ms(1));
+  ASSERT_GT(arrivals.size(), 1000u);
+  const auto deltas = sim::inter_departure_times(
+      std::vector<std::uint64_t>(arrivals.begin(), arrivals.end()));
+  const auto m = sim::compute_error_metrics(deltas, asic.timing().recirc_rtt_ns(64));
+  // Mean RTT ~570ns (Fig 14a), jitter RMSE below 5ns.
+  EXPECT_NEAR(asic.timing().recirc_rtt_ns(64), 570.0, 2.0);
+  EXPECT_LT(m.rmse, 5.0);
+  EXPECT_LT(m.mae, 5.0);
+}
+
+TEST(Asic, AcceleratorCapacityMatchesFig14b) {
+  const TimingModel tm;
+  EXPECT_EQ(tm.accelerator_capacity(64), 89u);
+  EXPECT_NEAR(tm.min_arrival_interval_ns(64), 6.4, 1e-9);
+  // Capacity shrinks as template packets grow (Fig 14b shape).
+  EXPECT_LT(tm.accelerator_capacity(1500), tm.accelerator_capacity(64));
+}
+
+TEST(Asic, CpuPuntAndInjection) {
+  sim::EventQueue ev;
+  rmt::SwitchAsic asic(ev, rmt::AsicConfig{.num_ports = 2});
+  auto& t = asic.ingress().add_table("tocpu", {}, 4);
+  t.set_default("tocpu", [](ActionContext& ctx) {
+    ctx.phv.intrinsic().dest = Destination::kUnicast;
+    ctx.phv.intrinsic().ucast_port = rmt::SwitchAsic::kCpuPort;
+  });
+  net::PacketPtr punted;
+  asic.set_cpu_punt([&](net::PacketPtr p) { punted = std::move(p); });
+  asic.inject_from_cpu(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64)));
+  ev.run_until(sim::us(100));
+  ASSERT_TRUE(punted);
+  EXPECT_EQ(punted->meta().ingress_port, rmt::SwitchAsic::kCpuPort);
+}
+
+TEST(Asic, DigestEngineDeliversInOrderWithServiceTime) {
+  sim::EventQueue ev;
+  rmt::SwitchAsic asic(ev, rmt::AsicConfig{.num_ports = 2});
+  std::vector<std::uint32_t> types;
+  asic.digests().set_receiver([&](const DigestMessage& m) { types.push_back(m.type); });
+  asic.digests().emit({.type = 1, .values = {42}, .byte_size = 16});
+  asic.digests().emit({.type = 2, .values = {43}, .byte_size = 16});
+  ev.run_until(sim::seconds(1));
+  EXPECT_EQ(types, (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(asic.digests().delivered(), 2u);
+}
+
+TEST(Asic, EgressRewritesAndChecksumsFixed) {
+  test::AsicTestbed tb(rmt::AsicConfig{.num_ports = 2});
+  auto& ti = tb.asic.ingress().add_table("fwd", {}, 4);
+  ti.set_default("fwd", [](ActionContext& ctx) {
+    ctx.phv.intrinsic().dest = Destination::kUnicast;
+    ctx.phv.intrinsic().ucast_port = 1;
+  });
+  auto& te = tb.asic.egress().add_table("rewrite", {}, 4);
+  te.set_default("rewrite", [](ActionContext& ctx) {
+    ctx.phv.set(FieldId::kUdpDport, 5555);
+  });
+  tb.sinks[0]->port.send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64)));
+  tb.ev.run_until(sim::us(100));
+  ASSERT_EQ(tb.sinks[1]->packets.size(), 1u);
+  const auto& pkt = *tb.sinks[1]->packets[0];
+  EXPECT_EQ(net::get_field(pkt, FieldId::kUdpDport), 5555u);
+  EXPECT_TRUE(net::verify_checksums(pkt));
+}
+
+}  // namespace
+}  // namespace ht::rmt

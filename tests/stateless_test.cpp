@@ -1,0 +1,136 @@
+// End-to-end tests of stateless connections (§5.3): HTPR extracts trigger
+// records into the trigger FIFO; FIFO-triggered HTPS templates emit the
+// response with fields copied/derived from the record.
+#include <gtest/gtest.h>
+
+#include "htpr/receiver.hpp"
+#include "htps/sender.hpp"
+#include "net/headers.hpp"
+#include "net/packet_builder.hpp"
+#include "stateless/trigger_fifo.hpp"
+#include "testutil.hpp"
+
+namespace ht::stateless {
+namespace {
+
+using net::FieldId;
+namespace flag = net::tcpflag;
+
+TEST(TriggerFifo, SchemaAndEdits) {
+  rmt::RegisterFile rf;
+  TriggerFifo tf(rf, "tf", {FieldId::kIpv4Sip, FieldId::kTcpSeqNo}, 16);
+  EXPECT_EQ(tf.lane_of(FieldId::kTcpSeqNo), 1u);
+  EXPECT_THROW(tf.lane_of(FieldId::kIpv4Dip), std::out_of_range);
+  const auto edit = tf.edit_from(FieldId::kTcpAckNo, FieldId::kTcpSeqNo, 1);
+  EXPECT_EQ(edit.kind, htps::EditOp::Kind::kFromTrigger);
+  EXPECT_EQ(edit.trigger_lane, 1u);
+  EXPECT_EQ(edit.trigger_offset, 1);
+  EXPECT_THROW(TriggerFifo(rf, "tf2", {}, 16), std::invalid_argument);
+}
+
+TEST(StatelessConnection, SynAckTriggersAck) {
+  // The TCP-handshake third step from §5.4: a SYN+ACK arriving on port 0
+  // triggers an ACK out of port 1, with addresses/ports swapped and
+  // ack_no = seq_no + 1.
+  test::AsicTestbed tb(rmt::AsicConfig{.num_ports = 2});
+
+  TriggerFifo tf(tb.asic.registers(), "synack_fifo",
+                 {FieldId::kIpv4Sip, FieldId::kIpv4Dip, FieldId::kTcpSport, FieldId::kTcpDport,
+                  FieldId::kTcpSeqNo, FieldId::kTcpAckNo});
+
+  htps::Sender sender(tb.asic);
+  htps::TemplateConfig ack_tpl;
+  ack_tpl.spec.l4 = net::HeaderKind::kTcp;
+  ack_tpl.spec.pkt_len = 64;
+  ack_tpl.spec.header_init = {{FieldId::kTcpFlags, flag::kAck}};
+  ack_tpl.egress_ports = {1};
+  ack_tpl.mode = htps::TemplateConfig::Mode::kFifoTriggered;
+  ack_tpl.trigger_fifo = &tf.fifo();
+  // Response fields from the trigger record (directions swapped).
+  ack_tpl.edits = {
+      tf.edit_from(FieldId::kIpv4Dip, FieldId::kIpv4Sip),
+      tf.edit_from(FieldId::kIpv4Sip, FieldId::kIpv4Dip),
+      tf.edit_from(FieldId::kTcpDport, FieldId::kTcpSport),
+      tf.edit_from(FieldId::kTcpSport, FieldId::kTcpDport),
+      tf.edit_from(FieldId::kTcpSeqNo, FieldId::kTcpAckNo),
+      tf.edit_from(FieldId::kTcpAckNo, FieldId::kTcpSeqNo, 1),
+  };
+  sender.add_template(std::move(ack_tpl));
+  sender.install();
+
+  htpr::Receiver rx(tb.asic);
+  htpr::QueryConfig q;
+  q.name = "synack";
+  q.ops = {htpr::FilterOp{FieldId::kTcpFlags, htpr::Cmp::kEq, flag::kSynAck}};
+  q.triggers.push_back(tf.extract_spec());
+  rx.add_query(std::move(q));
+  rx.install();
+
+  sender.start();
+  tb.ev.run_until(sim::us(50));  // let the template enter the loop
+
+  // Server's SYN+ACK arrives on port 0.
+  auto synack = std::make_shared<net::Packet>(
+      net::make_tcp_packet(net::ipv4_address("5.5.5.5"), net::ipv4_address("1.1.0.1"), 80, 4096,
+                           flag::kSynAck, /*seq=*/7777, /*ack=*/2));
+  tb.sinks[0]->port.send(synack);
+  tb.ev.run_until(sim::ms(1));
+
+  ASSERT_EQ(tb.sinks[1]->packets.size(), 1u);
+  const auto& ack = *tb.sinks[1]->packets[0];
+  EXPECT_EQ(net::get_field(ack, FieldId::kTcpFlags), flag::kAck);
+  EXPECT_EQ(net::get_field(ack, FieldId::kIpv4Dip), net::ipv4_address("5.5.5.5"));
+  EXPECT_EQ(net::get_field(ack, FieldId::kIpv4Sip), net::ipv4_address("1.1.0.1"));
+  EXPECT_EQ(net::get_field(ack, FieldId::kTcpDport), 80u);
+  EXPECT_EQ(net::get_field(ack, FieldId::kTcpSport), 4096u);
+  EXPECT_EQ(net::get_field(ack, FieldId::kTcpSeqNo), 2u);          // = ack_no of SYN+ACK
+  EXPECT_EQ(net::get_field(ack, FieldId::kTcpAckNo), 7778u);       // = seq_no + 1
+  EXPECT_TRUE(net::verify_checksums(ack));
+}
+
+TEST(StatelessConnection, OneResponsePerReceivedPacket) {
+  test::AsicTestbed tb(rmt::AsicConfig{.num_ports = 2});
+  TriggerFifo tf(tb.asic.registers(), "fifo", {FieldId::kIpv4Sip});
+  htps::Sender sender(tb.asic);
+  htps::TemplateConfig tpl;
+  tpl.spec.l4 = net::HeaderKind::kTcp;
+  tpl.spec.header_init = {{FieldId::kTcpFlags, flag::kAck}};
+  tpl.egress_ports = {1};
+  tpl.mode = htps::TemplateConfig::Mode::kFifoTriggered;
+  tpl.trigger_fifo = &tf.fifo();
+  tpl.edits = {tf.edit_from(FieldId::kIpv4Dip, FieldId::kIpv4Sip)};
+  sender.add_template(std::move(tpl));
+  sender.install();
+
+  htpr::Receiver rx(tb.asic);
+  htpr::QueryConfig q;
+  q.name = "all_synack";
+  q.ops = {htpr::FilterOp{FieldId::kTcpFlags, htpr::Cmp::kEq, flag::kSynAck}};
+  q.triggers.push_back(tf.extract_spec());
+  rx.add_query(std::move(q));
+  rx.install();
+  sender.start();
+  tb.ev.run_until(sim::us(50));
+
+  constexpr int kCount = 37;
+  for (int i = 0; i < kCount; ++i) {
+    tb.sinks[0]->port.send(std::make_shared<net::Packet>(
+        net::make_tcp_packet(100 + i, 200, 80, 1000, flag::kSynAck)));
+  }
+  tb.ev.run_until(sim::ms(2));
+  ASSERT_EQ(tb.sinks[1]->packets.size(), static_cast<std::size_t>(kCount));
+  // Each response echoes its own trigger's source address.
+  std::set<std::uint64_t> dips;
+  for (const auto& p : tb.sinks[1]->packets) {
+    dips.insert(net::get_field(*p, FieldId::kIpv4Dip));
+  }
+  EXPECT_EQ(dips.size(), static_cast<std::size_t>(kCount));
+  // Non-matching packets trigger nothing.
+  tb.sinks[0]->port.send(
+      std::make_shared<net::Packet>(net::make_tcp_packet(1, 2, 3, 4, flag::kAck)));
+  tb.ev.run_until(sim::ms(3));
+  EXPECT_EQ(tb.sinks[1]->packets.size(), static_cast<std::size_t>(kCount));
+}
+
+}  // namespace
+}  // namespace ht::stateless

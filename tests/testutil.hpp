@@ -1,0 +1,52 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "rmt/asic.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/port.hpp"
+
+namespace ht::test {
+
+/// A device-side port that records everything arriving from the switch.
+class PortSink {
+ public:
+  PortSink(sim::EventQueue& ev, std::uint16_t id, double rate_gbps)
+      : port(ev, id, rate_gbps) {
+    port.on_receive = [this, &ev](net::PacketPtr pkt) {
+      arrival_times.push_back(ev.now());
+      packets.push_back(std::move(pkt));
+    };
+  }
+
+  /// Cross-connect with a switch port.
+  void attach(sim::Port& switch_port, sim::TimeNs propagation_ns = 0) {
+    switch_port.connect(&port, propagation_ns);
+    port.connect(&switch_port, propagation_ns);
+  }
+
+  sim::Port port;
+  std::vector<net::PacketPtr> packets;
+  std::vector<sim::TimeNs> arrival_times;
+};
+
+/// Testbed fixture: one ASIC plus one sink per front-panel port.
+struct AsicTestbed {
+  explicit AsicTestbed(rmt::AsicConfig cfg = {}) : asic(ev, cfg) {
+    sinks.reserve(asic.port_count());
+    for (std::size_t i = 0; i < asic.port_count(); ++i) {
+      sinks.push_back(std::make_unique<PortSink>(ev, static_cast<std::uint16_t>(i),
+                                                 cfg.port_rate_gbps));
+      sinks.back()->attach(asic.port(static_cast<std::uint16_t>(i)));
+    }
+  }
+
+  sim::EventQueue ev;
+  rmt::SwitchAsic asic;
+  std::vector<std::unique_ptr<PortSink>> sinks;
+};
+
+}  // namespace ht::test
