@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_counter_vs_sketch.dir/ablation_counter_vs_sketch.cpp.o"
+  "CMakeFiles/ablation_counter_vs_sketch.dir/ablation_counter_vs_sketch.cpp.o.d"
+  "ablation_counter_vs_sketch"
+  "ablation_counter_vs_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_counter_vs_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

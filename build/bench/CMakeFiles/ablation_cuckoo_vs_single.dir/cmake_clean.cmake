@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cuckoo_vs_single.dir/ablation_cuckoo_vs_single.cpp.o"
+  "CMakeFiles/ablation_cuckoo_vs_single.dir/ablation_cuckoo_vs_single.cpp.o.d"
+  "ablation_cuckoo_vs_single"
+  "ablation_cuckoo_vs_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cuckoo_vs_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

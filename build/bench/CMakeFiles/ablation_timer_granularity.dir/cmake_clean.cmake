@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timer_granularity.dir/ablation_timer_granularity.cpp.o"
+  "CMakeFiles/ablation_timer_granularity.dir/ablation_timer_granularity.cpp.o.d"
+  "ablation_timer_granularity"
+  "ablation_timer_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timer_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_throughput_multi_port.dir/fig10_throughput_multi_port.cpp.o"
+  "CMakeFiles/fig10_throughput_multi_port.dir/fig10_throughput_multi_port.cpp.o.d"
+  "fig10_throughput_multi_port"
+  "fig10_throughput_multi_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_throughput_multi_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

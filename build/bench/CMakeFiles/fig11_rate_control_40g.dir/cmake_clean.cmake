@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_rate_control_40g.dir/fig11_rate_control_40g.cpp.o"
+  "CMakeFiles/fig11_rate_control_40g.dir/fig11_rate_control_40g.cpp.o.d"
+  "fig11_rate_control_40g"
+  "fig11_rate_control_40g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_rate_control_40g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_rate_control_40g.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_rate_control_100g.dir/fig12_rate_control_100g.cpp.o"
+  "CMakeFiles/fig12_rate_control_100g.dir/fig12_rate_control_100g.cpp.o.d"
+  "fig12_rate_control_100g"
+  "fig12_rate_control_100g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_rate_control_100g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

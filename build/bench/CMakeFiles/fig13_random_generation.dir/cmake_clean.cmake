@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_random_generation.dir/fig13_random_generation.cpp.o"
+  "CMakeFiles/fig13_random_generation.dir/fig13_random_generation.cpp.o.d"
+  "fig13_random_generation"
+  "fig13_random_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_random_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

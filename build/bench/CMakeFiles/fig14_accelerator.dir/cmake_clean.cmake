@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_accelerator.dir/fig14_accelerator.cpp.o"
+  "CMakeFiles/fig14_accelerator.dir/fig14_accelerator.cpp.o.d"
+  "fig14_accelerator"
+  "fig14_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_replicator.dir/fig15_replicator.cpp.o"
+  "CMakeFiles/fig15_replicator.dir/fig15_replicator.cpp.o.d"
+  "fig15_replicator"
+  "fig15_replicator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_replicator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

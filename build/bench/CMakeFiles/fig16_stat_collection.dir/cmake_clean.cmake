@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_stat_collection.dir/fig16_stat_collection.cpp.o"
+  "CMakeFiles/fig16_stat_collection.dir/fig16_stat_collection.cpp.o.d"
+  "fig16_stat_collection"
+  "fig16_stat_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_stat_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_exact_key_matching.dir/fig17_exact_key_matching.cpp.o"
+  "CMakeFiles/fig17_exact_key_matching.dir/fig17_exact_key_matching.cpp.o.d"
+  "fig17_exact_key_matching"
+  "fig17_exact_key_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_exact_key_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

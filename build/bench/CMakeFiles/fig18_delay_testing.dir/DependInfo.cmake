@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig18_delay_testing.cpp" "bench/CMakeFiles/fig18_delay_testing.dir/fig18_delay_testing.cpp.o" "gcc" "bench/CMakeFiles/fig18_delay_testing.dir/fig18_delay_testing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ht_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ht_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntapi/CMakeFiles/ht_ntapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/htps/CMakeFiles/ht_htps.dir/DependInfo.cmake"
+  "/root/repo/build/src/htpr/CMakeFiles/ht_htpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/stateless/CMakeFiles/ht_stateless.dir/DependInfo.cmake"
+  "/root/repo/build/src/regfifo/CMakeFiles/ht_regfifo.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchcpu/CMakeFiles/ht_switchcpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmt/CMakeFiles/ht_rmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ht_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ht_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dut/CMakeFiles/ht_dut.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ht_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

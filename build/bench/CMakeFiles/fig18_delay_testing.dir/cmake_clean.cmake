@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_delay_testing.dir/fig18_delay_testing.cpp.o"
+  "CMakeFiles/fig18_delay_testing.dir/fig18_delay_testing.cpp.o.d"
+  "fig18_delay_testing"
+  "fig18_delay_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_delay_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_throughput_single_port.dir/fig9_throughput_single_port.cpp.o"
+  "CMakeFiles/fig9_throughput_single_port.dir/fig9_throughput_single_port.cpp.o.d"
+  "fig9_throughput_single_port"
+  "fig9_throughput_single_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_throughput_single_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

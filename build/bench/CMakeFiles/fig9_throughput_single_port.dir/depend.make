@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_throughput_single_port.
+# This may be replaced when dependencies are built.

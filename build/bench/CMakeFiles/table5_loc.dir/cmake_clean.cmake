@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_loc.dir/table5_loc.cpp.o"
+  "CMakeFiles/table5_loc.dir/table5_loc.cpp.o.d"
+  "table5_loc"
+  "table5_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_cost.dir/table6_cost.cpp.o"
+  "CMakeFiles/table6_cost.dir/table6_cost.cpp.o.d"
+  "table6_cost"
+  "table6_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_resources.dir/table7_resources.cpp.o"
+  "CMakeFiles/table7_resources.dir/table7_resources.cpp.o.d"
+  "table7_resources"
+  "table7_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_syn_flood.dir/table8_syn_flood.cpp.o"
+  "CMakeFiles/table8_syn_flood.dir/table8_syn_flood.cpp.o.d"
+  "table8_syn_flood"
+  "table8_syn_flood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_syn_flood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_measurement.dir/delay_measurement.cpp.o"
+  "CMakeFiles/delay_measurement.dir/delay_measurement.cpp.o.d"
+  "delay_measurement"
+  "delay_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

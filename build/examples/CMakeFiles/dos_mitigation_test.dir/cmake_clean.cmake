@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dos_mitigation_test.dir/dos_mitigation_test.cpp.o"
+  "CMakeFiles/dos_mitigation_test.dir/dos_mitigation_test.cpp.o.d"
+  "dos_mitigation_test"
+  "dos_mitigation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dos_mitigation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_scanning.dir/ip_scanning.cpp.o"
+  "CMakeFiles/ip_scanning.dir/ip_scanning.cpp.o.d"
+  "ip_scanning"
+  "ip_scanning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_scanning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntapi_cli.dir/ntapi_cli.cpp.o"
+  "CMakeFiles/ntapi_cli.dir/ntapi_cli.cpp.o.d"
+  "ntapi_cli"
+  "ntapi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntapi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

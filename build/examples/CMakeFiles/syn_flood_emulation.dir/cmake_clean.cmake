@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_flood_emulation.dir/syn_flood_emulation.cpp.o"
+  "CMakeFiles/syn_flood_emulation.dir/syn_flood_emulation.cpp.o.d"
+  "syn_flood_emulation"
+  "syn_flood_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_flood_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

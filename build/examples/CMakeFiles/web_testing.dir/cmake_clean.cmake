@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_testing.dir/web_testing.cpp.o"
+  "CMakeFiles/web_testing.dir/web_testing.cpp.o.d"
+  "web_testing"
+  "web_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("net")
+subdirs("sim")
+subdirs("rmt")
+subdirs("regfifo")
+subdirs("switchcpu")
+subdirs("htps")
+subdirs("htpr")
+subdirs("stateless")
+subdirs("ntapi")
+subdirs("dut")
+subdirs("baseline")
+subdirs("apps")
+subdirs("core")

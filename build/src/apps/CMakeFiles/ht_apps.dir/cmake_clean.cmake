@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_apps.dir/tasks.cpp.o"
+  "CMakeFiles/ht_apps.dir/tasks.cpp.o.d"
+  "libht_apps.a"
+  "libht_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_baseline.dir/cost_model.cpp.o"
+  "CMakeFiles/ht_baseline.dir/cost_model.cpp.o.d"
+  "CMakeFiles/ht_baseline.dir/lua_inventory.cpp.o"
+  "CMakeFiles/ht_baseline.dir/lua_inventory.cpp.o.d"
+  "CMakeFiles/ht_baseline.dir/moongen.cpp.o"
+  "CMakeFiles/ht_baseline.dir/moongen.cpp.o.d"
+  "libht_baseline.a"
+  "libht_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

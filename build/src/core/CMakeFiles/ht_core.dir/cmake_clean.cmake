@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_core.dir/hypertester.cpp.o"
+  "CMakeFiles/ht_core.dir/hypertester.cpp.o.d"
+  "libht_core.a"
+  "libht_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dut/capture.cpp" "src/dut/CMakeFiles/ht_dut.dir/capture.cpp.o" "gcc" "src/dut/CMakeFiles/ht_dut.dir/capture.cpp.o.d"
+  "/root/repo/src/dut/forwarder.cpp" "src/dut/CMakeFiles/ht_dut.dir/forwarder.cpp.o" "gcc" "src/dut/CMakeFiles/ht_dut.dir/forwarder.cpp.o.d"
+  "/root/repo/src/dut/scan_targets.cpp" "src/dut/CMakeFiles/ht_dut.dir/scan_targets.cpp.o" "gcc" "src/dut/CMakeFiles/ht_dut.dir/scan_targets.cpp.o.d"
+  "/root/repo/src/dut/tcp_server.cpp" "src/dut/CMakeFiles/ht_dut.dir/tcp_server.cpp.o" "gcc" "src/dut/CMakeFiles/ht_dut.dir/tcp_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ht_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ht_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

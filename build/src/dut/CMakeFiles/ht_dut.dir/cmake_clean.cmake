@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_dut.dir/capture.cpp.o"
+  "CMakeFiles/ht_dut.dir/capture.cpp.o.d"
+  "CMakeFiles/ht_dut.dir/forwarder.cpp.o"
+  "CMakeFiles/ht_dut.dir/forwarder.cpp.o.d"
+  "CMakeFiles/ht_dut.dir/scan_targets.cpp.o"
+  "CMakeFiles/ht_dut.dir/scan_targets.cpp.o.d"
+  "CMakeFiles/ht_dut.dir/tcp_server.cpp.o"
+  "CMakeFiles/ht_dut.dir/tcp_server.cpp.o.d"
+  "libht_dut.a"
+  "libht_dut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_dut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

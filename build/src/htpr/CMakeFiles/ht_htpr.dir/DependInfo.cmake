@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/htpr/counter_store.cpp" "src/htpr/CMakeFiles/ht_htpr.dir/counter_store.cpp.o" "gcc" "src/htpr/CMakeFiles/ht_htpr.dir/counter_store.cpp.o.d"
+  "/root/repo/src/htpr/false_positive.cpp" "src/htpr/CMakeFiles/ht_htpr.dir/false_positive.cpp.o" "gcc" "src/htpr/CMakeFiles/ht_htpr.dir/false_positive.cpp.o.d"
+  "/root/repo/src/htpr/receiver.cpp" "src/htpr/CMakeFiles/ht_htpr.dir/receiver.cpp.o" "gcc" "src/htpr/CMakeFiles/ht_htpr.dir/receiver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rmt/CMakeFiles/ht_rmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/regfifo/CMakeFiles/ht_regfifo.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchcpu/CMakeFiles/ht_switchcpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ht_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ht_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_htpr.dir/counter_store.cpp.o"
+  "CMakeFiles/ht_htpr.dir/counter_store.cpp.o.d"
+  "CMakeFiles/ht_htpr.dir/false_positive.cpp.o"
+  "CMakeFiles/ht_htpr.dir/false_positive.cpp.o.d"
+  "CMakeFiles/ht_htpr.dir/receiver.cpp.o"
+  "CMakeFiles/ht_htpr.dir/receiver.cpp.o.d"
+  "libht_htpr.a"
+  "libht_htpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_htpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

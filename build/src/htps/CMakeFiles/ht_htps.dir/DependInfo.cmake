@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/htps/inverse_transform.cpp" "src/htps/CMakeFiles/ht_htps.dir/inverse_transform.cpp.o" "gcc" "src/htps/CMakeFiles/ht_htps.dir/inverse_transform.cpp.o.d"
+  "/root/repo/src/htps/sender.cpp" "src/htps/CMakeFiles/ht_htps.dir/sender.cpp.o" "gcc" "src/htps/CMakeFiles/ht_htps.dir/sender.cpp.o.d"
+  "/root/repo/src/htps/template_packet.cpp" "src/htps/CMakeFiles/ht_htps.dir/template_packet.cpp.o" "gcc" "src/htps/CMakeFiles/ht_htps.dir/template_packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rmt/CMakeFiles/ht_rmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/regfifo/CMakeFiles/ht_regfifo.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchcpu/CMakeFiles/ht_switchcpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ht_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ht_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

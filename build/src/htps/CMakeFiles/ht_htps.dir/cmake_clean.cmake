@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_htps.dir/inverse_transform.cpp.o"
+  "CMakeFiles/ht_htps.dir/inverse_transform.cpp.o.d"
+  "CMakeFiles/ht_htps.dir/sender.cpp.o"
+  "CMakeFiles/ht_htps.dir/sender.cpp.o.d"
+  "CMakeFiles/ht_htps.dir/template_packet.cpp.o"
+  "CMakeFiles/ht_htps.dir/template_packet.cpp.o.d"
+  "libht_htps.a"
+  "libht_htps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_htps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cpp" "src/net/CMakeFiles/ht_net.dir/checksum.cpp.o" "gcc" "src/net/CMakeFiles/ht_net.dir/checksum.cpp.o.d"
+  "/root/repo/src/net/fields.cpp" "src/net/CMakeFiles/ht_net.dir/fields.cpp.o" "gcc" "src/net/CMakeFiles/ht_net.dir/fields.cpp.o.d"
+  "/root/repo/src/net/five_tuple.cpp" "src/net/CMakeFiles/ht_net.dir/five_tuple.cpp.o" "gcc" "src/net/CMakeFiles/ht_net.dir/five_tuple.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/net/CMakeFiles/ht_net.dir/headers.cpp.o" "gcc" "src/net/CMakeFiles/ht_net.dir/headers.cpp.o.d"
+  "/root/repo/src/net/packet_builder.cpp" "src/net/CMakeFiles/ht_net.dir/packet_builder.cpp.o" "gcc" "src/net/CMakeFiles/ht_net.dir/packet_builder.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/net/CMakeFiles/ht_net.dir/pcap.cpp.o" "gcc" "src/net/CMakeFiles/ht_net.dir/pcap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_net.dir/checksum.cpp.o"
+  "CMakeFiles/ht_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/ht_net.dir/fields.cpp.o"
+  "CMakeFiles/ht_net.dir/fields.cpp.o.d"
+  "CMakeFiles/ht_net.dir/five_tuple.cpp.o"
+  "CMakeFiles/ht_net.dir/five_tuple.cpp.o.d"
+  "CMakeFiles/ht_net.dir/headers.cpp.o"
+  "CMakeFiles/ht_net.dir/headers.cpp.o.d"
+  "CMakeFiles/ht_net.dir/packet_builder.cpp.o"
+  "CMakeFiles/ht_net.dir/packet_builder.cpp.o.d"
+  "CMakeFiles/ht_net.dir/pcap.cpp.o"
+  "CMakeFiles/ht_net.dir/pcap.cpp.o.d"
+  "libht_net.a"
+  "libht_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

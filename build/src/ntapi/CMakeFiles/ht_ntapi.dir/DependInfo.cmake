@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ntapi/compiler.cpp" "src/ntapi/CMakeFiles/ht_ntapi.dir/compiler.cpp.o" "gcc" "src/ntapi/CMakeFiles/ht_ntapi.dir/compiler.cpp.o.d"
+  "/root/repo/src/ntapi/header_space.cpp" "src/ntapi/CMakeFiles/ht_ntapi.dir/header_space.cpp.o" "gcc" "src/ntapi/CMakeFiles/ht_ntapi.dir/header_space.cpp.o.d"
+  "/root/repo/src/ntapi/p4gen.cpp" "src/ntapi/CMakeFiles/ht_ntapi.dir/p4gen.cpp.o" "gcc" "src/ntapi/CMakeFiles/ht_ntapi.dir/p4gen.cpp.o.d"
+  "/root/repo/src/ntapi/task.cpp" "src/ntapi/CMakeFiles/ht_ntapi.dir/task.cpp.o" "gcc" "src/ntapi/CMakeFiles/ht_ntapi.dir/task.cpp.o.d"
+  "/root/repo/src/ntapi/text/lexer.cpp" "src/ntapi/CMakeFiles/ht_ntapi.dir/text/lexer.cpp.o" "gcc" "src/ntapi/CMakeFiles/ht_ntapi.dir/text/lexer.cpp.o.d"
+  "/root/repo/src/ntapi/text/parser.cpp" "src/ntapi/CMakeFiles/ht_ntapi.dir/text/parser.cpp.o" "gcc" "src/ntapi/CMakeFiles/ht_ntapi.dir/text/parser.cpp.o.d"
+  "/root/repo/src/ntapi/validation.cpp" "src/ntapi/CMakeFiles/ht_ntapi.dir/validation.cpp.o" "gcc" "src/ntapi/CMakeFiles/ht_ntapi.dir/validation.cpp.o.d"
+  "/root/repo/src/ntapi/value.cpp" "src/ntapi/CMakeFiles/ht_ntapi.dir/value.cpp.o" "gcc" "src/ntapi/CMakeFiles/ht_ntapi.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ht_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/htps/CMakeFiles/ht_htps.dir/DependInfo.cmake"
+  "/root/repo/build/src/htpr/CMakeFiles/ht_htpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/stateless/CMakeFiles/ht_stateless.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchcpu/CMakeFiles/ht_switchcpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/regfifo/CMakeFiles/ht_regfifo.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmt/CMakeFiles/ht_rmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ht_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

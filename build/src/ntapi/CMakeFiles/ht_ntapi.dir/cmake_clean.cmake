@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_ntapi.dir/compiler.cpp.o"
+  "CMakeFiles/ht_ntapi.dir/compiler.cpp.o.d"
+  "CMakeFiles/ht_ntapi.dir/header_space.cpp.o"
+  "CMakeFiles/ht_ntapi.dir/header_space.cpp.o.d"
+  "CMakeFiles/ht_ntapi.dir/p4gen.cpp.o"
+  "CMakeFiles/ht_ntapi.dir/p4gen.cpp.o.d"
+  "CMakeFiles/ht_ntapi.dir/task.cpp.o"
+  "CMakeFiles/ht_ntapi.dir/task.cpp.o.d"
+  "CMakeFiles/ht_ntapi.dir/text/lexer.cpp.o"
+  "CMakeFiles/ht_ntapi.dir/text/lexer.cpp.o.d"
+  "CMakeFiles/ht_ntapi.dir/text/parser.cpp.o"
+  "CMakeFiles/ht_ntapi.dir/text/parser.cpp.o.d"
+  "CMakeFiles/ht_ntapi.dir/validation.cpp.o"
+  "CMakeFiles/ht_ntapi.dir/validation.cpp.o.d"
+  "CMakeFiles/ht_ntapi.dir/value.cpp.o"
+  "CMakeFiles/ht_ntapi.dir/value.cpp.o.d"
+  "libht_ntapi.a"
+  "libht_ntapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_ntapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_regfifo.dir/register_fifo.cpp.o"
+  "CMakeFiles/ht_regfifo.dir/register_fifo.cpp.o.d"
+  "libht_regfifo.a"
+  "libht_regfifo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_regfifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

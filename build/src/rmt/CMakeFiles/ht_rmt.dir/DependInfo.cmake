@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rmt/asic.cpp" "src/rmt/CMakeFiles/ht_rmt.dir/asic.cpp.o" "gcc" "src/rmt/CMakeFiles/ht_rmt.dir/asic.cpp.o.d"
+  "/root/repo/src/rmt/digest.cpp" "src/rmt/CMakeFiles/ht_rmt.dir/digest.cpp.o" "gcc" "src/rmt/CMakeFiles/ht_rmt.dir/digest.cpp.o.d"
+  "/root/repo/src/rmt/hashing.cpp" "src/rmt/CMakeFiles/ht_rmt.dir/hashing.cpp.o" "gcc" "src/rmt/CMakeFiles/ht_rmt.dir/hashing.cpp.o.d"
+  "/root/repo/src/rmt/parser.cpp" "src/rmt/CMakeFiles/ht_rmt.dir/parser.cpp.o" "gcc" "src/rmt/CMakeFiles/ht_rmt.dir/parser.cpp.o.d"
+  "/root/repo/src/rmt/pipeline.cpp" "src/rmt/CMakeFiles/ht_rmt.dir/pipeline.cpp.o" "gcc" "src/rmt/CMakeFiles/ht_rmt.dir/pipeline.cpp.o.d"
+  "/root/repo/src/rmt/resources.cpp" "src/rmt/CMakeFiles/ht_rmt.dir/resources.cpp.o" "gcc" "src/rmt/CMakeFiles/ht_rmt.dir/resources.cpp.o.d"
+  "/root/repo/src/rmt/table.cpp" "src/rmt/CMakeFiles/ht_rmt.dir/table.cpp.o" "gcc" "src/rmt/CMakeFiles/ht_rmt.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ht_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ht_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

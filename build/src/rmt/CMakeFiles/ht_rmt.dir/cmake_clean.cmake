@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_rmt.dir/asic.cpp.o"
+  "CMakeFiles/ht_rmt.dir/asic.cpp.o.d"
+  "CMakeFiles/ht_rmt.dir/digest.cpp.o"
+  "CMakeFiles/ht_rmt.dir/digest.cpp.o.d"
+  "CMakeFiles/ht_rmt.dir/hashing.cpp.o"
+  "CMakeFiles/ht_rmt.dir/hashing.cpp.o.d"
+  "CMakeFiles/ht_rmt.dir/parser.cpp.o"
+  "CMakeFiles/ht_rmt.dir/parser.cpp.o.d"
+  "CMakeFiles/ht_rmt.dir/pipeline.cpp.o"
+  "CMakeFiles/ht_rmt.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ht_rmt.dir/resources.cpp.o"
+  "CMakeFiles/ht_rmt.dir/resources.cpp.o.d"
+  "CMakeFiles/ht_rmt.dir/table.cpp.o"
+  "CMakeFiles/ht_rmt.dir/table.cpp.o.d"
+  "libht_rmt.a"
+  "libht_rmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_rmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

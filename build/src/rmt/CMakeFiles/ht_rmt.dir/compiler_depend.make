@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ht_rmt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ht_rmt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ht_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ht_sim.dir/port.cpp.o"
+  "CMakeFiles/ht_sim.dir/port.cpp.o.d"
+  "CMakeFiles/ht_sim.dir/stats.cpp.o"
+  "CMakeFiles/ht_sim.dir/stats.cpp.o.d"
+  "libht_sim.a"
+  "libht_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

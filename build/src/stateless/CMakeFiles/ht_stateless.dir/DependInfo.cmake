@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stateless/trigger_fifo.cpp" "src/stateless/CMakeFiles/ht_stateless.dir/trigger_fifo.cpp.o" "gcc" "src/stateless/CMakeFiles/ht_stateless.dir/trigger_fifo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rmt/CMakeFiles/ht_rmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/regfifo/CMakeFiles/ht_regfifo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ht_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ht_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_stateless.dir/trigger_fifo.cpp.o"
+  "CMakeFiles/ht_stateless.dir/trigger_fifo.cpp.o.d"
+  "libht_stateless.a"
+  "libht_stateless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_stateless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchcpu/controller.cpp" "src/switchcpu/CMakeFiles/ht_switchcpu.dir/controller.cpp.o" "gcc" "src/switchcpu/CMakeFiles/ht_switchcpu.dir/controller.cpp.o.d"
+  "/root/repo/src/switchcpu/periodic_poller.cpp" "src/switchcpu/CMakeFiles/ht_switchcpu.dir/periodic_poller.cpp.o" "gcc" "src/switchcpu/CMakeFiles/ht_switchcpu.dir/periodic_poller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rmt/CMakeFiles/ht_rmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ht_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ht_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

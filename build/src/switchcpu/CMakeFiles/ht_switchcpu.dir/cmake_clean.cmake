@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_switchcpu.dir/controller.cpp.o"
+  "CMakeFiles/ht_switchcpu.dir/controller.cpp.o.d"
+  "CMakeFiles/ht_switchcpu.dir/periodic_poller.cpp.o"
+  "CMakeFiles/ht_switchcpu.dir/periodic_poller.cpp.o.d"
+  "libht_switchcpu.a"
+  "libht_switchcpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_switchcpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htpr_test.dir/htpr_test.cpp.o"
+  "CMakeFiles/htpr_test.dir/htpr_test.cpp.o.d"
+  "htpr_test"
+  "htpr_test.pdb"
+  "htpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htps_test.dir/htps_test.cpp.o"
+  "CMakeFiles/htps_test.dir/htps_test.cpp.o.d"
+  "htps_test"
+  "htps_test.pdb"
+  "htps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

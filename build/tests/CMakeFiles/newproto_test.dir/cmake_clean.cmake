@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newproto_test.dir/newproto_test.cpp.o"
+  "CMakeFiles/newproto_test.dir/newproto_test.cpp.o.d"
+  "newproto_test"
+  "newproto_test.pdb"
+  "newproto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newproto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

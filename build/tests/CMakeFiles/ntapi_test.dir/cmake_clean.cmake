@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntapi_test.dir/ntapi_test.cpp.o"
+  "CMakeFiles/ntapi_test.dir/ntapi_test.cpp.o.d"
+  "ntapi_test"
+  "ntapi_test.pdb"
+  "ntapi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntapi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntapi_text_test.dir/ntapi_text_test.cpp.o"
+  "CMakeFiles/ntapi_text_test.dir/ntapi_text_test.cpp.o.d"
+  "ntapi_text_test"
+  "ntapi_text_test.pdb"
+  "ntapi_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntapi_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regfifo_test.dir/regfifo_test.cpp.o"
+  "CMakeFiles/regfifo_test.dir/regfifo_test.cpp.o.d"
+  "regfifo_test"
+  "regfifo_test.pdb"
+  "regfifo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regfifo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

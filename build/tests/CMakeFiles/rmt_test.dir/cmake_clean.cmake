@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmt_test.dir/rmt_test.cpp.o"
+  "CMakeFiles/rmt_test.dir/rmt_test.cpp.o.d"
+  "rmt_test"
+  "rmt_test.pdb"
+  "rmt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchcpu_test.dir/switchcpu_test.cpp.o"
+  "CMakeFiles/switchcpu_test.dir/switchcpu_test.cpp.o.d"
+  "switchcpu_test"
+  "switchcpu_test.pdb"
+  "switchcpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchcpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

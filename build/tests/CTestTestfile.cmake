@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/rmt_test[1]_include.cmake")
+include("/root/repo/build/tests/regfifo_test[1]_include.cmake")
+include("/root/repo/build/tests/htps_test[1]_include.cmake")
+include("/root/repo/build/tests/htpr_test[1]_include.cmake")
+include("/root/repo/build/tests/stateless_test[1]_include.cmake")
+include("/root/repo/build/tests/ntapi_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/dut_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/ntapi_text_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/switchcpu_test[1]_include.cmake")
+include("/root/repo/build/tests/newproto_test[1]_include.cmake")
+include("/root/repo/build/tests/poller_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/p4gen_test[1]_include.cmake")
