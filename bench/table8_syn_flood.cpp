@@ -19,7 +19,7 @@ int main() {
   tb.tester->start();
   tb.tester->run_for(sim::ms(2));
   double gbps = 0;
-  for (const std::uint16_t p : {1, 2, 3, 4}) {
+  for (std::uint16_t p = 1; p <= 4; ++p) {
     gbps += tb.tester->asic().port(p).tx_line_rate_gbps();
   }
   const double mpps = gbps * 1e9 / (88.0 * 8.0) / 1e6;  // 64B + overhead

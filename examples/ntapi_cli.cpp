@@ -2,12 +2,21 @@
 // testbed.
 //
 //   $ ./ntapi_cli <script.nt> [--ms N] [--p4] [--loopback]
+//   $ ./ntapi_cli lint <script.nt>
 //
 // Options:
 //   --ms N       simulated run time in milliseconds (default 10)
 //   --p4         print the generated P4 program and exit
 //   --loopback   wire every switch port back to itself through a cable,
 //                so received-traffic queries see the sent traffic
+//
+// The `lint` subcommand runs htlint — validation plus the static pipeline
+// analyzer — over the script without executing it, and prints one coded
+// diagnostic per line (HT1xx = error, HT2xx = warning), e.g.
+//
+//   HT102 error trigger[0]: register 'delaystate.0' read after write ...
+//
+// Exit status: 0 clean (warnings allowed), 1 errors found.
 //
 // Without --loopback every port is terminated by an absorbing capture
 // device. After the run, every query's totals are printed.
@@ -18,13 +27,56 @@
 
 #include "core/hypertester.hpp"
 #include "dut/capture.hpp"
+#include "ntapi/compiler.hpp"
 #include "ntapi/text/parser.hpp"
+
+namespace {
+
+int lint_script(const char* path) {
+  using namespace ht;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const auto prog = ntapi::text::parse_ntapi(buffer.str(), path);
+    const auto report = ntapi::Compiler().lint(prog.task);
+    for (const auto& d : report.diagnostics) {
+      std::printf("%s\n", analysis::format(d).c_str());
+    }
+    if (report.diagnostics.empty()) {
+      std::printf("%s: no issues found\n", path);
+    } else {
+      std::printf("%s: %zu error(s), %zu warning(s)\n", path, report.error_count(),
+                  report.warning_count());
+    }
+    return report.has_errors() ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ht;
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <script.nt> [--ms N] [--p4] [--loopback]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <script.nt> [--ms N] [--p4] [--loopback]\n"
+                 "       %s lint <script.nt>\n",
+                 argv[0], argv[0]);
     return 2;
+  }
+  if (std::strcmp(argv[1], "lint") == 0) {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: %s lint <script.nt>\n", argv[0]);
+      return 2;
+    }
+    return lint_script(argv[2]);
   }
   const char* path = argv[1];
   long run_ms = 10;

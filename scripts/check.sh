@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Sanitizer gate: configure a dedicated build tree with ASan+UBSan
+# (HT_SANITIZE, see the top-level CMakeLists.txt), build everything, and
+# run the full ctest suite under the instrumented binaries.
+#
+#   scripts/check.sh [build-dir] [-- extra ctest args]
+#
+# Environment:
+#   HT_SANITIZE   sanitizer list (default "address,undefined"; "thread"
+#                 for TSan — mutually exclusive with ASan)
+#   CTEST_PARALLEL_LEVEL / JOBS   parallelism (default: nproc)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-sanitize}"
+[ $# -gt 0 ] && shift
+[ "${1:-}" = "--" ] && shift
+
+SAN="${HT_SANITIZE:-address,undefined}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+echo "== configuring ${BUILD_DIR} with -fsanitize=${SAN}"
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHT_SANITIZE="${SAN}" >/dev/null
+
+echo "== building (${JOBS} jobs)"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== ctest under ${SAN}"
+# halt_on_error makes UBSan findings fail the test instead of just logging.
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure "$@"
+
+echo "== clean under ${SAN}"

@@ -1,0 +1,25 @@
+#include "analysis/analyzer.hpp"
+
+namespace ht::analysis {
+
+Analyzer Analyzer::with_default_passes() {
+  Analyzer a;
+  a.add_pass(std::make_unique<StageFitPass>());
+  a.add_pass(std::make_unique<SaluDisciplinePass>());
+  a.add_pass(std::make_unique<ParserCoveragePass>());
+  a.add_pass(std::make_unique<EditorOrderPass>());
+  a.add_pass(std::make_unique<FifoSchemaPass>());
+  a.add_pass(std::make_unique<DeadEntryPass>());
+  return a;
+}
+
+void Analyzer::add_pass(std::unique_ptr<Pass> pass) { passes_.push_back(std::move(pass)); }
+
+AnalysisReport Analyzer::run(const AnalysisInput& in) const {
+  AnalysisReport report;
+  for (const auto& pass : passes_) pass->run(in, report);
+  report.sort();
+  return report;
+}
+
+}  // namespace ht::analysis

@@ -1,0 +1,37 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace ht::analysis {
+
+std::string format(const Diagnostic& d) {
+  std::string out = d.code;
+  out += d.severity == Severity::kError ? " error " : " warning ";
+  out += d.where;
+  out += ": ";
+  out += d.message;
+  return out;
+}
+
+bool AnalysisReport::has_errors() const { return error_count() > 0; }
+
+std::size_t AnalysisReport::error_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) { return d.severity == Severity::kError; }));
+}
+
+std::size_t AnalysisReport::warning_count() const {
+  return diagnostics.size() - error_count();
+}
+
+void AnalysisReport::sort() {
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.code, a.where, a.message) <
+                            std::tie(b.code, b.where, b.message);
+                   });
+}
+
+}  // namespace ht::analysis

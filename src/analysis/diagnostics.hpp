@@ -1,0 +1,62 @@
+// htlint diagnostics (§6.1 "HyperTester will reject the mistaken testing
+// tasks" — the compiled-artifact half).
+//
+// `ntapi::validate` checks the *source* task: field widths, handle
+// references, operator sequences. The analysis passes in this directory
+// check the *compiled* artifact: the generated table/editor programs, the
+// register access patterns, and whether the pipeline fits the ASIC. Every
+// finding is a `Diagnostic` with a stable code suitable for golden-file
+// testing:
+//
+//   HT100  validation error surfaced through the lint entry point
+//   HT101  pipeline does not fit the ASIC's match-action stages
+//   HT102  SALU discipline: register accessed twice in one pipeline pass
+//   HT103  parser coverage: field read but never extracted on the
+//          monitored traffic's parse path
+//   HT104  editor dependency order: action reads a field a later action
+//          in the same program writes
+//   HT105  trigger-FIFO schema mismatch between HTPR record and HTPS
+//          template
+//   HT201  query filter shadowed by earlier filters (can never match)
+//   HT202  sent-traffic filter dead against the trigger's value support
+//   HT203  duplicate entry in the exact-key-matching table (shadowed)
+//
+// HT1xx are errors (compile() refuses the task); HT2xx are warnings
+// (carried through CompiledTask).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ht::analysis {
+
+enum class Severity : std::uint8_t { kWarning, kError };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;     ///< "HT102"
+  std::string where;    ///< "trigger[0]", "query[2]", "stage 4"
+  std::string message;  ///< what is wrong
+  std::string hint;     ///< how to fix it (may be empty)
+};
+
+/// One line, stable across runs: "HT102 error trigger[0]: message".
+std::string format(const Diagnostic& d);
+
+/// The result of running every analysis pass over one compiled task.
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+  /// Match-action stages the placement model needed (<= max_stages when
+  /// the stage-fit pass is silent).
+  std::size_t stages_used = 0;
+
+  bool has_errors() const;
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  /// Deterministic order for printing and golden files: code (errors
+  /// first, since errors are HT1xx), then where, then message.
+  void sort();
+};
+
+}  // namespace ht::analysis

@@ -1,0 +1,85 @@
+// Pipeline placement model for htlint.
+//
+// The NTAPI backend emits logical tables (sender, editor, query operators)
+// without assigning them to physical match-action stages — the simulator
+// does not need stages, but the real ASIC does, and resource/allocation
+// bugs live exactly in that gap (cf. "Testing Compilers for Programmable
+// Switches Through Switch Hardware Simulation"). This model reconstructs a
+// placement the way a Tofino-class backend would:
+//
+//  - every compiled construct becomes a `LogicalUnit` with an estimated
+//    `rmt::ResourceUsage`, the registers it touches, and the PHV fields it
+//    reads/writes;
+//  - units are list-scheduled: a unit's earliest stage is one past its
+//    match/data dependency, and it lands in the first stage from there
+//    with room in every resource class (ingress and egress threads share
+//    the physical stages, as on Tofino).
+//
+// The stage-fit pass reports placements needing more than
+// AsicConfig::max_stages; the SALU and editor-order passes reuse the unit
+// model for access-pattern checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/fields.hpp"
+#include "rmt/resources.hpp"
+
+namespace ht::analysis {
+
+struct AnalysisInput;
+
+/// Which pipeline thread executes the unit.
+enum class Thread : std::uint8_t { kIngress, kEgress };
+
+/// Which packets can hit the unit's tables. Units gated on disjoint
+/// classes never fire on the same packet, so they cannot conflict on a
+/// register within one pipeline pass.
+struct PacketClass {
+  /// Template id for generated traffic; kForeign for received traffic.
+  static constexpr int kForeign = -1;
+  int id = kForeign;
+  bool operator==(const PacketClass&) const = default;
+};
+
+struct RegisterAccess {
+  std::string reg;
+  bool write = false;
+};
+
+struct LogicalUnit {
+  std::string name;   ///< generated-table name, e.g. "t_cuckoo_1"
+  std::string where;  ///< diagnostic location, e.g. "query[1]"
+  Thread thread = Thread::kIngress;
+  PacketClass traffic;
+  rmt::ResourceUsage usage;
+  std::vector<RegisterAccess> registers;
+  /// PHV fields the unit's actions read / write.
+  std::vector<net::FieldId> reads;
+  std::vector<net::FieldId> writes;
+  /// Index of the unit this one must be placed after (match or data
+  /// dependency); -1 for none. Chains express sequential table programs.
+  int depends_on = -1;
+  /// Origin markers so passes can refer back to the NTAPI program.
+  int trigger = -1;  ///< owning trigger index, -1 when query-side
+  int query = -1;    ///< owning query index, -1 when trigger-side
+  int edit = -1;     ///< editor-op index within the template, -1 otherwise
+};
+
+struct Placement {
+  std::vector<LogicalUnit> units;
+  std::vector<int> stage_of;  ///< parallel to units
+  /// Combined ingress+egress usage per stage (grown past max_stages when
+  /// the program does not fit — that is what the stage-fit pass reports).
+  std::vector<rmt::ResourceUsage> stage_usage;
+  std::size_t stages_needed() const { return stage_usage.size(); }
+};
+
+/// Lower the compiled task into logical units, in pipeline program order.
+std::vector<LogicalUnit> build_units(const AnalysisInput& in);
+
+/// List-schedule units into stages against rmt::stage_capacity().
+Placement place_pipeline(const AnalysisInput& in);
+
+}  // namespace ht::analysis

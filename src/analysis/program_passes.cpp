@@ -1,0 +1,172 @@
+// Parser-coverage (HT103) and editor-order (HT104) passes: checks over
+// the parse graph reachability and the editor program semantics.
+#include <set>
+#include <string>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/placement.hpp"
+#include "ntapi/validation.hpp"
+
+namespace ht::analysis {
+
+namespace {
+
+std::string proto_name(net::HeaderKind k) {
+  switch (k) {
+    case net::HeaderKind::kEthernet:
+      return "Ethernet";
+    case net::HeaderKind::kIpv4:
+      return "IPv4";
+    case net::HeaderKind::kTcp:
+      return "TCP";
+    case net::HeaderKind::kUdp:
+      return "UDP";
+    case net::HeaderKind::kIcmp:
+      return "ICMP";
+    case net::HeaderKind::kNvp:
+      return "NVP";
+    case net::HeaderKind::kNone:
+      break;
+  }
+  return "none";
+}
+
+std::string proto_list(const std::set<net::HeaderKind>& protos) {
+  std::string out;
+  for (const auto p : protos) {
+    if (!out.empty()) out += "/";
+    out += proto_name(p);
+  }
+  return out.empty() ? "no L4" : out;
+}
+
+/// Is `field` extracted on some reachable parse path when the packet's L4
+/// protocol is one of `protos`? Ethernet and IPv4 are always on the path;
+/// an L4 header only when some monitored packet carries that protocol.
+bool extracted(net::FieldId field, const std::set<net::HeaderKind>& protos) {
+  const auto h = net::field_header(field);
+  if (h == net::HeaderKind::kEthernet || h == net::HeaderKind::kIpv4) return true;
+  return protos.count(h) > 0;
+}
+
+}  // namespace
+
+void ParserCoveragePass::run(const AnalysisInput& in, AnalysisReport& out) const {
+  // The L4 protocol each trigger's packets carry.
+  std::vector<net::HeaderKind> trigger_l4;
+  trigger_l4.reserve(in.task.triggers().size());
+  for (const auto& trig : in.task.triggers()) trigger_l4.push_back(ntapi::infer_l4(trig));
+
+  // Trigger side: a recorded-timestamp index field must live in the
+  // trigger's own header stack (ntapi::validate checks `set` bindings but
+  // not record_timestamp).
+  for (std::size_t t = 0; t < in.task.triggers().size(); ++t) {
+    for (const auto f : in.task.triggers()[t].timestamp_records()) {
+      if (!extracted(f, {trigger_l4[t]}) && net::is_header_field(f)) {
+        out.diagnostics.push_back(
+            {Severity::kError, "HT103", "trigger[" + std::to_string(t) + "]",
+             "timestamp record is indexed by '" + std::string(net::field_name(f)) +
+                 "' but the trigger's packets carry " + proto_name(trigger_l4[t]) +
+                 ", so the parser never extracts it",
+             "index the record with a field of the trigger's header stack"});
+      }
+    }
+  }
+
+  // Query side: every field a query program reads must be extracted on
+  // the parse path of the traffic it monitors. Sent-traffic queries see
+  // exactly their trigger's stack; received-traffic queries see the
+  // responses, which mirror the requests' protocols. A received query in
+  // a task with no triggers monitors foreign traffic of unknown shape —
+  // nothing can be concluded, so it is skipped.
+  for (std::size_t q = 0; q < in.task.queries().size(); ++q) {
+    const auto& query = in.task.queries()[q];
+    std::set<net::HeaderKind> protos;
+    if (query.monitored_trigger()) {
+      protos.insert(trigger_l4[query.monitored_trigger()->index]);
+    } else {
+      if (in.task.triggers().empty()) continue;
+      protos.insert(trigger_l4.begin(), trigger_l4.end());
+    }
+
+    std::vector<net::FieldId> referenced;
+    for (const auto& step : query.steps()) {
+      if (const auto* f = std::get_if<ntapi::QFilter>(&step)) {
+        if (!f->on_result) referenced.push_back(f->field);
+      } else if (const auto* m = std::get_if<ntapi::QMap>(&step)) {
+        referenced.insert(referenced.end(), m->keys.begin(), m->keys.end());
+        if (m->value_field) referenced.push_back(*m->value_field);
+        if (m->minus_field) referenced.push_back(*m->minus_field);
+        if (m->state_index_field) referenced.push_back(*m->state_index_field);
+      }
+    }
+    // Trigger-record lanes are extracted from the same monitored packets.
+    for (const auto& w : in.compiled.fifos) {
+      if (w.query_index == q) referenced.insert(referenced.end(), w.lanes.begin(), w.lanes.end());
+    }
+
+    std::set<net::FieldId> reported;
+    for (const auto f : referenced) {
+      if (!net::is_header_field(f)) continue;  // control/metadata: always readable
+      if (extracted(f, protos)) continue;
+      if (!reported.insert(f).second) continue;
+      out.diagnostics.push_back(
+          {Severity::kError, "HT103", "query[" + std::to_string(q) + "]",
+           "reads '" + std::string(net::field_name(f)) +
+               "' but the monitored traffic carries " + proto_list(protos) +
+               ", so no reachable parser path extracts it",
+           "bind ipv4.proto on the trigger to the matching protocol, or drop the operator"});
+    }
+  }
+}
+
+void EditorOrderPass::run(const AnalysisInput& in, AnalysisReport& out) const {
+  // Rule 1, program order: an editor action reading a field that a LATER
+  // action of the same program writes observes the stale value — the
+  // placement model can split stages for earlier writers, but not reorder
+  // the program.
+  for (std::size_t t = 0; t < in.compiled.templates.size(); ++t) {
+    const auto& edits = in.compiled.templates[t].edits;
+    for (std::size_t i = 0; i < edits.size(); ++i) {
+      if (edits[i].kind != htps::EditOp::Kind::kRecordTimestamp) continue;
+      for (std::size_t j = i + 1; j < edits.size(); ++j) {
+        if (edits[j].kind == htps::EditOp::Kind::kRecordTimestamp) continue;
+        if (edits[j].field != edits[i].field) continue;
+        out.diagnostics.push_back(
+            {Severity::kError, "HT104",
+             "trigger[" + std::to_string(t) + "].edit[" + std::to_string(i) + "]",
+             "records a timestamp indexed by '" + std::string(net::field_name(edits[i].field)) +
+                 "', but edit[" + std::to_string(j) +
+                 "] rewrites that field later in the same editor program",
+             "order the field edit before record_timestamp() so the index sees the final value"});
+      }
+    }
+  }
+
+  // Rule 2, placement order: two actions the same packet executes in one
+  // stage run in parallel on the stage's input PHV — a read placed with
+  // its writer still observes the stale value.
+  const Placement pl = place_pipeline(in);
+  for (std::size_t a = 0; a < pl.units.size(); ++a) {
+    const auto& writer = pl.units[a];
+    if (writer.edit < 0) continue;
+    for (std::size_t b = a + 1; b < pl.units.size(); ++b) {
+      const auto& reader = pl.units[b];
+      if (reader.edit < 0 || reader.trigger != writer.trigger) continue;
+      if (pl.stage_of[a] != pl.stage_of[b]) continue;
+      for (const auto wf : writer.writes) {
+        for (const auto rf : reader.reads) {
+          if (wf != rf) continue;
+          out.diagnostics.push_back(
+              {Severity::kError, "HT104", reader.where,
+               reader.name + " reads '" + std::string(net::field_name(rf)) + "' in stage " +
+                   std::to_string(pl.stage_of[b]) + ", the same stage where " + writer.name +
+                   " writes it",
+               "same-stage actions run in parallel; reorder the editor program"});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ht::analysis

@@ -1,0 +1,240 @@
+// FIFO-schema (HT105) and dead/shadowed-entry (HT201/202/203) passes.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/analyzer.hpp"
+
+namespace ht::analysis {
+
+namespace {
+
+/// The record schema a query-based trigger implies: every query field it
+/// references, de-duplicated in reference order (mirrors the compiler).
+std::vector<net::FieldId> implied_lanes(const ntapi::Trigger& trig) {
+  std::vector<net::FieldId> lanes;
+  for (const auto& binding : trig.bindings()) {
+    if (const auto* ref = std::get_if<ntapi::QueryFieldRef>(&binding.source)) {
+      if (std::find(lanes.begin(), lanes.end(), ref->field) == lanes.end()) {
+        lanes.push_back(ref->field);
+      }
+    }
+  }
+  return lanes;
+}
+
+std::string lane_list(const std::vector<net::FieldId>& lanes) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::string(net::field_name(lanes[i]));
+  }
+  return out + "]";
+}
+
+/// Closed interval of field values a chain of filters still admits.
+struct Interval {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = UINT64_MAX;
+  bool empty = false;
+
+  void clamp_lo(std::uint64_t v) {
+    if (v > hi) empty = true;
+    lo = std::max(lo, v);
+  }
+  void clamp_hi(std::uint64_t v) {
+    if (v < lo) empty = true;
+    hi = std::min(hi, v);
+  }
+  void apply(htpr::Cmp cmp, std::uint64_t v) {
+    switch (cmp) {
+      case htpr::Cmp::kEq:
+        clamp_lo(v);
+        clamp_hi(v);
+        break;
+      case htpr::Cmp::kNe:
+        if (lo == hi && lo == v) empty = true;
+        break;
+      case htpr::Cmp::kLt:
+        if (v == 0) empty = true;
+        else clamp_hi(v - 1);
+        break;
+      case htpr::Cmp::kLe:
+        clamp_hi(v);
+        break;
+      case htpr::Cmp::kGt:
+        if (v == UINT64_MAX) empty = true;
+        else clamp_lo(v + 1);
+        break;
+      case htpr::Cmp::kGe:
+        clamp_lo(v);
+        break;
+    }
+  }
+};
+
+std::string cmp_name(htpr::Cmp cmp) {
+  switch (cmp) {
+    case htpr::Cmp::kEq:
+      return "==";
+    case htpr::Cmp::kNe:
+      return "!=";
+    case htpr::Cmp::kLt:
+      return "<";
+    case htpr::Cmp::kLe:
+      return "<=";
+    case htpr::Cmp::kGt:
+      return ">";
+    case htpr::Cmp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void FifoSchemaPass::run(const AnalysisInput& in, AnalysisReport& out) const {
+  for (const auto& w : in.compiled.fifos) {
+    const std::string where = "trigger[" + std::to_string(w.trigger_index) + "]";
+    if (w.trigger_index >= in.task.triggers().size() ||
+        w.query_index >= in.task.queries().size()) {
+      out.diagnostics.push_back({Severity::kError, "HT105", where,
+                                 "trigger-FIFO wiring references a nonexistent trigger or query",
+                                 ""});
+      continue;
+    }
+    const auto& trig = in.task.triggers()[w.trigger_index];
+
+    // Both sides must agree on the record schema: HTPR pushes the lanes in
+    // this order, HTPS pops them by index.
+    const auto expected = implied_lanes(trig);
+    if (expected != w.lanes) {
+      out.diagnostics.push_back(
+          {Severity::kError, "HT105", where,
+           "trigger-FIFO schema out of sync: the HTPR record carries " + lane_list(w.lanes) +
+               " but the template's field references imply " + lane_list(expected),
+           "recompile the task; hand-edited wirings must list one lane per referenced field"});
+    }
+
+    // Width check: a record lane must fit the template field it feeds.
+    for (const auto& binding : trig.bindings()) {
+      const auto* ref = std::get_if<ntapi::QueryFieldRef>(&binding.source);
+      if (ref == nullptr) continue;
+      const auto src_bits = net::field_width(ref->field);
+      const auto dst_bits = net::field_width(binding.field);
+      if (src_bits > dst_bits) {
+        out.diagnostics.push_back(
+            {Severity::kError, "HT105", where,
+             "record lane '" + std::string(net::field_name(ref->field)) + "' (" +
+                 std::to_string(src_bits) + " bits) does not fit template field '" +
+                 std::string(net::field_name(binding.field)) + "' (" +
+                 std::to_string(dst_bits) + " bits)",
+             "feed the value into a field at least as wide as the recorded lane"});
+      }
+    }
+
+    // Editor ops must only read lanes the record schema provides.
+    const auto& edits = in.compiled.templates[w.trigger_index].edits;
+    for (std::size_t j = 0; j < edits.size(); ++j) {
+      if (edits[j].kind != htps::EditOp::Kind::kFromTrigger) continue;
+      if (edits[j].trigger_lane >= w.lanes.size()) {
+        out.diagnostics.push_back(
+            {Severity::kError, "HT105", where + ".edit[" + std::to_string(j) + "]",
+             "editor reads record lane " + std::to_string(edits[j].trigger_lane) +
+                 " but the trigger-FIFO schema has only " + std::to_string(w.lanes.size()) +
+                 " lane(s)",
+             ""});
+      }
+    }
+  }
+}
+
+void DeadEntryPass::run(const AnalysisInput& in, AnalysisReport& out) const {
+  for (std::size_t q = 0; q < in.task.queries().size(); ++q) {
+    const auto& query = in.task.queries()[q];
+    const std::string where = "query[" + std::to_string(q) + "]";
+
+    // Seed per-field intervals from the monitored trigger's value support:
+    // a sent-traffic query observes exactly what the editor emits, so a
+    // filter outside that support can never match (dead table entry).
+    const ntapi::Trigger* trig = nullptr;
+    if (query.monitored_trigger() &&
+        query.monitored_trigger()->index < in.task.triggers().size()) {
+      trig = &in.task.trigger(*query.monitored_trigger());
+    }
+
+    std::map<net::FieldId, Interval> seen;
+    bool chain_dead = false;  // only report the first dead filter per field chain
+    for (const auto& step : query.steps()) {
+      const auto* f = std::get_if<ntapi::QFilter>(&step);
+      if (f == nullptr || f->on_result) continue;
+
+      Interval support;  // what the generated traffic can carry
+      const ntapi::Value* bound = nullptr;
+      if (trig != nullptr) {
+        if (const auto* b = trig->find(f->field)) bound = std::get_if<ntapi::Value>(&b->source);
+      }
+      if (bound != nullptr) {
+        support.lo = bound->min_value();
+        support.hi = bound->max_value();
+      }
+
+      const std::string pred = std::string(net::field_name(f->field)) + " " +
+                               cmp_name(f->cmp) + " " + std::to_string(f->value);
+
+      // Dead against the trigger's support alone?
+      Interval vs_support = support;
+      vs_support.apply(f->cmp, f->value);
+      bool exact_miss = false;
+      if (!vs_support.empty && bound != nullptr && f->cmp == htpr::Cmp::kEq) {
+        std::vector<std::uint64_t> values;
+        if (bound->enumerate(values, 4096)) {
+          exact_miss = std::find(values.begin(), values.end(), f->value) == values.end();
+        }
+      }
+      if (vs_support.empty || exact_miss) {
+        out.diagnostics.push_back(
+            {Severity::kWarning, "HT202", where,
+             "filter '" + pred + "' never matches the monitored trigger's traffic (" +
+                 std::string(net::field_name(f->field)) + " is generated in [" +
+                 std::to_string(support.lo) + ", " + std::to_string(support.hi) + "])",
+             "adjust the filter or the trigger's value binding"});
+        continue;
+      }
+
+      // Shadowed by earlier filters on the same field?
+      auto [it, fresh] = seen.try_emplace(f->field, support);
+      Interval& cur = it->second;
+      (void)fresh;
+      const bool was_empty = cur.empty;
+      cur.apply(f->cmp, f->value);
+      if (cur.empty && !was_empty && !chain_dead) {
+        chain_dead = true;
+        out.diagnostics.push_back(
+            {Severity::kWarning, "HT201", where,
+             "filter '" + pred + "' is shadowed by earlier filters on '" +
+                 std::string(net::field_name(f->field)) + "' and can never match",
+             "remove or merge the contradictory filters"});
+      }
+    }
+
+    // Duplicate keys in the exact-key-matching table shadow each other:
+    // only the first entry's counter ever updates.
+    if (q < in.compiled.queries.size()) {
+      std::set<std::vector<std::uint64_t>> unique;
+      for (const auto& key : in.compiled.queries[q].exact_keys) {
+        if (!unique.insert(key).second) {
+          out.diagnostics.push_back(
+              {Severity::kWarning, "HT203", where,
+               "duplicate entry in the exact-key-matching table (the second entry is "
+               "shadowed and its counter never updates)",
+               "deduplicate the precomputed collision keys"});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ht::analysis

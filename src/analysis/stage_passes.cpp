@@ -1,0 +1,100 @@
+// Stage-fit (HT101) and SALU-discipline (HT102) passes: resource and
+// register-access analysis over the placement model.
+#include <map>
+#include <string>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/placement.hpp"
+
+namespace ht::analysis {
+
+namespace {
+
+std::string join(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out += ", ";
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace
+
+void StageFitPass::run(const AnalysisInput& in, AnalysisReport& out) const {
+  const Placement pl = place_pipeline(in);
+  out.stages_used = std::max(out.stages_used, pl.stages_needed());
+  const rmt::ResourceUsage cap = rmt::stage_capacity();
+
+  // A single table that no stage can hold is its own diagnostic — the
+  // compiler bug class Wong et al. find with hardware simulation.
+  for (const auto& u : pl.units) {
+    const auto over = rmt::exceeded_classes(u.usage, cap);
+    if (!over.empty()) {
+      out.diagnostics.push_back(
+          {Severity::kError, "HT101", u.where,
+           "'" + u.name + "' alone exceeds one stage's " + join(over) + " capacity",
+           "shrink the structure (store_shape, value-list size) until it fits a stage"});
+    }
+  }
+
+  const auto max_stages = static_cast<std::size_t>(in.asic.max_stages);
+  if (pl.stages_needed() > max_stages) {
+    std::vector<std::string> overflow;
+    for (std::size_t i = 0; i < pl.units.size(); ++i) {
+      if (static_cast<std::size_t>(pl.stage_of[i]) >= max_stages && overflow.size() < 6) {
+        overflow.push_back(pl.units[i].name + " (stage " + std::to_string(pl.stage_of[i]) +
+                           ")");
+      }
+    }
+    out.diagnostics.push_back(
+        {Severity::kError, "HT101", "pipeline",
+         "compiled pipeline needs " + std::to_string(pl.stages_needed()) +
+             " match-action stages but the ASIC has " + std::to_string(max_stages),
+         "does not fit: " + join(overflow) +
+             "; split the task or shorten the query programs"});
+  }
+}
+
+void SaluDisciplinePass::run(const AnalysisInput& in, AnalysisReport& out) const {
+  const Placement pl = place_pipeline(in);
+
+  struct Access {
+    std::size_t unit;
+    bool write;
+  };
+  std::map<std::string, std::vector<Access>> by_register;
+  for (std::size_t i = 0; i < pl.units.size(); ++i) {
+    for (const auto& r : pl.units[i].registers) by_register[r.reg].push_back({i, r.write});
+  }
+
+  for (const auto& [reg, accesses] : by_register) {
+    if (accesses.size() < 2) continue;
+    // Units gated on disjoint packet classes never fire on the same
+    // packet; only same-class access pairs share a pipeline pass.
+    for (std::size_t a = 0; a < accesses.size(); ++a) {
+      for (std::size_t b = a + 1; b < accesses.size(); ++b) {
+        const auto& ua = pl.units[accesses[a].unit];
+        const auto& ub = pl.units[accesses[b].unit];
+        if (!(ua.traffic == ub.traffic)) continue;
+        const int stage = pl.stage_of[accesses[a].unit];
+        if (accesses[a].write && !accesses[b].write) {
+          out.diagnostics.push_back(
+              {Severity::kError, "HT102", ub.where,
+               "register '" + reg + "' read after write within a single pipeline pass "
+               "(written by " + ua.name + ", read by " + ub.name + ")",
+               "a stateful register supports one access per packet; split the state or "
+               "monitor a different traffic direction"});
+        } else {
+          out.diagnostics.push_back(
+              {Severity::kError, "HT102", ub.where,
+               "register '" + reg + "' accessed twice in stage " + std::to_string(stage) +
+                   " (" + ua.name + " and " + ub.name + ")",
+               "a stateful register supports one SALU access per packet pass"});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ht::analysis

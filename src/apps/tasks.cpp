@@ -1,5 +1,7 @@
 #include "apps/tasks.hpp"
 
+using namespace std::string_literals;
+
 namespace ht::apps {
 
 using net::FieldId;
@@ -254,7 +256,8 @@ DnsAmplification dns_amplification(std::uint32_t victim, std::uint32_t resolver_
                Value::range(resolver_base, resolver_base + resolver_count - 1, 1))
           .set(FieldId::kInterval, 1'000)
           .set(FieldId::kPort, Value::array({ports.begin(), ports.end()}))
-          .payload(std::string("\x00\x01\x00\x00\x00\x01 ANY isc.org", 26)));
+          // ""s keeps the embedded NULs without a hand-counted length.
+          .payload("\x00\x01\x00\x00\x00\x01 ANY isc.org"s));
   app.q_sent = app.task.add_query(Query(app.queries).map({}).reduce(Reduce::kCount));
   return app;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/analyzer.hpp"
 #include "htpr/false_positive.hpp"
 #include "net/headers.hpp"
 #include "ntapi/header_space.hpp"
@@ -90,6 +91,45 @@ CompiledTask Compiler::compile(const Task& task) const {
   auto errors = validate(task, asic_cfg_);
   if (!errors.empty()) throw CompileError(std::move(errors));
 
+  CompiledTask out = lower(task);
+
+  // Static analysis over the compiled artifacts (htlint): errors reject
+  // the task like validation errors do; warnings ride along.
+  const auto analyzer = analysis::Analyzer::with_default_passes();
+  out.analysis = analyzer.run({task, out, asic_cfg_});
+  if (out.analysis.has_errors()) {
+    std::vector<ValidationError> analysis_errors;
+    for (const auto& d : out.analysis.diagnostics) {
+      if (d.severity == analysis::Severity::kError) {
+        analysis_errors.push_back({d.where, d.code + ": " + d.message});
+      }
+    }
+    throw CompileError(std::move(analysis_errors));
+  }
+  for (const auto& d : out.analysis.diagnostics) {
+    out.warnings.push_back(analysis::format(d));
+  }
+  return out;
+}
+
+analysis::AnalysisReport Compiler::lint(const Task& task) const {
+  auto errors = validate(task, asic_cfg_);
+  if (!errors.empty()) {
+    // An invalid task cannot be lowered; surface the validation errors
+    // in diagnostic form instead.
+    analysis::AnalysisReport report;
+    for (const auto& e : errors) {
+      report.diagnostics.push_back(
+          {analysis::Severity::kError, "HT100", e.where, e.message, ""});
+    }
+    report.sort();
+    return report;
+  }
+  const CompiledTask lowered = lower(task);
+  return analysis::Analyzer::with_default_passes().run({task, lowered, asic_cfg_});
+}
+
+CompiledTask Compiler::lower(const Task& task) const {
   CompiledTask out;
   out.name = task.name();
   out.ntapi_loc = task.ntapi_loc();
@@ -204,22 +244,30 @@ CompiledTask Compiler::compile(const Task& task) const {
 
     std::vector<net::FieldId> key_fields;
     bool keyed_agg = false;
+    cq.config.ops.reserve(query.steps().size());
+    // In-place construction: no temporary variants (also sidesteps a GCC
+    // 12 -Wmaybe-uninitialized false positive on moved variant storage).
     for (const auto& step : query.steps()) {
       if (const auto* f = std::get_if<QFilter>(&step)) {
-        cq.config.ops.push_back(htpr::FilterOp{f->field, f->cmp, f->value, f->on_result});
+        auto& op = cq.config.ops.emplace_back(std::in_place_type<htpr::FilterOp>);
+        std::get<htpr::FilterOp>(op) = {f->field, f->cmp, f->value, f->on_result};
       } else if (const auto* m = std::get_if<QMap>(&step)) {
         key_fields = m->keys;
-        htpr::MapOp op{m->keys, m->value_field, m->minus_field, {}, {}};
+        auto& op = std::get<htpr::MapOp>(
+            cq.config.ops.emplace_back(std::in_place_type<htpr::MapOp>));
+        op.keys = m->keys;
+        op.value_field = m->value_field;
+        op.minus_field = m->minus_field;
         if (m->state_trigger) {
           op.state_register = "delaystate." + std::to_string(m->state_trigger->index);
           op.state_index_field = m->state_index_field;
         }
-        cq.config.ops.push_back(std::move(op));
       } else if (const auto* r = std::get_if<QReduce>(&step)) {
-        cq.config.ops.push_back(htpr::ReduceOp{to_update_func(r->func)});
+        auto& op = cq.config.ops.emplace_back(std::in_place_type<htpr::ReduceOp>);
+        std::get<htpr::ReduceOp>(op).func = to_update_func(r->func);
         keyed_agg = keyed_agg || !key_fields.empty();
       } else if (std::holds_alternative<QDistinct>(step)) {
-        cq.config.ops.push_back(htpr::DistinctOp{});
+        cq.config.ops.emplace_back(std::in_place_type<htpr::DistinctOp>);
         keyed_agg = keyed_agg || !key_fields.empty();
       }
     }
@@ -236,8 +284,8 @@ CompiledTask Compiler::compile(const Task& task) const {
       const KeySpace space = enumerate_key_space(task, query, key_fields, specs, key_space_cap);
       cq.key_space_size = space.keys.size();
       if (space.exact) {
-        auto analysis = htpr::analyze_collisions(hash, space.keys);
-        cq.exact_keys = std::move(analysis.exact_keys);
+        auto collisions = htpr::analyze_collisions(hash, space.keys);
+        cq.exact_keys = std::move(collisions.exact_keys);
         cq.config.store.exact_capacity =
             std::max<std::size_t>(cq.exact_keys.size() * 2, 1024);
       } else {

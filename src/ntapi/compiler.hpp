@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "htps/sender.hpp"
 #include "htpr/receiver.hpp"
 #include "ntapi/task.hpp"
@@ -61,14 +62,24 @@ struct CompiledTask {
   std::size_t p4_loc = 0;     ///< non-empty generated lines (Table 5)
   std::size_t ntapi_loc = 0;  ///< NTAPI statements (Table 5)
   std::vector<std::string> warnings;
+  /// Static-analysis report over the compiled artifacts (htlint). A task
+  /// returned by compile() carries warnings only; analysis errors are
+  /// rejected with CompileError.
+  analysis::AnalysisReport analysis;
 };
 
 class Compiler {
  public:
   explicit Compiler(rmt::AsicConfig asic_cfg = {}) : asic_cfg_(asic_cfg) {}
 
-  /// Throws CompileError on validation failure.
+  /// Throws CompileError on validation failure or when the static
+  /// analyzer finds an error (HT1xx) in the compiled artifacts.
   CompiledTask compile(const Task& task) const;
+
+  /// Run validation + the static analyzer without throwing: validation
+  /// failures come back as HT100 error diagnostics, analyzer findings
+  /// verbatim. This is what `ntapi_cli lint` prints.
+  analysis::AnalysisReport lint(const Task& task) const;
 
   /// The CPU-side template recipe for one trigger (exposed for tests and
   /// the header-space analysis).
@@ -78,6 +89,9 @@ class Compiler {
   std::size_t key_space_cap = 4'000'000;
 
  private:
+  /// Lowering only (templates, queries, FIFOs, P4); assumes a valid task.
+  CompiledTask lower(const Task& task) const;
+
   rmt::AsicConfig asic_cfg_;
 };
 

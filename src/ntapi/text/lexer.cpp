@@ -40,10 +40,6 @@ std::vector<Token> lex(std::string_view src) {
   const auto peek = [&](std::size_t off = 0) -> char {
     return i + off < src.size() ? src[i + off] : '\0';
   };
-  const auto push = [&](TokKind kind, std::string text, std::uint64_t number = 0) {
-    out.push_back(Token{kind, std::move(text), number, line, col});
-  };
-
   while (i < src.size()) {
     const char c = peek();
     // Whitespace.

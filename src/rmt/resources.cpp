@@ -19,6 +19,35 @@ ResourceUsage switch_p4_baseline() {
   return u;
 }
 
+ResourceUsage stage_capacity() {
+  // One stage of the 12-stage pipe the AsicConfig defaults model. The
+  // figures follow public Tofino descriptions: 8 exact-match crossbars of
+  // 128 bits, 80 SRAM blocks of 16KB, 24 TCAM blocks of 5.5KB, 32 VLIW
+  // action slots, 8 hash ways of 52 bits, 4 stateful ALUs, 16 gateways.
+  ResourceUsage c;
+  c.match_crossbar_bits = 8 * 128.0;
+  c.sram_kb = 80 * 16.0;
+  c.tcam_kb = 24 * 5.5;
+  c.vliw_slots = 32.0;
+  c.hash_bits = 8 * 52.0;
+  c.salu = 4.0;
+  c.gateway = 16.0;
+  return c;
+}
+
+std::vector<std::string> exceeded_classes(const ResourceUsage& usage,
+                                          const ResourceUsage& capacity) {
+  std::vector<std::string> over;
+  if (usage.match_crossbar_bits > capacity.match_crossbar_bits) over.push_back("crossbar");
+  if (usage.sram_kb > capacity.sram_kb) over.push_back("sram");
+  if (usage.tcam_kb > capacity.tcam_kb) over.push_back("tcam");
+  if (usage.vliw_slots > capacity.vliw_slots) over.push_back("vliw");
+  if (usage.hash_bits > capacity.hash_bits) over.push_back("hash");
+  if (usage.salu > capacity.salu) over.push_back("salu");
+  if (usage.gateway > capacity.gateway) over.push_back("gateway");
+  return over;
+}
+
 NormalizedUsage normalize(const ResourceUsage& u) {
   const ResourceUsage base = switch_p4_baseline();
   NormalizedUsage n;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace ht::rmt {
 
@@ -37,6 +38,18 @@ struct ResourceUsage {
 /// switch.p4 baseline usage (absolute units) used as the normalization
 /// denominator in Table 7.
 ResourceUsage switch_p4_baseline();
+
+/// Capacity of ONE physical match-action stage of the modeled
+/// Tofino-class ASIC, in the same absolute units as ResourceUsage. The
+/// stage-fit analysis pass places compiled tables against these budgets;
+/// they are consistent with the switch_p4_baseline() per-stage estimates
+/// (switch.p4 fills roughly half to three quarters of most classes).
+ResourceUsage stage_capacity();
+
+/// Resource-class names ("sram", "salu", ...) where `usage` exceeds
+/// `capacity`; empty means `usage` fits.
+std::vector<std::string> exceeded_classes(const ResourceUsage& usage,
+                                          const ResourceUsage& capacity);
 
 /// Usage expressed as a percentage of switch.p4, per class.
 struct NormalizedUsage {

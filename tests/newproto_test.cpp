@@ -139,7 +139,8 @@ TEST(NewProtocol, TextualNtapiSupportsNvp) {
   EXPECT_EQ(compiled.templates[0].spec.l4, net::HeaderKind::kNvp);
   EXPECT_EQ(compiled.templates[0].spec.header_init.at(FieldId::kNvpMsgType), kNvpPing);
   // The false-positive precompute covers the custom protocol's fields too.
-  EXPECT_TRUE(compiled.queries[1].false_positive_free);
+  ASSERT_EQ(compiled.queries.size(), 1u);
+  EXPECT_TRUE(compiled.queries[0].false_positive_free);
 }
 
 TEST(NewProtocol, ValidationUnderstandsNvpStack) {

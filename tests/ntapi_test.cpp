@@ -155,6 +155,91 @@ TEST(Validation, RejectsBadQueryPrograms) {
   EXPECT_FALSE(validate(t3, {}).empty());  // non-power-of-two buckets
 }
 
+TEST(Validation, OversizedValuesInEveryValueShape) {
+  // Width checking must look at the whole support, not just the first
+  // element: lists, ranges and random bounds can all overflow the field.
+  Task t1("list");
+  t1.add_trigger(Trigger().set(FieldId::kTcpSport, Value::array({80, 443, 70000})));
+  Task t2("range");
+  t2.add_trigger(Trigger().set(FieldId::kIpv4Ttl, Value::range(200, 300, 1)));  // 8-bit field
+  Task t3("random");
+  t3.add_trigger(Trigger().set(FieldId::kTcpSport, Value::random_uniform(0, 1 << 17)));
+  for (const auto* t : {&t1, &t2, &t3}) {
+    const auto errors = validate(*t, {});
+    ASSERT_FALSE(errors.empty()) << t->name();
+    EXPECT_NE(errors[0].message.find("exceeds width"), std::string::npos) << t->name();
+  }
+}
+
+TEST(Validation, UnknownQueryHandleInFifoWiring) {
+  // A query-based trigger names a query that does not exist: the FIFO
+  // wiring has no producer side.
+  Task task("dangling");
+  task.add_query(Query().filter(FieldId::kTcpFlags, htpr::Cmp::kEq, 0x12));
+  task.add_trigger(Trigger(QueryHandle{3})
+                       .set(FieldId::kIpv4Dip, from_query(FieldId::kIpv4Sip)));
+  const auto errors = validate(task, {});
+  ASSERT_FALSE(errors.empty());
+  EXPECT_EQ(errors[0].where, "trigger[0]");
+  EXPECT_NE(errors[0].message.find("nonexistent query"), std::string::npos);
+}
+
+TEST(Validation, FifoWiringNeedsReceivedTrafficDriver) {
+  // Stateless connections react to *received* packets; a sent-traffic
+  // query cannot drive a trigger FIFO.
+  Task task("sentdriver");
+  const auto t0 = task.add_trigger(Trigger().set(FieldId::kIpv4Dip, 1));
+  const auto q = task.add_query(Query(t0).filter(FieldId::kIpv4Sip, htpr::Cmp::kNe, 0));
+  task.add_trigger(Trigger(q).set(FieldId::kIpv4Dip, from_query(FieldId::kIpv4Sip)));
+  const auto errors = validate(task, {});
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].message.find("received-traffic"), std::string::npos);
+}
+
+TEST(Validation, OperatorSequencesHtprRejects) {
+  // distinct() with no preceding keyed map: nothing to deduplicate on.
+  Task t1("nokey");
+  t1.add_query(Query().distinct());
+  ASSERT_FALSE(validate(t1, {}).empty());
+  EXPECT_NE(validate(t1, {})[0].message.find("distinct requires"), std::string::npos);
+
+  // Two aggregations (reduce + distinct) in one program: the counter
+  // store holds one running aggregate per key.
+  Task t2("twoagg");
+  t2.add_query(Query().map({FieldId::kIpv4Sip}).distinct().reduce(Reduce::kSum));
+  ASSERT_FALSE(validate(t2, {}).empty());
+  EXPECT_NE(validate(t2, {})[0].message.find("multiple aggregations"), std::string::npos);
+
+  // filter_result() before any aggregation: there is no result yet.
+  Task t3("early");
+  t3.add_query(Query()
+                   .filter_result(htpr::Cmp::kGe, 3)
+                   .map({FieldId::kIpv4Sip})
+                   .reduce(Reduce::kCount));
+  ASSERT_FALSE(validate(t3, {}).empty());
+  EXPECT_NE(validate(t3, {})[0].message.find("result filter before"), std::string::npos);
+}
+
+TEST(Validation, AccumulatesEveryErrorBeforeRejecting) {
+  // §6.1: the task is rejected with *all* mistakes attached, not just the
+  // first — one edit-compile round trip, not one per mistake.
+  Task task("many");
+  task.add_trigger(Trigger()
+                       .set(FieldId::kTcpDport, 70000)              // too wide
+                       .set(FieldId::kLoop, Value::range(0, 3, 1))  // non-constant loop
+                       .set(FieldId::kMetaIngressTstamp, 1));       // metadata is read-only
+  task.add_query(Query().distinct());                               // no keyed map
+  const auto errors = validate(task, {});
+  EXPECT_GE(errors.size(), 4u);
+
+  try {
+    Compiler().compile(task);
+    FAIL() << "compile must throw";
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.errors().size(), errors.size());
+  }
+}
+
 TEST(Validation, InferL4) {
   EXPECT_EQ(infer_l4(Trigger().set(FieldId::kIpv4Proto, Value::constant(net::ipproto::kTcp))),
             net::HeaderKind::kTcp);
