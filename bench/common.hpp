@@ -9,6 +9,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,6 +18,72 @@
 #include "dut/capture.hpp"
 
 namespace ht::bench {
+
+/// Pull `--json <path>` out of argv so downstream argument parsers
+/// (google-benchmark in perf_micro) never see it. Returns the path, or ""
+/// when the flag is absent.
+inline std::string take_json_path(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return path;
+}
+
+/// Machine-readable sidecar for a bench binary: one entry per reported
+/// series, written as a flat JSON document (see scripts/bench.sh). Values
+/// are numbers; `wall_s` is the wall-clock cost of producing the value so
+/// regressions in the substrate itself are visible across runs.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench, std::string path)
+      : bench_(std::move(bench)), path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void add(const std::string& series, double value, const std::string& unit, double wall_s) {
+    entries_.push_back(Entry{series, unit, value, wall_s});
+  }
+
+  /// Write the file (no-op without --json). Returns false on I/O failure.
+  bool write() const {
+    if (path_.empty()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"entries\": [\n", bench_.c_str());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "    {\"series\": \"%s\", \"value\": %.6g, \"unit\": \"%s\", "
+                   "\"wall_s\": %.3f}%s\n",
+                   e.series.c_str(), e.value, e.unit.c_str(), e.wall_s,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string series;
+    std::string unit;
+    double value = 0.0;
+    double wall_s = 0.0;
+  };
+  std::string bench_;
+  std::string path_;
+  std::vector<Entry> entries_;
+};
 
 inline void headline(const std::string& what, const std::string& paper_ref) {
   std::printf("\n=== %s ===\n", what.c_str());

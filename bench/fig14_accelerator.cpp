@@ -32,7 +32,7 @@ RttResult measure_rtt(std::size_t pkt_len, std::uint64_t loops) {
     ctx.phv.intrinsic().ucast_port = rmt::SwitchAsic::kRecircPortBase;
   });
   asic.inject_from_cpu(
-      std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, pkt_len)));
+      net::make_packet(net::make_udp_packet(1, 2, 3, 4, pkt_len)));
   while (arrivals.size() < loops && ev.pending() > 0) {
     ev.run_until(ev.now() + sim::ms(1));
   }

@@ -59,7 +59,7 @@ DelayResult mcast_delay(std::size_t pkt_len, std::size_t nports, double port_rat
   });
 
   for (std::size_t i = 0; i < packets; ++i) {
-    auto pkt = std::make_shared<net::Packet>(
+    auto pkt = net::make_packet(
         net::make_tcp_packet(1, 2, 3, 4, 0, 0, 0, pkt_len));
     net::set_field(*pkt, net::FieldId::kIpv4Id, i % 2);
     asic.inject_from_cpu(std::move(pkt));

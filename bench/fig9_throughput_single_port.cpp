@@ -4,6 +4,8 @@
 //  (b) HyperTester on a 40G port vs MoonGen with one core — MoonGen is CPU
 //      bound for small packets and only reaches line rate once packets get
 //      large.
+#include <chrono>
+
 #include "apps/tasks.hpp"
 #include "baseline/moongen.hpp"
 #include "common.hpp"
@@ -22,8 +24,10 @@ double hypertester_gbps(double port_rate, std::size_t pkt_len) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ht;
+  using clock = std::chrono::steady_clock;
+  bench::BenchJson json("fig9", bench::take_json_path(argc, argv));
   const std::size_t sizes[] = {64, 128, 256, 512, 1024, 1500};
   const baseline::MoonGenModel mg;
 
@@ -31,18 +35,25 @@ int main() {
                   "line rate for arbitrary packet sizes");
   bench::row("%8s %14s %14s %10s", "size(B)", "HT (Gbps)", "line (Gbps)", "Mpps");
   for (const auto s : sizes) {
+    const auto t0 = clock::now();
     const double gbps = hypertester_gbps(100.0, s);
+    const double wall = std::chrono::duration<double>(clock::now() - t0).count();
     const double mpps = gbps * 1e9 / (static_cast<double>(s + 24) * 8.0) / 1e6;
     bench::row("%8zu %14.1f %14.1f %10.2f", s, gbps, 100.0, mpps);
+    json.add("ht_100g_gbps_" + std::to_string(s) + "B", gbps, "gbps", wall);
   }
 
   bench::headline("Figure 9(b): single 40G port, HyperTester vs MoonGen (1 core)",
                   "HT at line rate; MG below line rate for small packets");
   bench::row("%8s %12s %16s %12s", "size(B)", "HT (Gbps)", "MG 1-core (Gbps)", "line");
   for (const auto s : sizes) {
+    const auto t0 = clock::now();
     const double ht_gbps = hypertester_gbps(40.0, s);
+    const double wall = std::chrono::duration<double>(clock::now() - t0).count();
     const double mg_gbps = mg.throughput_gbps(s, 1, 1, 40.0);
     bench::row("%8zu %12.1f %16.1f %12.1f", s, ht_gbps, mg_gbps, 40.0);
+    json.add("ht_40g_gbps_" + std::to_string(s) + "B", ht_gbps, "gbps", wall);
+    json.add("mg_40g_gbps_" + std::to_string(s) + "B", mg_gbps, "gbps", 0.0);
   }
-  return 0;
+  return json.write() ? 0 : 1;
 }

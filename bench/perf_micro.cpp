@@ -1,15 +1,23 @@
-// Micro-benchmarks of the hot simulator paths (google-benchmark).
+// Micro-benchmarks of the hot simulator paths (google-benchmark), plus an
+// end-to-end packets-per-second measurement of the Fig. 9 single-port
+// workload against the recorded pre-refactor baseline.
 //
 // Not a paper figure: this tracks the substrate's own performance so the
-// figure harnesses stay fast enough to sweep (the recirculation loop runs
-// at ~156M simulated events per simulated second).
+// figure harnesses stay fast enough to sweep. Run with `--json <path>` (see
+// scripts/bench.sh) to write the machine-readable BENCH_perf.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "apps/tasks.hpp"
+#include "common.hpp"
 #include "htpr/counter_store.hpp"
 #include "net/headers.hpp"
 #include "net/packet_builder.hpp"
+#include "net/packet_pool.hpp"
 #include "rmt/asic.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
 
 namespace {
 
@@ -17,7 +25,7 @@ using namespace ht;
 
 void BM_ParsePacket(benchmark::State& state) {
   const auto parser = rmt::Parser::default_graph();
-  auto pkt = std::make_shared<net::Packet>(net::make_tcp_packet(1, 2, 3, 4, 0x10));
+  auto pkt = net::make_packet(net::make_tcp_packet(1, 2, 3, 4, 0x10));
   for (auto _ : state) {
     benchmark::DoNotOptimize(parser.parse(pkt));
   }
@@ -26,7 +34,7 @@ BENCHMARK(BM_ParsePacket);
 
 void BM_DeparseModified(benchmark::State& state) {
   const auto parser = rmt::Parser::default_graph();
-  auto pkt = std::make_shared<net::Packet>(net::make_tcp_packet(1, 2, 3, 4, 0x10));
+  auto pkt = net::make_packet(net::make_tcp_packet(1, 2, 3, 4, 0x10));
   auto phv = parser.parse(pkt);
   phv.set(net::FieldId::kTcpDport, 99);
   for (auto _ : state) {
@@ -50,7 +58,7 @@ void BM_ExactTableLookup(benchmark::State& state) {
     table.add_entry({{rmt::KeyMatch{.value = i}}, 0, "a", nullptr});
   }
   const auto parser = rmt::Parser::default_graph();
-  auto pkt = std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 512));
+  auto pkt = net::make_packet(net::make_udp_packet(1, 2, 3, 512));
   const auto phv = parser.parse(pkt);
   for (auto _ : state) {
     benchmark::DoNotOptimize(table.lookup(phv));
@@ -98,7 +106,7 @@ void BM_RecirculationLoop(benchmark::State& state) {
     ctx.phv.intrinsic().dest = rmt::Destination::kUnicast;
     ctx.phv.intrinsic().ucast_port = rmt::SwitchAsic::kRecircPortBase;
   });
-  asic.inject_from_cpu(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64)));
+  asic.inject_from_cpu(net::make_packet(net::make_udp_packet(1, 2, 3, 4, 64)));
   ev.run_until(sim::us(10));
   std::uint64_t prev = asic.recirculations();
   for (auto _ : state) {
@@ -108,6 +116,72 @@ void BM_RecirculationLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_RecirculationLoop);
 
+/// Packets/sec of the pre-refactor simulation core on the workload below
+/// (64B, 100G, 2ms window), measured on the same machine as the refactor:
+/// median of interleaved best-of-3 runs of the pre-refactor binary. The
+/// pooled-packet/slab-event/timer-wheel engine is gated on beating this by
+/// >= 2x (see DESIGN.md section 8).
+constexpr double kPreRefactorPktsPerSec = 730e3;
+
+/// End-to-end throughput of the Fig. 9(a) single-port workload: wall-clock
+/// packets/sec over a 2ms simulated window at 64B/100G, best of `reps`
+/// (the container's scheduler makes single runs noisy). Also surfaces the
+/// packet-pool and event-slab counters through sim::stats.
+void run_fig9_workload(ht::bench::BenchJson& json, int reps) {
+  using namespace ht;
+  using clock = std::chrono::steady_clock;
+  bench::headline("Fig. 9 single-port workload (64B, 100G, 2ms window)",
+                  "engine throughput vs. recorded pre-refactor baseline");
+  double best_pps = 0.0;
+  double best_wall = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    bench::Testbed tb(2, 100.0);
+    auto app = apps::throughput_test(0x02020202, 0x01010101, {1}, 64, 0);
+    tb.tester->load(app.task);
+    tb.tester->start();
+    const auto t0 = clock::now();
+    tb.tester->run_for(sim::ms(2));
+    const double wall = std::chrono::duration<double>(clock::now() - t0).count();
+    const auto pkts = tb.tester->asic().egress_packets();
+    const double pps = static_cast<double>(pkts) / wall;
+    bench::row("  rep %d: egress_packets=%llu wall=%.3fs pkts/s=%.0f", rep,
+               static_cast<unsigned long long>(pkts), wall, pps);
+    if (pps > best_pps) {
+      best_pps = pps;
+      best_wall = wall;
+    }
+    if (rep + 1 == reps) {
+      const auto& slab = tb.tester->events().slab_stats();
+      const auto& pool = net::default_packet_pool().stats();
+      const sim::AllocCacheReport pool_report{"packet-pool", pool.hits, pool.misses,
+                                              pool.high_water};
+      const sim::AllocCacheReport slab_report{"event-slab", slab.hits, slab.misses,
+                                              slab.high_water};
+      bench::row("  %s", sim::format_alloc_cache(pool_report).c_str());
+      bench::row("  %s", sim::format_alloc_cache(slab_report).c_str());
+      json.add("fig9_packet_pool_hit_rate", pool_report.hit_rate(), "ratio", 0.0);
+      json.add("fig9_event_slab_hit_rate", slab_report.hit_rate(), "ratio", 0.0);
+      json.add("fig9_event_slab_high_water", static_cast<double>(slab.high_water), "nodes",
+               0.0);
+      json.add("fig9_heap_closures", static_cast<double>(slab.heap_closures), "closures",
+               0.0);
+    }
+  }
+  bench::row("  best: %.0f pkts/s (baseline %.0f, speedup %.2fx)", best_pps,
+             kPreRefactorPktsPerSec, best_pps / kPreRefactorPktsPerSec);
+  json.add("fig9_pkts_per_sec", best_pps, "pkts/s", best_wall);
+  json.add("fig9_pkts_per_sec_prerefactor", kPreRefactorPktsPerSec, "pkts/s", 0.0);
+  json.add("fig9_speedup_vs_prerefactor", best_pps / kPreRefactorPktsPerSec, "ratio", 0.0);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ht::bench::BenchJson json("perf", ht::bench::take_json_path(argc, argv));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_fig9_workload(json, 3);
+  return json.write() ? 0 : 1;
+}

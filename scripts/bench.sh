@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Regenerate the machine-readable bench sidecars:
+#
+#   BENCH_perf.json  perf_micro: hot-path micro-benchmarks plus the Fig. 9
+#                    single-port packets/sec measurement against the
+#                    recorded pre-refactor baseline (see DESIGN.md sec. 8)
+#   BENCH_fig9.json  fig9_throughput_single_port: achieved Gbps per packet
+#                    size on 100G/40G ports
+#
+#   scripts/bench.sh [build-dir]
+#
+# The build dir must already be configured+built (default: build). Output
+# files land in the repo root. Wall-clock numbers depend on machine load;
+# prefer an otherwise idle machine.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+if [ ! -x "$BUILD_DIR/bench/perf_micro" ]; then
+  echo "bench.sh: $BUILD_DIR/bench/perf_micro not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+"$BUILD_DIR/bench/perf_micro" --json BENCH_perf.json
+"$BUILD_DIR/bench/fig9_throughput_single_port" --json BENCH_fig9.json
+
+echo
+echo "wrote BENCH_perf.json BENCH_fig9.json"

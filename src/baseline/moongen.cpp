@@ -44,7 +44,7 @@ void MoonGenGenerator::emit_batch() {
     // Software pacing: sleep to the batch deadline (coarse), then blast
     // the whole batch back-to-back.
     for (std::size_t i = 0; i < m.batch_size; ++i) {
-      port_.send(std::make_shared<net::Packet>(
+      port_.send(net::make_packet(
           net::make_udp_packet(0x0A000001, 0x0A000002, 1000, 2000, cfg_.pkt_bytes)));
       ++emitted_;
     }
@@ -58,7 +58,7 @@ void MoonGenGenerator::emit_batch() {
 
   // NIC hardware rate control: per-packet pacing quantized to the NIC's
   // internal tick, plus DMA/queue arbitration jitter.
-  port_.send(std::make_shared<net::Packet>(
+  port_.send(net::make_packet(
       net::make_udp_packet(0x0A000001, 0x0A000002, 1000, 2000, cfg_.pkt_bytes)));
   ++emitted_;
   next_tx_ns_ += interval;

@@ -59,7 +59,7 @@ void ScanTargets::on_packet(net::PacketPtr pkt) {
                                            open ? flag::kSynAck : (flag::kRst | flag::kAck),
                                            /*seq=*/dst, /*ack=*/seq + 1);
     open ? ++synacks_ : ++rsts_;
-    auto reply = std::make_shared<net::Packet>(std::move(out));
+    auto reply = net::make_packet(std::move(out));
     ev_.schedule_in(delay,
                     [this, reply = std::move(reply)]() mutable { port_.send(std::move(reply)); });
     return;
@@ -74,7 +74,7 @@ void ScanTargets::on_packet(net::PacketPtr pkt) {
                           .set(FieldId::kIcmpSeq, net::get_field(*pkt, FieldId::kIcmpSeq))
                           .build();
     ++echo_replies_;
-    auto reply = std::make_shared<net::Packet>(std::move(out));
+    auto reply = net::make_packet(std::move(out));
     ev_.schedule_in(delay,
                     [this, reply = std::move(reply)]() mutable { port_.send(std::move(reply)); });
   }

@@ -29,7 +29,7 @@ void TcpServer::reply(const net::Packet& in, std::uint64_t flags, std::uint32_t 
       static_cast<std::uint16_t>(net::get_field(in, FieldId::kTcpDport)),
       static_cast<std::uint16_t>(net::get_field(in, FieldId::kTcpSport)), flags, seq, ack, total);
   const auto delay = static_cast<sim::TimeNs>(std::llround(cfg_.service_delay_ns));
-  auto pkt = std::make_shared<net::Packet>(std::move(out));
+  auto pkt = net::make_packet(std::move(out));
   ev_.schedule_in(delay, [this, pkt = std::move(pkt)]() mutable { port_.send(std::move(pkt)); });
 }
 

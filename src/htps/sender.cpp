@@ -180,7 +180,7 @@ void Sender::install() {
 void Sender::start() {
   if (!installed_) throw std::logic_error("Sender: start before install");
   for (auto& cfg : templates_) {
-    auto pkt = std::make_shared<net::Packet>(cfg.spec.materialize());
+    auto pkt = net::make_packet(cfg.spec.materialize());
     asic_.inject_from_cpu(std::move(pkt));
   }
 }
@@ -248,7 +248,7 @@ void Sender::ingress_action(std::uint32_t tid, rmt::ActionContext& ctx) {
     // Stateless connection: fire once per pending trigger record.
     auto record = cfg.trigger_fifo->dequeue();
     if (record) {
-      phv.packet->meta().bridged = std::move(*record);
+      phv.packet->meta().bridged.assign(*record);
       fire = true;
     }
   }

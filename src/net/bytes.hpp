@@ -7,24 +7,65 @@
 // before calling down here.
 #pragma once
 
+#include <bit>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
 namespace ht::net {
+
+namespace detail {
+/// Byte-swap helpers so the 1/2/4/8-byte loads below compile to a single
+/// mov+bswap instead of a data-dependent shift loop.
+inline std::uint16_t to_be16(std::uint16_t v) {
+  if constexpr (std::endian::native == std::endian::little) return __builtin_bswap16(v);
+  return v;
+}
+inline std::uint32_t to_be32(std::uint32_t v) {
+  if constexpr (std::endian::native == std::endian::little) return __builtin_bswap32(v);
+  return v;
+}
+inline std::uint64_t to_be64(std::uint64_t v) {
+  if constexpr (std::endian::native == std::endian::little) return __builtin_bswap64(v);
+  return v;
+}
+}  // namespace detail
 
 /// Read `width` bytes (1..8) starting at `offset` as a big-endian integer.
 inline std::uint64_t read_be(std::span<const std::uint8_t> buf, std::size_t offset,
                              std::size_t width) {
   assert(width >= 1 && width <= 8);
   assert(offset + width <= buf.size());
-  std::uint64_t value = 0;
-  for (std::size_t i = 0; i < width; ++i) {
-    value = (value << 8) | buf[offset + i];
+  const std::uint8_t* p = buf.data() + offset;
+  switch (width) {
+    case 1:
+      return *p;
+    case 2: {
+      std::uint16_t v;
+      std::memcpy(&v, p, 2);
+      return detail::to_be16(v);
+    }
+    case 4: {
+      std::uint32_t v;
+      std::memcpy(&v, p, 4);
+      return detail::to_be32(v);
+    }
+    case 8: {
+      std::uint64_t v;
+      std::memcpy(&v, p, 8);
+      return detail::to_be64(v);
+    }
+    default: {
+      std::uint64_t value = 0;
+      for (std::size_t i = 0; i < width; ++i) {
+        value = (value << 8) | p[i];
+      }
+      return value;
+    }
   }
-  return value;
 }
 
 /// Write the low `width` bytes (1..8) of `value` big-endian at `offset`.
@@ -32,9 +73,32 @@ inline void write_be(std::span<std::uint8_t> buf, std::size_t offset, std::size_
                      std::uint64_t value) {
   assert(width >= 1 && width <= 8);
   assert(offset + width <= buf.size());
-  for (std::size_t i = 0; i < width; ++i) {
-    buf[offset + width - 1 - i] = static_cast<std::uint8_t>(value & 0xffu);
-    value >>= 8;
+  std::uint8_t* p = buf.data() + offset;
+  switch (width) {
+    case 1:
+      *p = static_cast<std::uint8_t>(value);
+      return;
+    case 2: {
+      const std::uint16_t v = detail::to_be16(static_cast<std::uint16_t>(value));
+      std::memcpy(p, &v, 2);
+      return;
+    }
+    case 4: {
+      const std::uint32_t v = detail::to_be32(static_cast<std::uint32_t>(value));
+      std::memcpy(p, &v, 4);
+      return;
+    }
+    case 8: {
+      const std::uint64_t v = detail::to_be64(value);
+      std::memcpy(p, &v, 8);
+      return;
+    }
+    default:
+      for (std::size_t i = 0; i < width; ++i) {
+        p[width - 1 - i] = static_cast<std::uint8_t>(value & 0xffu);
+        value >>= 8;
+      }
+      return;
   }
 }
 
@@ -47,6 +111,19 @@ inline std::uint64_t read_bits(std::span<const std::uint8_t> buf, std::size_t bi
   if ((bit_offset & 7) == 0 && (bit_width & 7) == 0) {
     return read_be(buf, bit_offset / 8, bit_width / 8);
   }
+  // Unaligned fields whose covering bytes fit a word (every real header
+  // field: ihl, dscp, flags, frag offset, ...): one big-endian load, then
+  // shift off the trailing bits and mask.
+  const std::size_t first = bit_offset / 8;
+  const std::size_t last = (bit_offset + bit_width - 1) / 8;
+  const std::size_t nbytes = last - first + 1;
+  if (nbytes <= 8) {
+    const std::uint64_t word = read_be(buf, first, nbytes);
+    const auto tail = static_cast<unsigned>(8 * nbytes - (bit_offset % 8 + bit_width));
+    return (word >> tail) & ((bit_width >= 64) ? ~std::uint64_t{0}
+                                               : ((std::uint64_t{1} << bit_width) - 1));
+  }
+  // >57-bit unaligned fields: bit-by-bit (never hit by built-in headers).
   std::uint64_t value = 0;
   for (std::size_t i = 0; i < bit_width; ++i) {
     const std::size_t bit = bit_offset + i;
@@ -64,6 +141,19 @@ inline void write_bits(std::span<std::uint8_t> buf, std::size_t bit_offset,
   assert(bit_width >= 1 && bit_width <= 64);
   if ((bit_offset & 7) == 0 && (bit_width & 7) == 0) {
     write_be(buf, bit_offset / 8, bit_width / 8, value);
+    return;
+  }
+  // Word-path mirror of read_bits: load the covering bytes, splice the
+  // field in, store them back.
+  const std::size_t first = bit_offset / 8;
+  const std::size_t last = (bit_offset + bit_width - 1) / 8;
+  const std::size_t nbytes = last - first + 1;
+  if (nbytes <= 8 && bit_width < 64) {
+    const auto tail = static_cast<unsigned>(8 * nbytes - (bit_offset % 8 + bit_width));
+    const std::uint64_t mask = ((std::uint64_t{1} << bit_width) - 1) << tail;
+    std::uint64_t word = read_be(buf, first, nbytes);
+    word = (word & ~mask) | ((value << tail) & mask);
+    write_be(buf, first, nbytes, word);
     return;
   }
   for (std::size_t i = 0; i < bit_width; ++i) {

@@ -8,6 +8,7 @@
 // per-packet metadata have no wire position.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -136,6 +137,21 @@ inline std::string_view field_name(FieldId id) {
 }
 inline std::uint16_t field_width(FieldId id) {
   return FieldRegistry::instance().info(id).bit_width;
+}
+/// Width mask of a field (all-ones of its bit width), served from a flat
+/// table built once so per-packet paths (Phv::set on every action write)
+/// skip the registry's cross-TU lookup.
+inline std::uint64_t field_mask(FieldId id) {
+  static const std::array<std::uint64_t, kFieldCount> masks = [] {
+    std::array<std::uint64_t, kFieldCount> m{};
+    const auto& reg = FieldRegistry::instance();
+    for (std::size_t i = 0; i < kFieldCount; ++i) {
+      const std::uint16_t w = reg.info(static_cast<FieldId>(i)).bit_width;
+      m[i] = w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+    }
+    return m;
+  }();
+  return masks[static_cast<std::size_t>(id)];
 }
 inline HeaderKind field_header(FieldId id) {
   return FieldRegistry::instance().info(id).header;

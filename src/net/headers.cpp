@@ -42,39 +42,64 @@ std::size_t min_packet_size(HeaderKind l4) {
 
 namespace {
 
+/// Wire position of a field in the canonical stack, flattened into one
+/// table so the per-packet helpers (get_field/set_field drive the checksum
+/// engine on every egressing packet) cost an array index instead of two
+/// registry round-trips. bit < 0 marks fields with no wire home.
+struct WirePos {
+  std::int32_t bit = -1;  ///< absolute bit offset from the packet start
+  std::uint16_t width = 0;
+};
+
+const std::array<WirePos, kFieldCount>& wire_table() {
+  static const std::array<WirePos, kFieldCount> table = [] {
+    std::array<WirePos, kFieldCount> t{};
+    const auto& reg = FieldRegistry::instance();
+    for (std::size_t i = 0; i < kFieldCount; ++i) {
+      const auto& fi = reg.info(static_cast<FieldId>(i));
+      if (const auto base = header_base_offset(fi.header)) {
+        t[i].bit = static_cast<std::int32_t>(*base * 8 + fi.bit_offset);
+        t[i].width = fi.bit_width;
+      }
+    }
+    return t;
+  }();
+  return table;
+}
+
 // Absolute bit position of a wire field in the canonical stack.
 std::size_t absolute_bit_offset(FieldId id) {
-  const auto& fi = FieldRegistry::instance().info(id);
-  const auto base = header_base_offset(fi.header);
-  if (!base) throw std::invalid_argument("field has no wire position: " + std::string(fi.name));
-  return *base * 8 + fi.bit_offset;
+  const WirePos& wp = wire_table()[static_cast<std::size_t>(id)];
+  if (wp.bit < 0) {
+    throw std::invalid_argument("field has no wire position: " + std::string(field_name(id)));
+  }
+  return static_cast<std::size_t>(wp.bit);
 }
 
 }  // namespace
 
 std::uint64_t get_field(const Packet& pkt, FieldId id) {
-  const auto& fi = FieldRegistry::instance().info(id);
   const std::size_t bit = absolute_bit_offset(id);
-  if ((bit + fi.bit_width + 7) / 8 > pkt.size()) {
-    throw std::out_of_range("packet too short for field " + std::string(fi.name));
+  const std::size_t width = wire_table()[static_cast<std::size_t>(id)].width;
+  if ((bit + width + 7) / 8 > pkt.size()) {
+    throw std::out_of_range("packet too short for field " + std::string(field_name(id)));
   }
-  return read_bits(pkt.bytes(), bit, fi.bit_width);
+  return read_bits(pkt.bytes(), bit, width);
 }
 
 void set_field(Packet& pkt, FieldId id, std::uint64_t value) {
-  const auto& fi = FieldRegistry::instance().info(id);
   const std::size_t bit = absolute_bit_offset(id);
-  if ((bit + fi.bit_width + 7) / 8 > pkt.size()) {
-    throw std::out_of_range("packet too short for field " + std::string(fi.name));
+  const std::size_t width = wire_table()[static_cast<std::size_t>(id)].width;
+  if ((bit + width + 7) / 8 > pkt.size()) {
+    throw std::out_of_range("packet too short for field " + std::string(field_name(id)));
   }
-  write_bits(pkt.bytes(), bit, fi.bit_width, value & low_mask(fi.bit_width));
+  write_bits(pkt.bytes(), bit, width, value & low_mask(width));
 }
 
 bool has_field(const Packet& pkt, FieldId id) {
-  const auto& fi = FieldRegistry::instance().info(id);
-  const auto base = header_base_offset(fi.header);
-  if (!base) return false;
-  const std::size_t end_bit = *base * 8 + fi.bit_offset + fi.bit_width;
+  const WirePos& wp = wire_table()[static_cast<std::size_t>(id)];
+  if (wp.bit < 0) return false;
+  const std::size_t end_bit = static_cast<std::size_t>(wp.bit) + wp.width;
   return (end_bit + 7) / 8 <= pkt.size();
 }
 
@@ -112,7 +137,7 @@ std::uint16_t compute_l4_checksum(const Packet& pkt, HeaderKind l4) {
                              : l4 == HeaderKind::kUdp ? FieldId::kUdpChecksum
                                                       : FieldId::kIcmpChecksum;
   const std::size_t csum_off =
-      l4_off + FieldRegistry::instance().info(csum_field).bit_offset / 8;
+      static_cast<std::size_t>(wire_table()[static_cast<std::size_t>(csum_field)].bit) / 8;
   auto bytes = pkt.bytes();
   acc.add(bytes.subspan(l4_off, csum_off - l4_off));
   acc.add_word(0);

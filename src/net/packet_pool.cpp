@@ -1,0 +1,82 @@
+#include "net/packet_pool.hpp"
+
+#include <algorithm>
+
+namespace ht::net {
+
+PacketPool::~PacketPool() {
+  // Live packets (checked out at pool destruction) would come back to a
+  // dangling pool; the default pool is leaked precisely to avoid that.
+  // Callers owning private pools must drop all packets first.
+  for (Packet* p : free_) delete p;
+}
+
+Packet* PacketPool::take() {
+  Packet* p = nullptr;
+  if (!free_.empty()) {
+    p = free_.back();
+    free_.pop_back();
+    ++stats_.hits;
+  } else {
+    p = new Packet();
+    p->pool_ = this;
+    ++stats_.misses;
+  }
+  ++stats_.live;
+  stats_.high_water = std::max(stats_.high_water, stats_.live);
+  return p;
+}
+
+void PacketPool::recycle(Packet* p) {
+  // Reset contents so a recycled packet is indistinguishable from a fresh
+  // one; keep the byte buffer's capacity — that is the point of the pool.
+  p->data_.clear();
+  p->meta_ = PacketMeta{};
+  ++stats_.released;
+  --stats_.live;
+  free_.push_back(p);
+}
+
+PacketPtr PacketPool::acquire(std::size_t size, std::uint8_t fill) {
+  Packet* p = take();
+  p->data_.assign(size, fill);
+  return PacketPtr::adopt(p);
+}
+
+PacketPtr PacketPool::acquire_copy(const Packet& proto) {
+  Packet* p = take();
+  p->data_ = proto.data_;  // vector copy-assign reuses recycled capacity
+  p->meta_ = proto.meta_;
+  return PacketPtr::adopt(p);
+}
+
+PacketPool& default_packet_pool() {
+  // Leaked on purpose (see header). Still reachable through this pointer at
+  // exit, so LeakSanitizer does not flag it.
+  static PacketPool* pool = new PacketPool();
+  return *pool;
+}
+
+void PacketPtr::dispose(Packet* p) {
+  if (p->pool_ != nullptr) {
+    p->pool_->recycle(p);
+  } else {
+    delete p;
+  }
+}
+
+PacketPtr make_packet(std::size_t size, std::uint8_t fill) {
+  return default_packet_pool().acquire(size, fill);
+}
+
+PacketPtr make_packet(const Packet& proto) {
+  return default_packet_pool().acquire_copy(proto);
+}
+
+PacketPtr make_packet(Packet&& proto) {
+  // Copy rather than steal the buffer: adopting `proto`'s vector would
+  // discard the pooled capacity we are trying to keep hot.
+  return default_packet_pool().acquire_copy(proto);
+}
+
+}  // namespace ht::net

@@ -93,18 +93,70 @@ void SwitchAsic::to_traffic_manager(net::PacketPtr pkt, IntrinsicMeta im) {
     }
     case Destination::kMulticast: {
       const auto& members = mcast_.members(im.mcast_group);
-      for (const McastMember& m : members) {
-        // The engine writes one replica per member; each copy owns bytes.
-        auto copy = std::make_shared<net::Packet>(*pkt);
+      if (members.empty()) return;
+      const double mean = cfg_.timing.mcast_delay_ns(pkt->size());
+      if (members.size() == 1) {
+        // The common shape (one loop replica + one wire replica handled as
+        // two singleton groups, or a plain single-member group): no
+        // batch bookkeeping, no vector.
+        const McastMember& m = members.front();
+        auto copy = net::make_packet(*pkt);  // pooled replica; engine writes one copy per member
         copy->meta().replica_index = m.rid;
         const double d =
-            ingress + TimingModel::jittered(rng_, cfg_.timing.mcast_delay_ns(pkt->size()),
-                                            cfg_.timing.mcast_jitter_sigma_ns);
+            ingress + TimingModel::jittered(rng_, mean, cfg_.timing.mcast_jitter_sigma_ns);
         ++replicas_;
         ev_.schedule_in(static_cast<sim::TimeNs>(std::llround(d)),
                         [this, copy = std::move(copy), port = m.port, rid = m.rid]() mutable {
                           run_egress(std::move(copy), port, rid);
                         });
+        return;
+      }
+      // Group replicas by TM arrival tick so each distinct tick costs one
+      // event instead of one per replica. Jitter is still drawn per member
+      // in member order (the rng sequence is part of the determinism
+      // contract), and groups are scheduled in first-occurrence order, so
+      // replicas execute in exactly the order the per-replica schedule
+      // produced: same-tick replicas were already consecutive by sequence.
+      // The scratch vector is a member so the whole fan-out allocates
+      // nothing once warm; a heap-backed batch is built only for the rare
+      // multi-replica tick.
+      auto& reps = mcast_scratch_;
+      reps.clear();
+      reps.reserve(members.size());
+      for (const McastMember& m : members) {
+        auto copy = net::make_packet(*pkt);
+        copy->meta().replica_index = m.rid;
+        const double d =
+            ingress + TimingModel::jittered(rng_, mean, cfg_.timing.mcast_jitter_sigma_ns);
+        ++replicas_;
+        reps.push_back(PendingReplica{static_cast<sim::TimeNs>(std::llround(d)),
+                                      std::move(copy), m.port, m.rid});
+      }
+      for (std::size_t i = 0; i < reps.size(); ++i) {
+        if (reps[i].pkt == nullptr) continue;  // already consumed by a batch
+        std::size_t same = 0;
+        for (std::size_t j = i + 1; j < reps.size(); ++j) {
+          if (reps[j].pkt != nullptr && reps[j].tick == reps[i].tick) ++same;
+        }
+        if (same == 0) {
+          ev_.schedule_in(reps[i].tick, [this, copy = std::move(reps[i].pkt),
+                                         port = reps[i].port, rid = reps[i].rid]() mutable {
+            run_egress(std::move(copy), port, rid);
+          });
+          continue;
+        }
+        EgressBatch batch;
+        batch.reserve(same + 1);
+        const sim::TimeNs tick = reps[i].tick;
+        batch.push_back(EgressReplica{std::move(reps[i].pkt), reps[i].port, reps[i].rid});
+        for (std::size_t j = i + 1; j < reps.size(); ++j) {
+          if (reps[j].pkt != nullptr && reps[j].tick == tick) {
+            batch.push_back(EgressReplica{std::move(reps[j].pkt), reps[j].port, reps[j].rid});
+          }
+        }
+        ev_.schedule_in(tick, [this, batch = std::move(batch)]() mutable {
+          run_egress_batch(std::move(batch));
+        });
       }
       return;
     }
@@ -126,6 +178,46 @@ void SwitchAsic::run_egress(net::PacketPtr pkt, std::uint16_t eport, std::uint16
   const auto delay = static_cast<sim::TimeNs>(std::llround(cfg_.timing.egress_latency_ns));
   ev_.schedule_in(delay,
                   [this, pkt = std::move(pkt), eport]() mutable { emit(std::move(pkt), eport); });
+}
+
+void SwitchAsic::run_egress_batch(EgressBatch batch) {
+  // Phase-batched egress for same-tick replicas. Parse and deparse touch
+  // only per-packet state, so batching them is invisible; the pipeline walk
+  // itself stays packet-outer (see Pipeline::apply_batch) so shared state
+  // is touched in exactly the per-replica-event order.
+  std::vector<Phv> phvs;
+  phvs.reserve(batch.size());
+  for (EgressReplica& r : batch) {
+    if (phvs.empty()) {
+      phvs.push_back(parser_.parse(r.pkt));
+    } else {
+      // Every replica in a tick group is a byte-identical clone of one
+      // template packet, so the parse result differs only in which clone
+      // the PHV points at — copy instead of re-parsing the same bytes.
+      phvs.push_back(phvs.front());
+      phvs.back().packet = r.pkt;
+    }
+    Phv& phv = phvs.back();
+    phv.intrinsic().rid = r.rid;
+    phv.set(net::FieldId::kMetaEgressPort, r.port);
+  }
+  {
+    std::vector<ActionContext> ctxs;
+    ctxs.reserve(phvs.size());
+    for (Phv& phv : phvs) ctxs.push_back(make_ctx(phv));
+    egress_.apply_batch(ctxs);
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Phv& phv = phvs[i];
+    phv.set(net::FieldId::kMetaEgressTstamp, ev_.now());
+    Parser::deparse(phv);
+    if (batch[i].port < ports_.size()) net::fix_checksums(*batch[i].pkt);
+    ++egress_packets_;
+  }
+  const auto delay = static_cast<sim::TimeNs>(std::llround(cfg_.timing.egress_latency_ns));
+  ev_.schedule_in(delay, [this, batch = std::move(batch)]() mutable {
+    for (EgressReplica& r : batch) emit(std::move(r.pkt), r.port);
+  });
 }
 
 void SwitchAsic::emit(net::PacketPtr pkt, std::uint16_t eport) {

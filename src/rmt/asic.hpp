@@ -88,10 +88,29 @@ class SwitchAsic {
   std::uint64_t replicas_created() const { return replicas_; }
 
  private:
+  /// One multicast replica headed for egress.
+  struct EgressReplica {
+    net::PacketPtr pkt;
+    std::uint16_t port = 0;
+    std::uint16_t rid = 0;
+  };
+  using EgressBatch = std::vector<EgressReplica>;
+
+  /// Replica waiting to be grouped by TM arrival tick (multicast fan-out).
+  struct PendingReplica {
+    sim::TimeNs tick = 0;
+    net::PacketPtr pkt;
+    std::uint16_t port = 0;
+    std::uint16_t rid = 0;
+  };
+
   void enter_ingress(net::PacketPtr pkt);
   void run_ingress(net::PacketPtr pkt);
   void to_traffic_manager(net::PacketPtr pkt, IntrinsicMeta im);
   void run_egress(net::PacketPtr pkt, std::uint16_t eport, std::uint16_t rid);
+  /// Egress for all replicas that share one TM arrival tick: one event in,
+  /// one batched pipeline walk, one emit event out.
+  void run_egress_batch(EgressBatch batch);
   void emit(net::PacketPtr pkt, std::uint16_t eport);
   ActionContext make_ctx(Phv& phv);
 
@@ -112,6 +131,10 @@ class SwitchAsic {
   DigestEngine digests_;
   McastGroupTable mcast_;
   ResourceAccountant resources_;
+  /// Reused across to_traffic_manager calls so the multicast fan-out
+  /// allocates nothing in steady state (singleton tick groups — the common
+  /// case — never touch a heap-backed batch at all).
+  std::vector<PendingReplica> mcast_scratch_;
   std::function<void(net::PacketPtr)> cpu_punt_;
 
   std::uint64_t ingress_packets_ = 0;

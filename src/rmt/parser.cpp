@@ -75,9 +75,17 @@ void Parser::finalize() const {
     return it->second;
   };
   compiled_.reserve(ordered.size());
+  const auto& registry = net::FieldRegistry::instance();
   for (const ParseState* state : ordered) {
     CompiledState cs;
     cs.extract = state->extract;
+    if (state->extract) {
+      cs.extract_len = header_bytes(*state->extract);
+      for (const net::FieldId f : registry.fields_of(*state->extract)) {
+        const auto& fi = registry.info(f);
+        cs.fields.push_back(CompiledField{f, fi.bit_offset, fi.bit_width});
+      }
+    }
     cs.select = state->select;
     cs.default_next = resolve(state->default_next);
     for (const auto& [value, target] : state->transitions) {
@@ -89,7 +97,7 @@ void Parser::finalize() const {
   dirty_ = false;
 }
 
-Phv Parser::parse(net::PacketPtr pkt) const {
+Phv Parser::parse(const net::PacketPtr& pkt) const {
   Phv phv;
   phv.packet = pkt;
 
@@ -100,7 +108,6 @@ Phv Parser::parse(net::PacketPtr pkt) const {
   phv.load(net::FieldId::kPktLen, pkt->size());
 
   if (dirty_) finalize();
-  const auto& registry = net::FieldRegistry::instance();
   const auto bytes = pkt->bytes();
   std::size_t offset = 0;
   int state_index = compiled_entry_;
@@ -108,13 +115,12 @@ Phv Parser::parse(net::PacketPtr pkt) const {
     const CompiledState& state = compiled_[static_cast<std::size_t>(state_index)];
     if (state.extract) {
       const net::HeaderKind h = *state.extract;
-      const std::size_t len = header_bytes(h);
+      const std::size_t len = state.extract_len;
       if (offset + len > bytes.size()) break;  // ran out of packet
       phv.header_offset[static_cast<std::size_t>(h)] = static_cast<int>(offset);
       phv.set_header_valid(h);
-      for (const net::FieldId f : registry.fields_of(h)) {
-        const auto& fi = registry.info(f);
-        phv.load(f, net::read_bits(bytes, offset * 8 + fi.bit_offset, fi.bit_width));
+      for (const CompiledField& f : state.fields) {
+        phv.load(f.id, net::read_bits(bytes, offset * 8 + f.bit_offset, f.bit_width));
       }
       offset += len;
     }
@@ -133,19 +139,22 @@ Phv Parser::parse(net::PacketPtr pkt) const {
 }
 
 void Parser::deparse(Phv& phv) {
-  if (!phv.any_modified()) return;  // untouched packets need no writeback
-  auto& pkt = *phv.packet;
-  auto bytes = pkt.bytes();
+  std::uint64_t mask = phv.modified_mask();
+  if (mask == 0) return;  // untouched packets need no writeback
+  auto bytes = phv.packet->bytes();
   const auto& reg = net::FieldRegistry::instance();
-  for (std::size_t h = 0; h < phv.header_offset.size(); ++h) {
-    const int off = phv.header_offset[h];
-    if (off < 0 || !phv.header_valid(static_cast<net::HeaderKind>(h))) continue;
-    for (const net::FieldId f : reg.fields_of(static_cast<net::HeaderKind>(h))) {
-      if (!phv.modified(f)) continue;
-      const auto& fi = reg.info(f);
-      net::write_bits(bytes, static_cast<std::size_t>(off) * 8 + fi.bit_offset, fi.bit_width,
-                      phv.get(f));
-    }
+  // Walk only the modified containers (typically a handful out of ~50);
+  // control/metadata fields have no wire home and are skipped via their
+  // header's parse offset.
+  while (mask != 0) {
+    const auto f = static_cast<net::FieldId>(std::countr_zero(mask));
+    mask &= mask - 1;
+    const auto& fi = reg.info(f);
+    if (fi.header == net::HeaderKind::kNone) continue;
+    const int off = phv.header_offset[static_cast<std::size_t>(fi.header)];
+    if (off < 0 || !phv.header_valid(fi.header)) continue;
+    net::write_bits(bytes, static_cast<std::size_t>(off) * 8 + fi.bit_offset, fi.bit_width,
+                    phv.get(f));
   }
 }
 

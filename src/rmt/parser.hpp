@@ -37,8 +37,10 @@ class Parser {
 
   /// Parse a packet into a fresh PHV. Packets too short for a header stop
   /// parsing at that header (headers parsed so far stay valid), mirroring
-  /// a hardware parser that runs out of bytes.
-  Phv parse(net::PacketPtr pkt) const;
+  /// a hardware parser that runs out of bytes. Takes the handle by
+  /// reference: parsing happens per pipeline pass, and the refcount bump
+  /// belongs to the PHV that stores the handle, not to the call.
+  Phv parse(const net::PacketPtr& pkt) const;
 
   /// Write all valid headers of `phv` back into its raw packet.
   static void deparse(Phv& phv);
@@ -49,8 +51,18 @@ class Parser {
   /// Resolve state names to indices once; parse() then runs index-only.
   void finalize() const;
 
+  /// Field extraction slot, flattened from the FieldRegistry at finalize()
+  /// so the per-packet loop never goes back through registry lookups.
+  struct CompiledField {
+    net::FieldId id;
+    std::uint16_t bit_offset;
+    std::uint16_t bit_width;
+  };
+
   struct CompiledState {
     std::optional<net::HeaderKind> extract;
+    std::size_t extract_len = 0;        ///< header size in bytes
+    std::vector<CompiledField> fields;  ///< wire fields of `extract`
     std::optional<net::FieldId> select;
     std::vector<std::pair<std::uint64_t, int>> transitions;  ///< -1 = accept
     int default_next = -1;

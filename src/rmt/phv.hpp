@@ -37,7 +37,7 @@ class Phv {
   /// Action-side write: masks to field width and marks the container
   /// dirty so the deparser writes it back.
   void set(net::FieldId id, std::uint64_t value) {
-    values_[index(id)] = value & net::low_mask(net::field_width(id));
+    values_[index(id)] = value & net::field_mask(id);
     valid_.set(index(id));
     modified_.set(index(id));
   }
@@ -50,6 +50,12 @@ class Phv {
   bool valid(net::FieldId id) const { return valid_.test(index(id)); }
   bool modified(net::FieldId id) const { return modified_.test(index(id)); }
   bool any_modified() const { return modified_.any(); }
+  /// Modified containers as a bit mask (bit = FieldId value); the deparser
+  /// walks set bits instead of scanning every field of every header.
+  std::uint64_t modified_mask() const {
+    static_assert(net::kFieldCount <= 64, "modified_mask needs one word");
+    return modified_.to_ullong();
+  }
   void invalidate(net::FieldId id) { valid_.reset(index(id)); }
 
   bool header_valid(net::HeaderKind h) const {

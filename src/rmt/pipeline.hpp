@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,13 @@ class Pipeline {
 
   /// Run every (gated) table in order over the PHV.
   void apply(ActionContext& ctx);
+
+  /// Run the program over a batch of packets in one walk — how the traffic
+  /// manager pushes same-tick replicas through egress with a single event.
+  /// Deliberately packet-outer: all of packet i's table hits (register ops,
+  /// digests, rng draws) complete before packet i+1 starts, so the batch is
+  /// observationally identical to one event per packet.
+  void apply_batch(std::span<ActionContext> ctxs);
 
   /// Assign logical tables to physical stages (each table gets its own
   /// stage; dependent chains longer than max_stages are infeasible).

@@ -5,8 +5,8 @@
 // — the constraint that shapes the FIFO (§6.1) and cuckoo (§5.2) designs.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -35,8 +35,11 @@ class RegisterArray {
 
   /// Atomic stateful-ALU execution: `salu` sees the cell by reference and
   /// returns the value forwarded to the PHV. One cell per invocation —
-  /// exactly the hardware contract.
-  std::uint64_t execute(std::size_t i, const std::function<std::uint64_t(std::uint64_t&)>& salu) {
+  /// exactly the hardware contract. The callable is taken by deduced type,
+  /// so lambdas run through a direct (usually inlined) call; the per-packet
+  /// SALU path never materializes a std::function.
+  template <typename Salu>
+  std::uint64_t execute(std::size_t i, Salu&& salu) {
     check(i);
     std::uint64_t cell = cells_[i];
     const std::uint64_t out = salu(cell);
@@ -82,8 +85,23 @@ class RegisterFile {
     if (it == arrays_.end()) throw std::out_of_range("no such register: " + name);
     return *it->second;
   }
+  const RegisterArray& get(const std::string& name) const {
+    const auto it = arrays_.find(name);
+    if (it == arrays_.end()) throw std::out_of_range("no such register: " + name);
+    return *it->second;
+  }
   bool contains(const std::string& name) const { return arrays_.count(name) != 0; }
   std::size_t count() const { return arrays_.size(); }
+  /// All array names, sorted — a deterministic iteration order for state
+  /// snapshots (the golden-run determinism test compares full register
+  /// state through this).
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(arrays_.size());
+    for (const auto& [name, array] : arrays_) out.push_back(name);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
 
  private:
   std::unordered_map<std::string, std::unique_ptr<RegisterArray>> arrays_;

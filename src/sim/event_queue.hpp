@@ -1,13 +1,40 @@
 // Discrete-event engine.
 //
-// A single-threaded priority queue of (time, sequence, closure). Sequence
-// numbers make ordering of same-timestamp events deterministic (FIFO), which
-// keeps every experiment reproducible run-to-run.
+// The queue orders (time, sequence, closure) triples; sequence numbers make
+// same-timestamp events run in FIFO schedule order, which keeps every
+// experiment bit-for-bit reproducible run-to-run. That contract is pinned by
+// tests/determinism_test.cpp and must survive any storage change.
+//
+// Storage is built for the workload the testbed actually generates — a few
+// self-rescheduling periodic sources (rate-control ticks, recirculation
+// loops, port TX completions) plus short per-packet causal chains, nearly
+// all within a few microseconds of `now`:
+//
+//  * Event nodes come from a slab: fixed-size nodes carved from chunks and
+//    recycled through a freelist, with the callable stored inline in the
+//    node (48 bytes, comfortably above libstdc++'s 16-byte std::function
+//    SBO). Steady-state scheduling therefore allocates nothing; oversized
+//    closures fall back to one heap allocation and are counted.
+//  * Pending nodes live in a hierarchical timer wheel: 4 levels x 1024
+//    slots, 10 bits per level (level 0 = 1ns buckets covering ~1µs, so the
+//    typical packet delays of 100..600ns insert directly into level 0 with
+//    no cascade; level 3 = 2^30ns buckets covering ~18min). Insert and pop
+//    are O(1) amortized; events beyond the 2^40ns horizon wait in a small
+//    min-heap and are swept into the wheel when the clock reaches their
+//    epoch. Same-bucket
+//    events are re-sorted by sequence when the bucket is drained, which
+//    restores exact (time, sequence) order even after cascades.
 #pragma once
 
+#include <array>
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -16,21 +43,43 @@ namespace ht::sim {
 
 class EventQueue {
  public:
+  /// Kept for callers that store handlers before scheduling; schedule_at
+  /// accepts any callable type directly and will store small ones inline.
   using Handler = std::function<void()>;
 
+  EventQueue() = default;
+  ~EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   TimeNs now() const { return now_; }
-  std::size_t pending() const { return heap_.size(); }
+  std::size_t pending() const { return pending_; }
   std::uint64_t executed() const { return executed_; }
 
   /// Schedule `fn` at absolute time `at` (>= now; earlier times are clamped
   /// to now so causality is never violated).
-  void schedule_at(TimeNs at, Handler fn);
+  template <typename F>
+  void schedule_at(TimeNs at, F&& fn) {
+    if (at < now_) at = now_;
+    Node* n = alloc_node();
+    n->at = at;
+    n->seq = next_seq_++;
+    bind(*n, std::forward<F>(fn));
+    enqueue(n);
+  }
   /// Schedule `fn` `delay` ns from now.
-  void schedule_in(TimeNs delay, Handler fn) { schedule_at(now_ + delay, std::move(fn)); }
+  template <typename F>
+  void schedule_in(TimeNs delay, F&& fn) {
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
-  /// Run events until the queue is empty or the next event is after
-  /// `deadline`; the clock ends at min(deadline, last-event time is not
-  /// advanced past deadline). Returns the number of events executed.
+  /// Run pending events in (time, sequence) order while the next event's
+  /// timestamp is <= `deadline`. Clock-advance contract, pinned by
+  /// sim_test.cpp: after the call, now() == deadline whenever deadline >=
+  /// the entry clock (the queue draining early still advances the clock all
+  /// the way to the deadline); a deadline already in the past runs nothing
+  /// and leaves now() unchanged — the clock never moves backward. Returns
+  /// the number of events executed.
   std::uint64_t run_until(TimeNs deadline);
   /// Run everything (use with care: self-rescheduling components never
   /// drain; prefer run_until).
@@ -38,23 +87,107 @@ class EventQueue {
   /// Execute exactly one event if any is pending; returns false when empty.
   bool step();
 
- private:
-  struct Event {
-    TimeNs at;
-    std::uint64_t seq;
-    Handler fn;
+  /// Slab instrumentation (hit/miss/high-water), surfaced by the benches
+  /// via sim::stats::AllocCacheReport.
+  struct SlabStats {
+    std::uint64_t hits = 0;           ///< nodes served from the freelist
+    std::uint64_t misses = 0;         ///< nodes carved fresh from a chunk
+    std::uint64_t live = 0;           ///< nodes currently pending
+    std::uint64_t high_water = 0;     ///< max simultaneously pending
+    std::uint64_t heap_closures = 0;  ///< callables too big for inline storage
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  const SlabStats& slab_stats() const { return slab_stats_; }
+
+ private:
+  struct Node {
+    static constexpr std::size_t kInlineBytes = 48;
+
+    TimeNs at = 0;
+    std::uint64_t seq = 0;
+    Node* next = nullptr;
+    /// Runs the stored callable; must free the node (via q.free_node)
+    /// BEFORE invoking so self-rescheduling handlers reuse it immediately.
+    void (*invoke)(EventQueue& q, Node* n) = nullptr;
+    /// Destroys the stored callable without running it (queue teardown).
+    void (*drop)(Node* n) = nullptr;
+    alignas(std::max_align_t) unsigned char storage[kInlineBytes];
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  static constexpr unsigned kLevelBits = 10;
+  static constexpr std::size_t kSlots = std::size_t{1} << kLevelBits;  // 1024
+  static constexpr unsigned kLevels = 4;   // horizon: 2^40 ns ≈ 18 min
+  static constexpr unsigned kHorizonBits = kLevelBits * kLevels;
+  static constexpr std::size_t kChunkNodes = 256;
+
+  template <typename F>
+  void bind(Node& n, F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= Node::kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(n.storage)) Fn(std::forward<F>(fn));
+      n.invoke = [](EventQueue& q, Node* node) {
+        Fn* f = std::launder(reinterpret_cast<Fn*>(node->storage));
+        Fn local(std::move(*f));
+        f->~Fn();
+        q.free_node(node);
+        local();
+      };
+      n.drop = [](Node* node) {
+        std::launder(reinterpret_cast<Fn*>(node->storage))->~Fn();
+      };
+    } else {
+      ++slab_stats_.heap_closures;
+      ::new (static_cast<void*>(n.storage)) Fn*(new Fn(std::forward<F>(fn)));
+      n.invoke = [](EventQueue& q, Node* node) {
+        std::unique_ptr<Fn> f(*std::launder(reinterpret_cast<Fn**>(node->storage)));
+        q.free_node(node);
+        (*f)();
+      };
+      n.drop = [](Node* node) {
+        delete *std::launder(reinterpret_cast<Fn**>(node->storage));
+      };
+    }
+  }
+
+  Node* alloc_node();
+  void free_node(Node* n);
+  void enqueue(Node* n);
+  void wheel_insert(Node* n);
+  /// Move the earliest pending bucket (all nodes sharing the minimal
+  /// timestamp <= deadline) onto the ready list, sorted by sequence.
+  /// Returns false (without committing any cursor advance past `deadline`)
+  /// when nothing is due by the deadline.
+  bool take_next_bucket(TimeNs deadline);
+  void load_ready(unsigned slot);
+  void exec_front();
+
+  // --- timer wheel -------------------------------------------------------
+  std::array<std::array<Node*, kSlots>, kLevels> wheel_{};
+  std::array<std::array<std::uint64_t, kSlots / 64>, kLevels> bits_{};
+  /// Wheel reference time: cursor_ <= now_ and cursor_ <= every pending
+  /// timestamp in the wheel. Slot positions are derived from timestamps
+  /// relative to cursor_'s block at each level.
+  TimeNs cursor_ = 0;
+  /// Events past the wheel horizon (rare: multi-second arm times), min-heap
+  /// keyed by timestamp.
+  std::vector<Node*> overflow_;
+
+  // --- ready list: the bucket currently being drained, in seq order ------
+  Node* ready_head_ = nullptr;
+  Node* ready_tail_ = nullptr;
+  std::vector<Node*> scratch_;  ///< reused for bucket sorting
+
+  // --- slab --------------------------------------------------------------
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  Node* free_list_ = nullptr;
+  Node* chunk_next_ = nullptr;        ///< bump pointer into the newest chunk
+  std::size_t chunk_remaining_ = 0;
+  SlabStats slab_stats_;
+
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t pending_ = 0;
 };
 
 }  // namespace ht::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 namespace ht::sim {
@@ -96,6 +97,17 @@ double Histogram::quantile(double q) const {
     cum = next;
   }
   return hi_;
+}
+
+std::string format_alloc_cache(const AllocCacheReport& report) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%s: %.1f%% hit (%llu hit / %llu miss), high-water %llu",
+                report.name.c_str(), report.hit_rate() * 100.0,
+                static_cast<unsigned long long>(report.hits),
+                static_cast<unsigned long long>(report.misses),
+                static_cast<unsigned long long>(report.high_water));
+  return line;
 }
 
 }  // namespace ht::sim

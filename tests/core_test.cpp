@@ -197,9 +197,9 @@ TEST(HyperTester, PortBandwidthGroupsByIngressPort) {
   tester.start();
   for (int i = 0; i < 10; ++i) {
     injector2.port().send(
-        std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 100)));
+        net::make_packet(net::make_udp_packet(1, 2, 3, 4, 100)));
   }
-  injector3.port().send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 400)));
+  injector3.port().send(net::make_packet(net::make_udp_packet(1, 2, 3, 4, 400)));
   tester.run_for(sim::ms(1));
 
   EXPECT_EQ(tester.query_value(app.q_per_port, {2}), 1000u);

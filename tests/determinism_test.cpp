@@ -1,0 +1,171 @@
+// Golden-run determinism and packet-pool reuse tests.
+//
+// The pooled-packet / slab-event / timer-wheel engine (DESIGN.md sec. 8)
+// must not change simulation results: for a fixed seed, two fresh testers
+// running the same scenario produce bit-identical event counts, register
+// state, and per-port counters. These tests pin that contract so future
+// storage or scheduling changes cannot silently reorder events.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/tasks.hpp"
+#include "core/hypertester.hpp"
+#include "dut/capture.hpp"
+#include "net/packet_pool.hpp"
+
+namespace ht {
+namespace {
+
+/// Everything observable about one finished run, cheap to compare.
+struct RunSnapshot {
+  std::uint64_t events_executed = 0;
+  std::uint64_t ingress_packets = 0;
+  std::uint64_t egress_packets = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t recirculations = 0;
+  std::uint64_t replicas = 0;
+  std::vector<std::uint64_t> port_counters;  ///< tx/rx packets+bytes per port
+  std::vector<std::pair<std::string, std::vector<std::uint64_t>>> registers;
+
+  bool operator==(const RunSnapshot&) const = default;
+};
+
+/// Run the Fig. 9-style single-port scenario for 200us and snapshot it.
+RunSnapshot golden_run() {
+  constexpr std::size_t kPorts = 2;
+  TesterConfig cfg;
+  cfg.asic.num_ports = kPorts;
+  cfg.asic.port_rate_gbps = 100.0;
+  HyperTester tester(cfg);
+  std::vector<std::unique_ptr<dut::Capture>> sinks;
+  for (std::size_t i = 0; i < kPorts; ++i) {
+    sinks.push_back(std::make_unique<dut::Capture>(
+        tester.events(), static_cast<std::uint16_t>(1000 + i), 100.0));
+    sinks.back()->set_count_only(true);
+    sinks.back()->attach(tester.asic().port(static_cast<std::uint16_t>(i)));
+  }
+  auto app = apps::throughput_test(0x02020202, 0x01010101, {1}, 64, 0);
+  tester.load(app.task);
+  tester.start();
+  tester.run_for(sim::us(200));
+
+  RunSnapshot snap;
+  snap.events_executed = tester.events().executed();
+  snap.ingress_packets = tester.asic().ingress_packets();
+  snap.egress_packets = tester.asic().egress_packets();
+  snap.dropped = tester.asic().dropped_packets();
+  snap.recirculations = tester.asic().recirculations();
+  snap.replicas = tester.asic().replicas_created();
+  for (std::size_t i = 0; i < kPorts; ++i) {
+    const auto& p = tester.asic().port(static_cast<std::uint16_t>(i));
+    snap.port_counters.push_back(p.tx_packets());
+    snap.port_counters.push_back(p.tx_bytes());
+    snap.port_counters.push_back(p.rx_packets());
+    snap.port_counters.push_back(p.rx_bytes());
+  }
+  for (const std::string& name : tester.asic().registers().names()) {
+    const auto& arr = tester.asic().registers().get(name);
+    std::vector<std::uint64_t> cells(arr.size());
+    for (std::size_t i = 0; i < arr.size(); ++i) cells[i] = arr.read(i);
+    snap.registers.emplace_back(name, std::move(cells));
+  }
+  return snap;
+}
+
+TEST(GoldenRun, IdenticalResultsForFixedSeed) {
+  const RunSnapshot a = golden_run();
+  const RunSnapshot b = golden_run();
+  // Compare piecewise first so a failure names the diverging counter.
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.egress_packets, b.egress_packets);
+  EXPECT_EQ(a.port_counters, b.port_counters);
+  EXPECT_EQ(a.registers.size(), b.registers.size());
+  for (std::size_t i = 0; i < a.registers.size() && i < b.registers.size(); ++i) {
+    EXPECT_EQ(a.registers[i].first, b.registers[i].first);
+    EXPECT_EQ(a.registers[i].second, b.registers[i].second)
+        << "register array " << a.registers[i].first << " diverged";
+  }
+  EXPECT_EQ(a, b);
+  // The scenario must actually exercise the hot path to prove anything.
+  EXPECT_GT(a.egress_packets, 10000u);
+  EXPECT_GT(a.registers.size(), 0u);
+}
+
+TEST(PacketPool, ReusesReleasedPackets) {
+  net::PacketPool pool;
+  auto p1 = pool.acquire(64, 0xab);
+  const net::Packet* raw = p1.get();
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().live, 1u);
+  p1.reset();  // last ref: back to the freelist, not the allocator
+  EXPECT_EQ(pool.stats().released, 1u);
+  EXPECT_EQ(pool.free_count(), 1u);
+  auto p2 = pool.acquire(128, 0xcd);
+  EXPECT_EQ(p2.get(), raw);  // same node recycled
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(p2->size(), 128u);
+  EXPECT_EQ(p2->bytes()[0], 0xcd);
+}
+
+TEST(PacketPool, HighWaterTracksPeakLive) {
+  net::PacketPool pool;
+  {
+    auto a = pool.acquire(64);
+    auto b = pool.acquire(64);
+    auto c = pool.acquire(64);
+    EXPECT_EQ(pool.stats().high_water, 3u);
+  }
+  EXPECT_EQ(pool.stats().live, 0u);
+  auto d = pool.acquire(64);
+  auto e = pool.acquire(64);
+  EXPECT_EQ(pool.stats().high_water, 3u);  // peak, not current
+  EXPECT_EQ(pool.stats().hits, 2u);
+}
+
+TEST(PacketPool, MetaFullyResetOnReuse) {
+  net::PacketPool pool;
+  {
+    auto p = pool.acquire(64, 0xff);
+    p->meta().ingress_port = 7;
+    p->meta().egress_port = 9;
+    p->meta().template_id = 42;
+    p->meta().recirc_count = 3;
+    p->meta().is_template = true;
+    // Overflow the bridged-words inline buffer so the spill path is also
+    // proven to reset.
+    for (std::uint64_t w = 0; w < 6; ++w) p->meta().bridged.push_back(w + 1);
+    EXPECT_TRUE(p->meta().bridged.spilled());
+  }
+  auto q = pool.acquire(32);
+  const net::PacketMeta fresh;
+  EXPECT_EQ(q->meta().ingress_port, fresh.ingress_port);
+  EXPECT_EQ(q->meta().egress_port, fresh.egress_port);
+  EXPECT_EQ(q->meta().template_id, fresh.template_id);
+  EXPECT_EQ(q->meta().recirc_count, fresh.recirc_count);
+  EXPECT_EQ(q->meta().is_template, fresh.is_template);
+  EXPECT_EQ(q->meta().bridged.size(), 0u);
+  EXPECT_TRUE(q->meta().bridged == fresh.bridged);
+  EXPECT_EQ(q->size(), 32u);
+  EXPECT_EQ(q->bytes()[0], 0x00);
+}
+
+TEST(PacketPool, CopyAcquireClonesDataAndMeta) {
+  net::PacketPool pool;
+  auto proto = pool.acquire(48, 0x5a);
+  proto->meta().template_id = 11;
+  proto->meta().bridged.push_back(123);
+  auto copy = pool.acquire_copy(*proto);
+  EXPECT_NE(copy.get(), proto.get());
+  EXPECT_EQ(copy->size(), 48u);
+  EXPECT_EQ(copy->bytes()[5], 0x5a);
+  EXPECT_EQ(copy->meta().template_id, 11u);
+  ASSERT_EQ(copy->meta().bridged.size(), 1u);
+  EXPECT_EQ(*copy->meta().bridged.begin(), 123u);
+}
+
+}  // namespace
+}  // namespace ht

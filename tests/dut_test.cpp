@@ -20,7 +20,7 @@ TEST(Forwarder, ForwardsWithConfiguredDelay) {
   Capture a(ev, 10, 100.0), b(ev, 11, 100.0);
   a.attach(fwd.port(0));
   b.attach(fwd.port(1));
-  a.port().send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64)));
+  a.port().send(net::make_packet(net::make_udp_packet(1, 2, 3, 4, 64)));
   ev.run_until(sim::us(100));
   ASSERT_EQ(b.count(), 1u);
   EXPECT_EQ(fwd.forwarded(), 1u);
@@ -36,7 +36,7 @@ TEST(Forwarder, LossRateIsRespected) {
   a.attach(fwd.port(0));
   b.attach(fwd.port(1));
   for (int i = 0; i < 2000; ++i) {
-    a.port().send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64)));
+    a.port().send(net::make_packet(net::make_udp_packet(1, 2, 3, 4, 64)));
   }
   ev.run_until(sim::ms(10));
   EXPECT_NEAR(static_cast<double>(b.counted()), 1000.0, 80.0);
@@ -50,7 +50,7 @@ TEST(Forwarder, CustomRoutes) {
   Capture a(ev, 10, 100.0), d(ev, 13, 100.0);
   a.attach(fwd.port(0));
   d.attach(fwd.port(3));
-  a.port().send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64)));
+  a.port().send(net::make_packet(net::make_udp_packet(1, 2, 3, 4, 64)));
   ev.run_until(sim::us(10));
   EXPECT_EQ(d.count(), 1u);
 }
@@ -63,7 +63,7 @@ TEST(TcpServer, CompletesHandshakeAndServesPage) {
 
   const std::uint32_t c = 0x01010101, s = 0x05050505;
   client.port().send(
-      std::make_shared<net::Packet>(net::make_tcp_packet(c, s, 1024, 80, flag::kSyn, 10)));
+      net::make_packet(net::make_tcp_packet(c, s, 1024, 80, flag::kSyn, 10)));
   ev.run_until(sim::us(50));
   ASSERT_EQ(client.count(), 1u);
   const auto& synack = *client.packets()[0];
@@ -73,10 +73,10 @@ TEST(TcpServer, CompletesHandshakeAndServesPage) {
 
   // Complete the handshake, then request the page.
   client.port().send(
-      std::make_shared<net::Packet>(net::make_tcp_packet(c, s, 1024, 80, flag::kAck, 11)));
+      net::make_packet(net::make_tcp_packet(c, s, 1024, 80, flag::kAck, 11)));
   ev.run_until(sim::us(100));
   EXPECT_EQ(server.handshakes_completed(), 1u);
-  client.port().send(std::make_shared<net::Packet>(
+  client.port().send(net::make_packet(
       net::make_tcp_packet(c, s, 1024, 80, flag::kPshAck, 11, 1, 80)));
   ev.run_until(sim::us(200));
   EXPECT_EQ(server.requests_served(), 1u);
@@ -86,7 +86,7 @@ TEST(TcpServer, CompletesHandshakeAndServesPage) {
 
   // Close.
   client.port().send(
-      std::make_shared<net::Packet>(net::make_tcp_packet(c, s, 1024, 80, flag::kFin, 12)));
+      net::make_packet(net::make_tcp_packet(c, s, 1024, 80, flag::kFin, 12)));
   ev.run_until(sim::us(300));
   EXPECT_EQ(server.connections_closed(), 1u);
   EXPECT_EQ(server.open_connections(), 0u);
@@ -99,9 +99,9 @@ TEST(TcpServer, IgnoresWrongPortAndUnknownConnections) {
   Capture client(ev, 10, 100.0);
   client.attach(server.port());
   client.port().send(
-      std::make_shared<net::Packet>(net::make_tcp_packet(1, 2, 1024, 8080, flag::kSyn)));
+      net::make_packet(net::make_tcp_packet(1, 2, 1024, 8080, flag::kSyn)));
   client.port().send(
-      std::make_shared<net::Packet>(net::make_tcp_packet(1, 2, 1024, 80, flag::kAck)));
+      net::make_packet(net::make_tcp_packet(1, 2, 1024, 80, flag::kAck)));
   ev.run_until(sim::us(100));
   EXPECT_EQ(client.count(), 0u);
   EXPECT_EQ(server.syns_received(), 0u);
@@ -126,10 +126,10 @@ TEST(ScanTargets, RespondsPerProtocol) {
   scanner.attach(t.port());
 
   // SYN to the open port -> SYN+ACK.
-  scanner.port().send(std::make_shared<net::Packet>(
+  scanner.port().send(net::make_packet(
       net::make_tcp_packet(1, 0x0A000005, 1024, 80, flag::kSyn, 77)));
   // SYN to a closed port -> RST.
-  scanner.port().send(std::make_shared<net::Packet>(
+  scanner.port().send(net::make_packet(
       net::make_tcp_packet(1, 0x0A000005, 1024, 81, flag::kSyn, 78)));
   ev.run_until(sim::us(100));
   ASSERT_EQ(scanner.count(), 2u);
@@ -147,7 +147,7 @@ TEST(ScanTargets, RespondsPerProtocol) {
                          .set(FieldId::kIcmpId, 42)
                          .set(FieldId::kIcmpSeq, 7)
                          .build();
-  scanner.port().send(std::make_shared<net::Packet>(std::move(echo)));
+  scanner.port().send(net::make_packet(std::move(echo)));
   ev.run_until(sim::us(200));
   ASSERT_EQ(scanner.count(), 3u);
   const auto& reply = *scanner.packets()[2];
@@ -162,7 +162,7 @@ TEST(ScanTargets, DeadHostsSilent) {
   ScanTargets t(ev, {.subnet = 0x0A000000, .alive_fraction = 0.0});
   Capture scanner(ev, 10, 100.0);
   scanner.attach(t.port());
-  scanner.port().send(std::make_shared<net::Packet>(
+  scanner.port().send(net::make_packet(
       net::make_tcp_packet(1, 0x0A000005, 1024, 80, flag::kSyn)));
   ev.run_until(sim::us(100));
   EXPECT_EQ(scanner.count(), 0u);
@@ -176,7 +176,7 @@ TEST(Capture, RecordsAndClears) {
   b.port().connect(&a.port());
   bool hook_ran = false;
   b.on_packet = [&](const net::Packet&, sim::TimeNs) { hook_ran = true; };
-  a.port().send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 99)));
+  a.port().send(net::make_packet(net::make_udp_packet(1, 2, 3, 4, 99)));
   ev.run_until(sim::us(10));
   EXPECT_TRUE(hook_ran);
   EXPECT_EQ(b.count(), 1u);

@@ -31,7 +31,7 @@ struct StoreFixture {
 
   rmt::ActionContext ctx_for(std::uint32_t sip, std::uint32_t dip) {
     phv = rmt::Phv{};
-    phv.packet = std::make_shared<net::Packet>(net::make_udp_packet(sip, dip, 1, 2, 64));
+    phv.packet = net::make_packet(net::make_udp_packet(sip, dip, 1, 2, 64));
     phv.set(FieldId::kIpv4Sip, sip);
     phv.set(FieldId::kIpv4Dip, dip);
     return rmt::ActionContext{phv, asic.registers(), asic.rng(), ev.now(),
@@ -311,7 +311,7 @@ TEST(Receiver, KeylessReduceSumsBytes) {
   const auto qid = rx.add_query(std::move(q));
   rx.install();
   for (int i = 0; i < 10; ++i) {
-    tb.sinks[0]->port.send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 100)));
+    tb.sinks[0]->port.send(net::make_packet(net::make_udp_packet(1, 2, 3, 4, 100)));
   }
   tb.ev.run_until(sim::us(100));
   EXPECT_EQ(rx.keyless_total(qid), 1000u);
@@ -328,10 +328,10 @@ TEST(Receiver, FilterSelectsTcpSyn) {
   const auto qid = rx.add_query(std::move(q));
   rx.install();
   tb.sinks[0]->port.send(
-      std::make_shared<net::Packet>(net::make_tcp_packet(1, 2, 3, 4, net::tcpflag::kSyn)));
+      net::make_packet(net::make_tcp_packet(1, 2, 3, 4, net::tcpflag::kSyn)));
   tb.sinks[0]->port.send(
-      std::make_shared<net::Packet>(net::make_tcp_packet(1, 2, 3, 4, net::tcpflag::kAck)));
-  tb.sinks[0]->port.send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4)));
+      net::make_packet(net::make_tcp_packet(1, 2, 3, 4, net::tcpflag::kAck)));
+  tb.sinks[0]->port.send(net::make_packet(net::make_udp_packet(1, 2, 3, 4)));
   tb.ev.run_until(sim::us(100));
   EXPECT_EQ(rx.evaluated(qid), 3u);
   EXPECT_EQ(rx.matched(qid), 1u);
@@ -346,8 +346,8 @@ TEST(Receiver, PortScopedQuery) {
   q.ops = {MapOp{}, ReduceOp{UpdateFunc::kSum}};
   const auto qid = rx.add_query(std::move(q));
   rx.install();
-  tb.sinks[1]->port.send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4)));
-  tb.sinks[2]->port.send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4)));
+  tb.sinks[1]->port.send(net::make_packet(net::make_udp_packet(1, 2, 3, 4)));
+  tb.sinks[2]->port.send(net::make_packet(net::make_udp_packet(1, 2, 3, 4)));
   tb.ev.run_until(sim::us(100));
   EXPECT_EQ(rx.matched(qid), 1u);
 }
@@ -363,9 +363,9 @@ TEST(Receiver, KeyedReduceCountsPerFlow) {
   const auto qid = rx.add_query(std::move(q));
   rx.install();
   for (int i = 0; i < 4; ++i) {
-    tb.sinks[0]->port.send(std::make_shared<net::Packet>(net::make_udp_packet(1, 0xAA, 3, 4, 64)));
+    tb.sinks[0]->port.send(net::make_packet(net::make_udp_packet(1, 0xAA, 3, 4, 64)));
   }
-  tb.sinks[0]->port.send(std::make_shared<net::Packet>(net::make_udp_packet(1, 0xBB, 3, 4, 128)));
+  tb.sinks[0]->port.send(net::make_packet(net::make_udp_packet(1, 0xBB, 3, 4, 128)));
   tb.ev.run_until(sim::us(100));
   auto* store = rx.store(qid);
   ASSERT_NE(store, nullptr);
@@ -384,7 +384,7 @@ TEST(Receiver, DistinctQueryOverFlows) {
   const auto qid = rx.add_query(std::move(q));
   rx.install();
   for (const std::uint32_t sip : {10u, 20u, 10u, 30u, 20u, 10u}) {
-    tb.sinks[0]->port.send(std::make_shared<net::Packet>(net::make_udp_packet(sip, 2, 3, 4)));
+    tb.sinks[0]->port.send(net::make_packet(net::make_udp_packet(sip, 2, 3, 4)));
   }
   tb.ev.run_until(sim::us(100));
   std::map<std::uint64_t, std::uint64_t> cpu;
@@ -431,7 +431,7 @@ TEST(Receiver, ResultFilterSplitsOnCount) {
   const auto qid = rx.add_query(std::move(q));
   rx.install();
   for (int i = 0; i < 5; ++i) {
-    tb.sinks[0]->port.send(std::make_shared<net::Packet>(net::make_udp_packet(7, 2, 3, 4)));
+    tb.sinks[0]->port.send(net::make_packet(net::make_udp_packet(7, 2, 3, 4)));
   }
   tb.ev.run_until(sim::us(100));
   // Counts 1..5; passes on 3, 4, 5.

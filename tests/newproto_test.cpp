@@ -52,7 +52,7 @@ class NvpEchoServer {
             .set(FieldId::kNvpSessionId, net::get_field(*pkt, FieldId::kNvpSessionId))
             .set(FieldId::kNvpSeq, net::get_field(*pkt, FieldId::kNvpSeq) + 1)
             .build();
-    auto reply = std::make_shared<net::Packet>(std::move(pong));
+    auto reply = net::make_packet(std::move(pong));
     ev_.schedule_in(500, [this, reply = std::move(reply)]() mutable {
       port_.send(std::move(reply));
     });
@@ -74,7 +74,7 @@ TEST(NewProtocol, PacketBuilderAndParserSpeakNvp) {
   EXPECT_EQ(net::l4_kind(pkt), net::HeaderKind::kNvp);
   EXPECT_TRUE(net::verify_checksums(pkt));  // IPv4 header checksum still set
 
-  auto shared = std::make_shared<net::Packet>(pkt);
+  auto shared = net::make_packet(pkt);
   const auto phv = rmt::Parser::default_graph().parse(shared);
   EXPECT_TRUE(phv.header_valid(net::HeaderKind::kNvp));
   EXPECT_EQ(phv.get(FieldId::kNvpSessionId), 0xDEADBEEFu);

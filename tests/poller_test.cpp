@@ -87,7 +87,7 @@ TEST(CaptureDump, WritesInspectablePcap) {
   a.port().connect(&b.port());
   b.port().connect(&a.port());
   for (int i = 0; i < 7; ++i) {
-    a.port().send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 100)));
+    a.port().send(net::make_packet(net::make_udp_packet(1, 2, 3, 4, 100)));
   }
   ev.run_until(sim::us(100));
   const std::string path = "/tmp/ht_capture_dump.pcap";

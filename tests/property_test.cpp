@@ -40,7 +40,7 @@ TEST_P(PacketRoundTrip, BuildParseDeparsePreservesFields) {
   EXPECT_TRUE(net::verify_checksums(pkt));
 
   // Through the programmable parser and back.
-  auto shared = std::make_shared<net::Packet>(pkt);
+  auto shared = net::make_packet(pkt);
   auto phv = rmt::Parser::default_graph().parse(shared);
   EXPECT_TRUE(phv.header_valid(l4));
   EXPECT_EQ(phv.get(FieldId::kIpv4Sip), 0x0A0B0C0Du);

@@ -15,7 +15,7 @@ namespace {
 using net::FieldId;
 
 Phv parse_udp(std::uint16_t sport = 10, std::uint16_t dport = 20) {
-  auto pkt = std::make_shared<net::Packet>(net::make_udp_packet(0x01010101, 0x02020202, sport,
+  auto pkt = net::make_packet(net::make_udp_packet(0x01010101, 0x02020202, sport,
                                                                 dport, 64));
   return Parser::default_graph().parse(pkt);
 }
@@ -41,7 +41,7 @@ TEST(Parser, StopsOnTruncatedPacket) {
 }
 
 TEST(Parser, DeparseWritesFieldsBack) {
-  auto pkt = std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64));
+  auto pkt = net::make_packet(net::make_udp_packet(1, 2, 3, 4, 64));
   Phv phv = Parser::default_graph().parse(pkt);
   phv.set(FieldId::kUdpDport, 9999);
   phv.set(FieldId::kIpv4Ttl, 7);
@@ -51,7 +51,7 @@ TEST(Parser, DeparseWritesFieldsBack) {
 }
 
 TEST(Parser, CustomGraphUnknownEtherTypeAccepts) {
-  auto pkt = std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64));
+  auto pkt = net::make_packet(net::make_udp_packet(1, 2, 3, 4, 64));
   net::set_field(*pkt, FieldId::kEthType, 0x88B5);  // experimental
   const Phv phv = Parser::default_graph().parse(pkt);
   EXPECT_TRUE(phv.header_valid(net::HeaderKind::kEthernet));
@@ -147,7 +147,7 @@ TEST(Table, TernaryPriority) {
                2,
                "high",
                [&](ActionContext&) { which = 2; }});
-  auto pkt = std::make_shared<net::Packet>(net::make_udp_packet(1, 0x0A0B0C0D, 1, 2, 64));
+  auto pkt = net::make_packet(net::make_udp_packet(1, 0x0A0B0C0D, 1, 2, 64));
   Phv phv = Parser::default_graph().parse(pkt);
   RegisterFile rf;
   sim::Rng rng;
@@ -185,7 +185,7 @@ TEST(Table, LpmLongestPrefixWins) {
   RegisterFile rf;
   sim::Rng rng;
   const auto lookup = [&](std::uint32_t dip) {
-    auto pkt = std::make_shared<net::Packet>(net::make_udp_packet(1, dip, 1, 2, 64));
+    auto pkt = net::make_packet(net::make_udp_packet(1, dip, 1, 2, 64));
     Phv phv = Parser::default_graph().parse(pkt);
     ActionContext ctx{phv, rf, rng, 0, nullptr};
     which = 0;
@@ -202,7 +202,7 @@ TEST(Table, LpmDefaultRouteMatchesEverything) {
   MatchActionTable t("routes", {{FieldId::kIpv4Dip, MatchKind::kLpm}}, 4);
   bool hit = false;
   t.add_entry({{lpm_match(0, 0, 32)}, 0, "default", [&](ActionContext&) { hit = true; }});
-  auto pkt = std::make_shared<net::Packet>(net::make_udp_packet(1, 0xDEADBEEF, 1, 2, 64));
+  auto pkt = net::make_packet(net::make_udp_packet(1, 0xDEADBEEF, 1, 2, 64));
   Phv phv = Parser::default_graph().parse(pkt);
   RegisterFile rf;
   sim::Rng rng;
@@ -318,7 +318,7 @@ TEST(Asic, UnicastForwardsWithPipelineLatency) {
     ctx.phv.intrinsic().dest = Destination::kUnicast;
     ctx.phv.intrinsic().ucast_port = 1;
   });
-  tb.sinks[0]->port.send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64)));
+  tb.sinks[0]->port.send(net::make_packet(net::make_udp_packet(1, 2, 3, 4, 64)));
   tb.ev.run_until(sim::us(100));
   ASSERT_EQ(tb.sinks[1]->packets.size(), 1u);
   EXPECT_EQ(tb.asic.ingress_packets(), 1u);
@@ -329,7 +329,7 @@ TEST(Asic, UnicastForwardsWithPipelineLatency) {
 
 TEST(Asic, DropByDefault) {
   test::AsicTestbed tb(rmt::AsicConfig{.num_ports = 2});
-  tb.sinks[0]->port.send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64)));
+  tb.sinks[0]->port.send(net::make_packet(net::make_udp_packet(1, 2, 3, 4, 64)));
   tb.ev.run_until(sim::us(10));
   EXPECT_EQ(tb.asic.dropped_packets(), 1u);
   EXPECT_TRUE(tb.sinks[1]->packets.empty());
@@ -343,7 +343,7 @@ TEST(Asic, MulticastReplicatesToMembers) {
     ctx.phv.intrinsic().dest = Destination::kMulticast;
     ctx.phv.intrinsic().mcast_group = 7;
   });
-  tb.sinks[0]->port.send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64)));
+  tb.sinks[0]->port.send(net::make_packet(net::make_udp_packet(1, 2, 3, 4, 64)));
   tb.ev.run_until(sim::us(100));
   EXPECT_EQ(tb.sinks[1]->packets.size(), 1u);
   EXPECT_EQ(tb.sinks[2]->packets.size(), 1u);
@@ -380,7 +380,7 @@ TEST(Asic, RecirculationLoopRttMatchesFig14) {
     ctx.phv.intrinsic().dest = Destination::kUnicast;
     ctx.phv.intrinsic().ucast_port = rmt::SwitchAsic::kRecircPortBase;
   });
-  auto pkt = std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64));
+  auto pkt = net::make_packet(net::make_udp_packet(1, 2, 3, 4, 64));
   asic.inject_from_cpu(pkt);
   ev.run_until(sim::ms(1));
   ASSERT_GT(arrivals.size(), 1000u);
@@ -411,7 +411,7 @@ TEST(Asic, CpuPuntAndInjection) {
   });
   net::PacketPtr punted;
   asic.set_cpu_punt([&](net::PacketPtr p) { punted = std::move(p); });
-  asic.inject_from_cpu(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64)));
+  asic.inject_from_cpu(net::make_packet(net::make_udp_packet(1, 2, 3, 4, 64)));
   ev.run_until(sim::us(100));
   ASSERT_TRUE(punted);
   EXPECT_EQ(punted->meta().ingress_port, rmt::SwitchAsic::kCpuPort);
@@ -440,7 +440,7 @@ TEST(Asic, EgressRewritesAndChecksumsFixed) {
   te.set_default("rewrite", [](ActionContext& ctx) {
     ctx.phv.set(FieldId::kUdpDport, 5555);
   });
-  tb.sinks[0]->port.send(std::make_shared<net::Packet>(net::make_udp_packet(1, 2, 3, 4, 64)));
+  tb.sinks[0]->port.send(net::make_packet(net::make_udp_packet(1, 2, 3, 4, 64)));
   tb.ev.run_until(sim::us(100));
   ASSERT_EQ(tb.sinks[1]->packets.size(), 1u);
   const auto& pkt = *tb.sinks[1]->packets[0];

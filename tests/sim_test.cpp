@@ -1,6 +1,8 @@
 // Unit tests for the simulation substrate: event queue, stats, ports.
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "net/packet_builder.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/port.hpp"
@@ -56,6 +58,96 @@ TEST(EventQueue, SelfReschedulingRunsUntilDeadline) {
   ev.schedule_at(0, tick);
   ev.run_until(95);
   EXPECT_EQ(ticks, 10);  // t = 0,10,...,90
+}
+
+// Pins the clock-advance contract documented on run_until: a deadline at or
+// ahead of the entry clock always leaves now() == deadline (even when the
+// queue drains early or was empty), and a deadline in the past runs nothing
+// and never moves the clock backward.
+TEST(EventQueue, RunUntilClockAdvanceContract) {
+  EventQueue ev;
+  // Empty queue: the clock still advances all the way to the deadline.
+  EXPECT_EQ(ev.run_until(50), 0u);
+  EXPECT_EQ(ev.now(), 50u);
+  // Deadline in the past: nothing runs, the clock never moves backward.
+  EXPECT_EQ(ev.run_until(10), 0u);
+  EXPECT_EQ(ev.now(), 50u);
+  // Deadline == now: a no-op that keeps the clock in place.
+  EXPECT_EQ(ev.run_until(50), 0u);
+  EXPECT_EQ(ev.now(), 50u);
+  // Queue drains before the deadline: clock ends at the deadline, not at
+  // the last event.
+  bool ran = false;
+  ev.schedule_at(60, [&] { ran = true; });
+  EXPECT_EQ(ev.run_until(100), 1u);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(ev.now(), 100u);
+  // An event scheduled exactly at a later deadline is included.
+  int fired = 0;
+  ev.schedule_at(200, [&] { ++fired; });
+  ev.run_until(200);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(ev.now(), 200u);
+}
+
+TEST(EventQueue, SameTimestampEnqueueDuringDrainRunsInOrder) {
+  EventQueue ev;
+  std::vector<int> order;
+  ev.schedule_at(10, [&] {
+    order.push_back(1);
+    // Scheduled while the t=10 bucket is draining: lands at the tail of
+    // the ready list and runs before the clock moves on.
+    ev.schedule_at(10, [&] { order.push_back(3); });
+  });
+  ev.schedule_at(10, [&] { order.push_back(2); });
+  ev.schedule_at(11, [&] { order.push_back(4); });
+  ev.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, FarFutureEventsBeyondWheelHorizon) {
+  // The timer wheel covers 2^40 ns; later timestamps park in the overflow
+  // heap and must still execute in (time, sequence) order.
+  constexpr TimeNs kHorizon = TimeNs{1} << 40;
+  EventQueue ev;
+  std::vector<int> order;
+  ev.schedule_at(2 * kHorizon + 3, [&] { order.push_back(4); });
+  ev.schedule_at(kHorizon + 5, [&] { order.push_back(2); });
+  ev.schedule_at(100, [&] { order.push_back(1); });
+  ev.schedule_at(kHorizon + 5, [&] { order.push_back(3); });  // same time: FIFO
+  EXPECT_EQ(ev.pending(), 4u);
+  ev.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(ev.now(), 2 * kHorizon + 3);
+}
+
+TEST(EventQueue, SlabReusesNodesAndCountsHighWater) {
+  EventQueue ev;
+  for (int i = 0; i < 100; ++i) {
+    ev.schedule_in(1, [] {});
+    ev.run_all();
+  }
+  const auto& s = ev.slab_stats();
+  // One node carved fresh, then recycled through the freelist every round.
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 99u);
+  EXPECT_EQ(s.high_water, 1u);
+  EXPECT_EQ(s.live, 0u);
+  EXPECT_EQ(s.heap_closures, 0u);
+}
+
+TEST(EventQueue, OversizedClosureFallsBackToHeap) {
+  EventQueue ev;
+  std::array<std::uint64_t, 16> big{};  // 128B capture: too big for the node
+  big[15] = 7;
+  std::uint64_t seen = 0;
+  ev.schedule_at(5, [big, &seen] { seen = big[15]; });
+  EXPECT_EQ(ev.slab_stats().heap_closures, 1u);
+  ev.run_all();
+  EXPECT_EQ(seen, 7u);
+  // Unexecuted oversized closures must also be destroyed cleanly.
+  ev.schedule_at(1000, [big, &seen] { seen = big[0]; });
+  EXPECT_EQ(ev.slab_stats().heap_closures, 2u);
 }
 
 TEST(RunningStats, MeanVarianceMinMax) {

@@ -70,7 +70,7 @@ TEST(StatelessConnection, SynAckTriggersAck) {
   tb.ev.run_until(sim::us(50));  // let the template enter the loop
 
   // Server's SYN+ACK arrives on port 0.
-  auto synack = std::make_shared<net::Packet>(
+  auto synack = net::make_packet(
       net::make_tcp_packet(net::ipv4_address("5.5.5.5"), net::ipv4_address("1.1.0.1"), 80, 4096,
                            flag::kSynAck, /*seq=*/7777, /*ack=*/2));
   tb.sinks[0]->port.send(synack);
@@ -114,7 +114,7 @@ TEST(StatelessConnection, OneResponsePerReceivedPacket) {
 
   constexpr int kCount = 37;
   for (int i = 0; i < kCount; ++i) {
-    tb.sinks[0]->port.send(std::make_shared<net::Packet>(
+    tb.sinks[0]->port.send(net::make_packet(
         net::make_tcp_packet(100 + i, 200, 80, 1000, flag::kSynAck)));
   }
   tb.ev.run_until(sim::ms(2));
@@ -127,7 +127,7 @@ TEST(StatelessConnection, OneResponsePerReceivedPacket) {
   EXPECT_EQ(dips.size(), static_cast<std::size_t>(kCount));
   // Non-matching packets trigger nothing.
   tb.sinks[0]->port.send(
-      std::make_shared<net::Packet>(net::make_tcp_packet(1, 2, 3, 4, flag::kAck)));
+      net::make_packet(net::make_tcp_packet(1, 2, 3, 4, flag::kAck)));
   tb.ev.run_until(sim::ms(3));
   EXPECT_EQ(tb.sinks[1]->packets.size(), static_cast<std::size_t>(kCount));
 }
