@@ -9,6 +9,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -34,6 +35,23 @@ inline std::string take_json_path(int& argc, char** argv) {
   }
   argc = out;
   return path;
+}
+
+/// Pull `--loss <rate>` out of argv (same contract as take_json_path).
+/// Returns the Bernoulli loss rate for a chaos-link bench variant, or 0.0
+/// when the flag is absent.
+inline double take_loss_rate(int& argc, char** argv) {
+  double rate = 0.0;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--loss") == 0 && i + 1 < argc) {
+      rate = std::atof(argv[++i]);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return rate;
 }
 
 /// Machine-readable sidecar for a bench binary: one entry per reported

@@ -4,22 +4,59 @@
 //  (b) HyperTester on a 40G port vs MoonGen with one core — MoonGen is CPU
 //      bound for small packets and only reaches line rate once packets get
 //      large.
+//
+// With `--loss <rate>` the 100G sweep instead runs through a chaos link
+// (Bernoulli loss, fixed seed) and reports delivered goodput plus the
+// aggregated drop report — the degraded-conditions variant written by
+// scripts/bench.sh as BENCH_fig9_lossy.json.
 #include <chrono>
 
 #include "apps/tasks.hpp"
 #include "baseline/moongen.hpp"
 #include "common.hpp"
+#include "sim/stats.hpp"
 
 namespace {
 
-/// Run a line-rate generation task for `window` and report achieved Gbps.
-double hypertester_gbps(double port_rate, std::size_t pkt_len) {
+struct RunResult {
+  double tx_gbps = 0.0;        ///< offered rate on the port
+  double delivered_gbps = 0.0; ///< goodput after chaos-link loss
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::vector<ht::sim::DropCounter> drops;
+};
+
+/// Run a line-rate generation task for 2 ms of sim time; with a nonzero
+/// loss rate the task carries a chaos profile so every front-panel link
+/// drops packets at `loss_rate`.
+RunResult hypertester_run(double port_rate, std::size_t pkt_len, double loss_rate) {
   ht::bench::Testbed tb(2, port_rate);
   auto app = ht::apps::throughput_test(0x02020202, 0x01010101, {1}, pkt_len, 0);
+  if (loss_rate > 0.0) {
+    ht::ntapi::ChaosSpec chaos;
+    chaos.config.seed = 0x5eed;
+    chaos.config.loss.rate = loss_rate;
+    app.task.set_chaos(chaos);
+  }
   tb.tester->load(app.task);
   tb.tester->start();
   tb.tester->run_for(ht::sim::ms(2));
-  return tb.tester->asic().port(1).tx_line_rate_gbps();
+  RunResult r;
+  r.tx_gbps = tb.tester->asic().port(1).tx_line_rate_gbps();
+  for (const auto& link : tb.tester->chaos_links()) {
+    r.offered += link.injector->stats().offered;
+    r.delivered += link.injector->stats().delivered;
+  }
+  r.delivered_gbps = r.offered > 0
+                         ? r.tx_gbps * static_cast<double>(r.delivered) /
+                               static_cast<double>(r.offered)
+                         : r.tx_gbps;
+  r.drops = tb.tester->drop_report();
+  return r;
+}
+
+double hypertester_gbps(double port_rate, std::size_t pkt_len) {
+  return hypertester_run(port_rate, pkt_len, 0.0).tx_gbps;
 }
 
 }  // namespace
@@ -27,8 +64,36 @@ double hypertester_gbps(double port_rate, std::size_t pkt_len) {
 int main(int argc, char** argv) {
   using namespace ht;
   using clock = std::chrono::steady_clock;
-  bench::BenchJson json("fig9", bench::take_json_path(argc, argv));
+  const std::string json_path = bench::take_json_path(argc, argv);
+  const double loss = bench::take_loss_rate(argc, argv);
   const std::size_t sizes[] = {64, 128, 256, 512, 1024, 1500};
+
+  if (loss > 0.0) {
+    bench::BenchJson json("fig9_lossy", json_path);
+    bench::headline("Figure 9 (chaos variant): single 100G port under Bernoulli loss",
+                    "delivered goodput degrades with the loss rate; every drop is counted");
+    bench::row("%8s %12s %16s %12s %12s", "size(B)", "TX (Gbps)", "goodput (Gbps)", "offered",
+               "delivered");
+    RunResult last;
+    for (const auto s : sizes) {
+      const auto t0 = clock::now();
+      const RunResult r = hypertester_run(100.0, s, loss);
+      const double wall = std::chrono::duration<double>(clock::now() - t0).count();
+      bench::row("%8zu %12.1f %16.1f %12llu %12llu", s, r.tx_gbps, r.delivered_gbps,
+                 static_cast<unsigned long long>(r.offered),
+                 static_cast<unsigned long long>(r.delivered));
+      json.add("ht_100g_goodput_" + std::to_string(s) + "B", r.delivered_gbps, "gbps", wall);
+      json.add("ht_100g_lost_" + std::to_string(s) + "B",
+               static_cast<double>(r.offered - r.delivered), "packets", 0.0);
+      last = r;
+    }
+    std::printf("\ndrop report (1500B run):\n%s\n", sim::format_drop_report(last.drops).c_str());
+    json.add("total_drops_1500B", static_cast<double>(sim::total_drops(last.drops)), "packets",
+             0.0);
+    return json.write() ? 0 : 1;
+  }
+
+  bench::BenchJson json("fig9", json_path);
   const baseline::MoonGenModel mg;
 
   bench::headline("Figure 9(a): single 100G port, HyperTester",

@@ -6,6 +6,9 @@
 #                    recorded pre-refactor baseline (see DESIGN.md sec. 8)
 #   BENCH_fig9.json  fig9_throughput_single_port: achieved Gbps per packet
 #                    size on 100G/40G ports
+#   BENCH_fig9_lossy.json  the same 100G sweep through a chaos link with
+#                    1% Bernoulli loss: delivered goodput + drop counters
+#                    (DESIGN.md sec. 9)
 #
 #   scripts/bench.sh [build-dir]
 #
@@ -25,6 +28,7 @@ fi
 
 "$BUILD_DIR/bench/perf_micro" --json BENCH_perf.json
 "$BUILD_DIR/bench/fig9_throughput_single_port" --json BENCH_fig9.json
+"$BUILD_DIR/bench/fig9_throughput_single_port" --loss 0.01 --json BENCH_fig9_lossy.json
 
 echo
-echo "wrote BENCH_perf.json BENCH_fig9.json"
+echo "wrote BENCH_perf.json BENCH_fig9.json BENCH_fig9_lossy.json"

@@ -1,5 +1,6 @@
 #include "core/hypertester.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ht {
@@ -36,9 +37,17 @@ void HyperTester::load(const ntapi::Task& task) {
   }
   sender_->install();
 
-  // HTPR: install queries; attach trigger extraction where wired.
+  // HTPR: install queries; attach trigger extraction where wired. When the
+  // chaos profile flips bits on the wire, received queries arm checksum
+  // re-verification so corruption lands in a per-query counter instead of
+  // the aggregate.
+  const bool chaos_corrupts =
+      compiled_->chaos && compiled_->chaos->config.corrupt.rate > 0.0;
   for (std::size_t q = 0; q < compiled_->queries.size(); ++q) {
     htpr::QueryConfig cfg = compiled_->queries[q].config;
+    if (chaos_corrupts && cfg.source == htpr::QueryConfig::Source::kReceived) {
+      cfg.integrity.verify_checksums = true;
+    }
     const auto it = fifos_of_query.find(q);
     if (it != fifos_of_query.end()) {
       for (auto* fifo : it->second) cfg.triggers.push_back(fifo->extract_spec());
@@ -68,7 +77,110 @@ void HyperTester::load(const ntapi::Task& task) {
 
 void HyperTester::start() {
   if (!sender_) throw std::logic_error("HyperTester: no task loaded");
+  apply_chaos();
   sender_->start();
+}
+
+void HyperTester::apply_chaos() {
+  if (!chaos_links_.empty()) return;  // already attached
+  if (!compiled_ || !compiled_->chaos || !compiled_->chaos->config.any()) return;
+  const ntapi::ChaosSpec& spec = *compiled_->chaos;
+  std::vector<std::uint16_t> ports = spec.ports;
+  if (ports.empty()) {
+    for (std::size_t p = 0; p < asic_.port_count(); ++p) {
+      const auto pid = static_cast<std::uint16_t>(p);
+      if (asic_.port(pid).peer() != nullptr) ports.push_back(pid);
+    }
+  }
+  // One injector per direction, seeded from the profile seed so the whole
+  // chaos run reproduces from a single number.
+  const auto derived = [&spec](std::uint16_t port, unsigned dir) {
+    return spec.config.seed ^ (0x9e3779b97f4a7c15ULL * (2ULL * port + dir + 1));
+  };
+  for (const std::uint16_t p : ports) {
+    sim::Port& tx = asic_.port(p);
+    sim::FaultConfig cfg = spec.config;
+    cfg.seed = derived(p, 0);
+    chaos_links_.push_back(
+        {"port" + std::to_string(p) + ".tx", std::make_unique<sim::FaultInjector>(ev_, cfg)});
+    chaos_links_.back().injector->attach(tx);
+    if (sim::Port* peer = tx.peer(); peer != nullptr && peer != &tx) {
+      cfg.seed = derived(p, 1);
+      chaos_links_.push_back(
+          {"port" + std::to_string(p) + ".rx", std::make_unique<sim::FaultInjector>(ev_, cfg)});
+      chaos_links_.back().injector->attach(*peer);
+    }
+  }
+}
+
+std::vector<sim::DropCounter> HyperTester::drop_report() const {
+  auto out = asic_.drop_counters();
+  for (const auto& f : fifos_) {
+    const auto& rf = f->fifo();
+    out.push_back({rf.name() + ".overflows", rf.overflows()});
+  }
+  out.push_back({"controller.rpc_lost", controller_.rpc_lost()});
+  for (const auto& link : chaos_links_) link.injector->append_drop_counters(link.name, out);
+  return out;
+}
+
+std::optional<sim::FailureReport> HyperTester::run_with_retry(
+    sim::TimeNs duration, sim::RetryPolicy policy, std::function<std::uint64_t()> progress) {
+  if (!progress) {
+    // Recirculating templates keep the ASIC busy even when every link is
+    // down, so "the pipeline moved" is not progress. Progress is packets
+    // crossing the wire: chaos-link deliveries plus front-panel receives
+    // (the latter covers runs without a chaos profile).
+    progress = [this] {
+      std::uint64_t total = 0;
+      for (const auto& link : chaos_links_) total += link.injector->stats().delivered;
+      for (std::size_t p = 0; p < asic_.port_count(); ++p) {
+        total += asic_.port(static_cast<std::uint16_t>(p)).rx_packets();
+      }
+      return total;
+    };
+  }
+  const sim::TimeNs deadline = ev_.now() + duration;
+  const sim::TimeNs first_attempt = ev_.now();
+  auto counters_before = drop_report();
+  unsigned retry = 0;
+  unsigned attempts = 1;
+  std::uint64_t last = progress();
+  while (ev_.now() < deadline) {
+    const sim::TimeNs slice = std::min<sim::TimeNs>(policy.timeout_ns, deadline - ev_.now());
+    ev_.run_until(ev_.now() + slice);
+    const std::uint64_t current = progress();
+    if (current != last) {
+      last = current;
+      retry = 0;
+      continue;
+    }
+    if (retry >= policy.max_retries) {
+      sim::FailureReport report;
+      report.component = "HyperTester";
+      report.what = "task '" + compiled_->name +
+                    "' made no progress (link down or peer unresponsive)";
+      report.first_attempt_ns = first_attempt;
+      report.gave_up_ns = ev_.now();
+      report.attempts = attempts;
+      report.counters_before = std::move(counters_before);
+      report.counters_after = drop_report();
+      return report;
+    }
+    ++retry;
+    ++attempts;
+    // Backoff still advances sim time: a flap window can end while we
+    // wait, in which case the next slice sees progress and resets retry.
+    const sim::TimeNs wait =
+        std::min<sim::TimeNs>(policy.backoff(retry - 1), deadline - ev_.now());
+    if (wait > 0) ev_.run_until(ev_.now() + wait);
+    const std::uint64_t after_backoff = progress();
+    if (after_backoff != last) {
+      last = after_backoff;
+      retry = 0;
+    }
+  }
+  return std::nullopt;
 }
 
 std::uint64_t HyperTester::query_total(ntapi::QueryHandle q) const {

@@ -24,6 +24,7 @@
 #include "ntapi/compiler.hpp"
 #include "rmt/asic.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
 #include "stateless/trigger_fifo.hpp"
 #include "switchcpu/controller.hpp"
 
@@ -55,6 +56,32 @@ class HyperTester {
   /// Advance the simulated testbed.
   void run_for(sim::TimeNs duration) { ev_.run_until(ev_.now() + duration); }
 
+  // --- degradation handling --------------------------------------------------
+  /// One fault injector attached to a link direction by the task's chaos
+  /// profile. `name` identifies the direction ("port1.tx" = tester toward
+  /// the peer, "port1.rx" = peer toward the tester).
+  struct ChaosLink {
+    std::string name;
+    std::unique_ptr<sim::FaultInjector> injector;
+  };
+  const std::vector<ChaosLink>& chaos_links() const { return chaos_links_; }
+
+  /// Every drop/overflow/corruption counter of the testbed in one flat
+  /// report: ASIC pipeline + digest + per-port MAC counters, trigger-FIFO
+  /// overflows, lost control-plane RPCs, and the chaos injectors' stats.
+  /// Anything that discards a packet or record shows up here.
+  std::vector<sim::DropCounter> drop_report() const;
+
+  /// run_for with supervision: advances in `policy.timeout_ns` slices and
+  /// watches a progress counter (default: packets received on the
+  /// front-panel ports). A stalled slice is retried after a capped
+  /// exponential backoff — sim time keeps advancing, so a link flap can
+  /// end during the backoff and the task resumes. Returns nullopt when
+  /// the run completes; a FailureReport when progress never resumed.
+  std::optional<sim::FailureReport> run_with_retry(
+      sim::TimeNs duration, sim::RetryPolicy policy,
+      std::function<std::uint64_t()> progress = {});
+
   // --- results -----------------------------------------------------------------
   /// Keyless reduce total of a query (e.g. summed bytes).
   std::uint64_t query_total(ntapi::QueryHandle q) const;
@@ -71,12 +98,15 @@ class HyperTester {
   bool trigger_done(ntapi::TriggerHandle t) const;
 
  private:
+  void apply_chaos();
+
   sim::EventQueue ev_;
   rmt::SwitchAsic asic_;
   switchcpu::Controller controller_;
   std::unique_ptr<htps::Sender> sender_;
   std::unique_ptr<htpr::Receiver> receiver_;
   std::vector<std::unique_ptr<stateless::TriggerFifo>> fifos_;
+  std::vector<ChaosLink> chaos_links_;
   std::optional<ntapi::CompiledTask> compiled_;
   /// CPU DRAM: evicted (canonical id -> count) per digest type.
   std::map<std::uint32_t, std::map<std::uint64_t, std::uint64_t>> evicted_;

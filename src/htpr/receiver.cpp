@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "net/bytes.hpp"
+#include "net/headers.hpp"
 
 namespace ht::htpr {
 
@@ -41,6 +42,8 @@ void Receiver::install() {
   totals_ = &rf.create("htpr.totals", std::max<std::size_t>(n, 1), 64);
   matched_ = &rf.create("htpr.matched", std::max<std::size_t>(n, 1), 64);
   evaluated_ = &rf.create("htpr.evaluated", std::max<std::size_t>(n, 1), 64);
+  chk_fail_ = &rf.create("htpr.chk_fail", std::max<std::size_t>(n, 1), 64);
+  out_of_window_ = &rf.create("htpr.out_of_window", std::max<std::size_t>(n, 1), 64);
 
   // Create a counter store for every keyed reduce/distinct query. The key
   // fields come from the query's MapOp.
@@ -145,6 +148,21 @@ void Receiver::query_action(std::size_t qid, rmt::ActionContext& ctx) {
   auto& cfg = queries_[qid];
   evaluated_->execute(qid, [](std::uint64_t& c) { return ++c; });
 
+  // Integrity gate: runs before any operator, so a bit-flipped or
+  // out-of-window packet never reaches the counter store.
+  const auto& integ = cfg.integrity;
+  if (integ.verify_checksums && ctx.phv.packet && !net::verify_checksums(*ctx.phv.packet)) {
+    chk_fail_->execute(qid, [](std::uint64_t& c) { return ++c; });
+    return;
+  }
+  if (integ.window_field) {
+    const std::uint64_t v = ctx.phv.get(*integ.window_field);
+    if (v < integ.window_lo || v > integ.window_hi) {
+      out_of_window_->execute(qid, [](std::uint64_t& c) { return ++c; });
+      return;
+    }
+  }
+
   std::uint64_t value = 1;  // default: count packets
   std::uint64_t result = 0;
   for (const auto& op : cfg.ops) {
@@ -194,5 +212,7 @@ const CounterStore* Receiver::store(std::size_t qid) const { return stores_.at(q
 std::uint64_t Receiver::keyless_total(std::size_t qid) const { return totals_->read(qid); }
 std::uint64_t Receiver::matched(std::size_t qid) const { return matched_->read(qid); }
 std::uint64_t Receiver::evaluated(std::size_t qid) const { return evaluated_->read(qid); }
+std::uint64_t Receiver::checksum_fails(std::size_t qid) const { return chk_fail_->read(qid); }
+std::uint64_t Receiver::out_of_window(std::size_t qid) const { return out_of_window_->read(qid); }
 
 }  // namespace ht::htpr

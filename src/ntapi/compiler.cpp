@@ -133,6 +133,7 @@ CompiledTask Compiler::lower(const Task& task) const {
   CompiledTask out;
   out.name = task.name();
   out.ntapi_loc = task.ntapi_loc();
+  out.chaos = task.chaos();
 
   // ---- triggers -> template configurations --------------------------------
   std::vector<htps::TemplateSpec> specs;

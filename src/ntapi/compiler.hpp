@@ -14,6 +14,7 @@
 // (§6.1: "HyperTester will reject the mistaken testing tasks").
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -66,6 +67,9 @@ struct CompiledTask {
   /// returned by compile() carries warnings only; analysis errors are
   /// rejected with CompileError.
   analysis::AnalysisReport analysis;
+  /// Chaos profile carried through from the task (ntapi::Task::set_chaos);
+  /// applied by the runtime when the task starts.
+  std::optional<ChaosSpec> chaos;
 };
 
 class Compiler {

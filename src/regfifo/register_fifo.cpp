@@ -1,5 +1,6 @@
 #include "regfifo/register_fifo.hpp"
 
+#include <cassert>
 #include <stdexcept>
 
 namespace ht::regfifo {
@@ -10,7 +11,7 @@ bool is_power_of_two(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
 
 RegisterFifo::RegisterFifo(rmt::RegisterFile& rf, const std::string& name, std::size_t capacity,
                            std::size_t lanes)
-    : capacity_(capacity), lanes_(lanes) {
+    : name_(name), capacity_(capacity), lanes_(lanes) {
   if (!is_power_of_two(capacity)) {
     throw std::invalid_argument("RegisterFifo " + name + ": capacity must be a power of two");
   }
@@ -31,14 +32,22 @@ std::size_t RegisterFifo::size() const {
   return static_cast<std::uint32_t>(rear - front);
 }
 
+bool RegisterFifo::reject(const std::vector<std::uint64_t>& record, bool injected) {
+  ++overflows_;
+  if (injected) ++injected_overflows_;
+  if (on_overflow) on_overflow(record);
+  // The §6.1 limitation made loud: in debug builds a suite can turn an
+  // overflow into a hard stop instead of a dropped record.
+  assert(!assert_on_overflow_ && "RegisterFifo overflow");
+  return false;
+}
+
 bool RegisterFifo::enqueue(const std::vector<std::uint64_t>& record) {
   if (record.size() != lanes_) {
     throw std::invalid_argument("RegisterFifo: record arity mismatch");
   }
-  if (full()) {
-    ++overflows_;
-    return false;
-  }
+  if (inject_overflow_ && inject_overflow_()) return reject(record, /*injected=*/true);
+  if (full()) return reject(record, /*injected=*/false);
   // `update` on the rear counter: increment and return the slot index.
   const std::uint64_t slot =
       rear_->execute(0, [](std::uint64_t& rear) { return rear++; }) & (capacity_ - 1);

@@ -63,7 +63,27 @@ ActionContext SwitchAsic::make_ctx(Phv& phv) {
   };
 }
 
-void SwitchAsic::enter_ingress(net::PacketPtr pkt) { run_ingress(std::move(pkt)); }
+void SwitchAsic::enter_ingress(net::PacketPtr pkt) {
+  if (ingress_fault_ && ingress_fault_(*pkt)) {
+    ++injected_drops_;
+    return;
+  }
+  run_ingress(std::move(pkt));
+}
+
+std::vector<sim::DropCounter> SwitchAsic::drop_counters() const {
+  std::vector<sim::DropCounter> out;
+  out.push_back({"asic.pipeline_drops", dropped_});
+  out.push_back({"asic.injected_drops", injected_drops_});
+  out.push_back({"asic.digest_drops", digests_.dropped()});
+  for (const auto& p : ports_) {
+    const std::string prefix = "port" + std::to_string(p->id());
+    out.push_back({prefix + ".queue_full", p->dropped_queue_full()});
+    out.push_back({prefix + ".no_peer", p->dropped_no_peer()});
+    out.push_back({prefix + ".fcs", p->rx_fcs_drops()});
+  }
+  return out;
+}
 
 void SwitchAsic::run_ingress(net::PacketPtr pkt) {
   ++ingress_packets_;

@@ -29,6 +29,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/port.hpp"
 #include "sim/random.hpp"
+#include "sim/stats.hpp"
 
 namespace ht::rmt {
 
@@ -80,12 +81,27 @@ class SwitchAsic {
   /// Drain all state installed by a previous task (pipelines, groups).
   void reset_program();
 
+  /// Fault-injection hook (sim/fault.hpp layer): called on every packet
+  /// entering ingress; returning true drops it before the parser, counted
+  /// in `injected_drops`. Models ASIC-internal overruns (parser buffer,
+  /// ingress MAU stall) that are invisible to the wire-level injector.
+  void set_ingress_fault(std::function<bool(const net::Packet&)> fn) {
+    ingress_fault_ = std::move(fn);
+  }
+
   // --- counters --------------------------------------------------------------
   std::uint64_t ingress_packets() const { return ingress_packets_; }
   std::uint64_t egress_packets() const { return egress_packets_; }
   std::uint64_t dropped_packets() const { return dropped_; }
   std::uint64_t recirculations() const { return recirculations_; }
   std::uint64_t replicas_created() const { return replicas_; }
+  std::uint64_t injected_drops() const { return injected_drops_; }
+
+  /// Every drop/overflow path of the device in one flat report: pipeline
+  /// drops, injected drops, digest-queue drops, and the per-port MAC
+  /// counters (queue-full, no-peer, FCS). Aggregators fold this into the
+  /// testbed-wide sim::stats report — nothing here is per-object-only.
+  std::vector<sim::DropCounter> drop_counters() const;
 
  private:
   /// One multicast replica headed for egress.
@@ -136,12 +152,14 @@ class SwitchAsic {
   /// case — never touch a heap-backed batch at all).
   std::vector<PendingReplica> mcast_scratch_;
   std::function<void(net::PacketPtr)> cpu_punt_;
+  std::function<bool(const net::Packet&)> ingress_fault_;
 
   std::uint64_t ingress_packets_ = 0;
   std::uint64_t egress_packets_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t recirculations_ = 0;
   std::uint64_t replicas_ = 0;
+  std::uint64_t injected_drops_ = 0;
 };
 
 }  // namespace ht::rmt

@@ -1,5 +1,7 @@
 #include "sim/port.hpp"
 
+#include "net/headers.hpp"
+
 namespace ht::sim {
 
 void Port::send(net::PacketPtr pkt) {
@@ -31,11 +33,19 @@ void Port::send(net::PacketPtr pkt) {
   ev_.schedule_at(arrive, [this, peer, line_bytes, pkt = std::move(pkt)]() mutable {
     --tx_in_flight_;
     tx_completed_line_bytes_ += line_bytes;
-    peer->deliver(std::move(pkt));
+    if (wire_hook) {
+      wire_hook(std::move(pkt), *peer);
+    } else {
+      peer->deliver(std::move(pkt));
+    }
   });
 }
 
 void Port::deliver(net::PacketPtr pkt) {
+  if (verify_fcs_ && !net::verify_checksums(*pkt)) {
+    ++rx_fcs_drops_;
+    return;
+  }
   ++rx_packets_;
   rx_bytes_ += pkt->size();
   pkt->meta().ingress_port = id_;

@@ -53,6 +53,17 @@ class Port {
   std::function<void(net::PacketPtr)> on_receive;
   /// Observation hook: invoked with (packet, first-bit TX time in ns).
   std::function<void(const net::Packet&, TimeNs)> on_transmit;
+  /// Wire-path interposer (fault injection, sim/fault.hpp): when set,
+  /// packets finishing serialization are handed to the hook instead of
+  /// directly to `peer->deliver`, so a chaos link can drop/delay/corrupt
+  /// them. Unset (the default) is a transparent wire.
+  std::function<void(net::PacketPtr, Port& dst)> wire_hook;
+
+  /// MAC FCS verification: when enabled, deliver() drops frames whose
+  /// checksums no longer verify (bit-flip corruption on the wire) and
+  /// counts them — corruption is observable, never silently consumed.
+  void set_verify_fcs(bool v) { verify_fcs_ = v; }
+  std::uint64_t rx_fcs_drops() const { return rx_fcs_drops_; }
 
   // --- counters -----------------------------------------------------------
   std::uint64_t tx_packets() const { return tx_packets_; }
@@ -85,6 +96,8 @@ class Port {
   std::uint64_t rx_packets_ = 0;
   std::uint64_t rx_bytes_ = 0;
   std::uint64_t dropped_no_peer_ = 0;
+  bool verify_fcs_ = false;
+  std::uint64_t rx_fcs_drops_ = 0;
 };
 
 }  // namespace ht::sim

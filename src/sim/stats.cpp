@@ -99,6 +99,24 @@ double Histogram::quantile(double q) const {
   return hi_;
 }
 
+std::uint64_t total_drops(const std::vector<DropCounter>& report) {
+  std::uint64_t total = 0;
+  for (const DropCounter& c : report) total += c.count;
+  return total;
+}
+
+std::string format_drop_report(const std::vector<DropCounter>& report, bool include_zero) {
+  std::string out;
+  for (const DropCounter& c : report) {
+    if (c.count == 0 && !include_zero) continue;
+    char line[128];
+    std::snprintf(line, sizeof(line), "  %s: %llu\n", c.source.c_str(),
+                  static_cast<unsigned long long>(c.count));
+    out += line;
+  }
+  return out.empty() ? "no drops" : out;
+}
+
 std::string format_alloc_cache(const AllocCacheReport& report) {
   char line[160];
   std::snprintf(line, sizeof(line),

@@ -28,6 +28,7 @@ class TriggerFifo {
               std::vector<net::FieldId> lanes, std::size_t capacity = 1024);
 
   regfifo::RegisterFifo& fifo() { return fifo_; }
+  const regfifo::RegisterFifo& fifo() const { return fifo_; }
   const std::vector<net::FieldId>& lanes() const { return lanes_; }
 
   /// Index of a captured field within the record; throws if absent.

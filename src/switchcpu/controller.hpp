@@ -66,11 +66,22 @@ class Controller {
   /// monitor queries that report to the CPU).
   void subscribe(std::uint32_t type, std::function<void(const rmt::DigestMessage&)> fn);
 
+  // --- fault injection -------------------------------------------------------
+  /// Drop control-plane read RPCs with probability `rate`: the `done`
+  /// callback of an affected read_counters() call simply never fires,
+  /// modeling a lost/hung RPC over PCIe. Deterministic for a given seed.
+  void set_rpc_loss(double rate, std::uint64_t seed);
+  /// Read RPCs swallowed by the injected loss.
+  std::uint64_t rpc_lost() const { return rpc_lost_; }
+
  private:
   void on_digest(const rmt::DigestMessage& msg);
 
   rmt::SwitchAsic& asic_;
   PullModel pull_model_;
+  double rpc_loss_rate_ = 0.0;
+  sim::Rng rpc_rng_{0};
+  std::uint64_t rpc_lost_ = 0;
   std::unordered_map<std::uint32_t, std::vector<rmt::DigestMessage>> digests_;
   std::unordered_map<std::uint32_t, std::vector<std::function<void(const rmt::DigestMessage&)>>>
       subscribers_;

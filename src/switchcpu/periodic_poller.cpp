@@ -1,5 +1,8 @@
 #include "switchcpu/periodic_poller.hpp"
 
+#include <memory>
+#include <utility>
+
 namespace ht::switchcpu {
 
 PeriodicPoller::PeriodicPoller(Controller& controller, std::string reg, sim::TimeNs period)
@@ -14,16 +17,68 @@ void PeriodicPoller::start() {
 void PeriodicPoller::poll() {
   if (!running_) return;
   auto& ev = controller_.asic().events();
-  Sample sample;
-  sample.requested_at = ev.now();
-  controller_.read_counters(reg_, /*batched=*/true,
-                            [this, sample](std::vector<std::uint64_t> values) mutable {
-                              sample.delivered_at = controller_.asic().events().now();
-                              sample.values = std::move(values);
-                              samples_.push_back(sample);
-                              if (on_sample) on_sample(samples_.back());
-                            });
+  if (retry_enabled_) {
+    issue_attempt(ev.now(), 0, {{"controller.rpc_lost", controller_.rpc_lost()}});
+  } else {
+    Sample sample;
+    sample.requested_at = ev.now();
+    controller_.read_counters(reg_, /*batched=*/true,
+                              [this, sample](std::vector<std::uint64_t> values) mutable {
+                                sample.delivered_at = controller_.asic().events().now();
+                                sample.values = std::move(values);
+                                samples_.push_back(sample);
+                                if (on_sample) on_sample(samples_.back());
+                              });
+  }
   ev.schedule_in(period_, [this] { poll(); });
+}
+
+void PeriodicPoller::issue_attempt(sim::TimeNs first_requested, unsigned attempt,
+                                   std::vector<sim::DropCounter> before) {
+  auto& ev = controller_.asic().events();
+  // One settled flag per attempt: set by whichever of {delivery, timeout}
+  // wins, so a straggler delivery after the deadline is discarded instead
+  // of producing a duplicate sample.
+  auto settled = std::make_shared<bool>(false);
+  Sample sample;
+  sample.requested_at = first_requested;
+  controller_.read_counters(
+      reg_, /*batched=*/true,
+      [this, sample, settled](std::vector<std::uint64_t> values) mutable {
+        if (*settled) return;
+        *settled = true;
+        sample.delivered_at = controller_.asic().events().now();
+        sample.values = std::move(values);
+        samples_.push_back(std::move(sample));
+        if (on_sample) on_sample(samples_.back());
+      });
+  ev.schedule_in(policy_.timeout_ns,
+                 [this, settled, first_requested, attempt, before = std::move(before)]() mutable {
+    if (*settled) return;
+    *settled = true;
+    ++timeouts_;
+    if (!running_) return;
+    if (attempt < policy_.max_retries) {
+      ++retries_;
+      controller_.asic().events().schedule_in(
+          policy_.backoff(attempt),
+          [this, first_requested, attempt, before = std::move(before)]() mutable {
+            if (running_) issue_attempt(first_requested, attempt + 1, std::move(before));
+          });
+      return;
+    }
+    sim::FailureReport report;
+    report.component = "PeriodicPoller";
+    report.what = "batched read of register '" + reg_ + "' timed out";
+    report.first_attempt_ns = first_requested;
+    report.gave_up_ns = controller_.asic().events().now();
+    report.attempts = attempt + 1;
+    report.counters_before = std::move(before);
+    report.counters_after = {{"controller.rpc_lost", controller_.rpc_lost()}};
+    ++failures_;
+    failure_reports_.push_back(std::move(report));
+    if (on_failure) on_failure(failure_reports_.back());
+  });
 }
 
 std::vector<double> PeriodicPoller::rate_series(std::size_t index) const {

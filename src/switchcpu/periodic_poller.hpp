@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault.hpp"
 #include "switchcpu/controller.hpp"
 
 namespace ht::switchcpu {
@@ -42,14 +43,42 @@ class PeriodicPoller {
   /// Optional hook invoked as each sample lands.
   std::function<void(const Sample&)> on_sample;
 
+  // --- degradation handling --------------------------------------------------
+  /// Arm per-attempt timeouts with capped-exponential-backoff retries.
+  /// Without a policy the poller behaves exactly as before (a lost RPC
+  /// would silently skip one sample); with one, a read that misses its
+  /// deadline is retried up to `max_retries` times and a final miss is
+  /// recorded as a structured FailureReport. Polling cadence is unchanged
+  /// either way — retries ride between periods.
+  void set_retry_policy(sim::RetryPolicy policy) {
+    policy_ = policy;
+    retry_enabled_ = true;
+  }
+
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t failures() const { return failures_; }
+  const std::vector<sim::FailureReport>& failure_reports() const { return failure_reports_; }
+
+  /// Invoked when one poll exhausts its retries.
+  std::function<void(const sim::FailureReport&)> on_failure;
+
  private:
   void poll();
+  void issue_attempt(sim::TimeNs first_requested, unsigned attempt,
+                     std::vector<sim::DropCounter> before);
 
   Controller& controller_;
   std::string reg_;
   sim::TimeNs period_;
   bool running_ = false;
+  bool retry_enabled_ = false;
+  sim::RetryPolicy policy_;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t failures_ = 0;
   std::vector<Sample> samples_;
+  std::vector<sim::FailureReport> failure_reports_;
 };
 
 }  // namespace ht::switchcpu

@@ -1,0 +1,495 @@
+// Fault-injection layer tests (chaos links).
+//
+// Covers the FaultInjector pathologies one by one on a raw wire, the
+// fault hooks threaded through the stack (Port FCS, RegisterFifo
+// overflow, ASIC ingress), the control-plane retry/timeout machinery
+// (Controller RPC loss, PeriodicPoller backoff + FailureReport), and the
+// HyperTester-level run_with_retry supervision. Everything here is
+// seeded: the suite doubles as the injector's determinism contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/tasks.hpp"
+#include "core/hypertester.hpp"
+#include "dut/forwarder.hpp"
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+#include "net/packet_builder.hpp"
+#include "regfifo/register_fifo.hpp"
+#include "rmt/registers.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
+#include "sim/port.hpp"
+#include "switchcpu/periodic_poller.hpp"
+#include "testutil.hpp"
+
+namespace ht {
+namespace {
+
+/// One wire: port a transmits, port b records arrivals. Packets carry a
+/// sequence number in the first two payload bytes (offset 42 of a 64-byte
+/// Eth+IPv4+UDP frame) so order and gaps are observable.
+struct Wire {
+  sim::EventQueue ev;
+  sim::Port a{ev, 0, 100.0};
+  sim::Port b{ev, 1, 100.0};
+  std::vector<net::PacketPtr> received;
+
+  Wire() {
+    a.connect(&b);
+    b.connect(&a);
+    b.on_receive = [this](net::PacketPtr p) { received.push_back(std::move(p)); };
+  }
+
+  static constexpr std::size_t kSeqOffset = 42;  // 14 eth + 20 ip + 8 udp
+
+  net::PacketPtr make_seq_packet(unsigned seq) {
+    auto pkt = net::make_packet(net::make_udp_packet(0x01010101, 0x02020202, 3000, 4000, 64));
+    pkt->bytes()[kSeqOffset] = static_cast<std::uint8_t>(seq & 0xff);
+    pkt->bytes()[kSeqOffset + 1] = static_cast<std::uint8_t>((seq >> 8) & 0xff);
+    // Arm the optional UDP checksum (zero means "not used") so corruption
+    // anywhere past the Ethernet header is detectable.
+    pkt->bytes()[40] = 1;
+    net::fix_checksums(*pkt);
+    return pkt;
+  }
+
+  void send_burst(unsigned n) {
+    for (unsigned i = 0; i < n; ++i) a.send(make_seq_packet(i));
+    ev.run_until(ev.now() + sim::ms(10));
+  }
+
+  std::vector<unsigned> received_seqs() const {
+    std::vector<unsigned> out;
+    out.reserve(received.size());
+    for (const auto& p : received) {
+      out.push_back(static_cast<unsigned>(p->bytes()[kSeqOffset]) |
+                    (static_cast<unsigned>(p->bytes()[kSeqOffset + 1]) << 8));
+    }
+    return out;
+  }
+};
+
+TEST(FaultInjector, TransparentWhenNothingConfigured) {
+  Wire w;
+  sim::FaultInjector inj(w.ev, sim::FaultConfig{});
+  inj.attach(w.a);
+  w.send_burst(200);
+  ASSERT_EQ(w.received.size(), 200u);
+  const auto seqs = w.received_seqs();
+  for (unsigned i = 0; i < 200; ++i) EXPECT_EQ(seqs[i], i);
+  const auto& st = inj.stats();
+  EXPECT_EQ(st.offered, 200u);
+  EXPECT_EQ(st.delivered, 200u);
+  EXPECT_EQ(st.lost + st.reordered + st.duplicated + st.corrupted + st.flap_drops, 0u);
+}
+
+TEST(FaultInjector, BernoulliLossCountsEveryDrop) {
+  Wire w;
+  sim::FaultConfig cfg;
+  cfg.seed = 11;
+  cfg.loss.rate = 0.2;
+  sim::FaultInjector inj(w.ev, cfg);
+  inj.attach(w.a);
+  w.send_burst(2000);
+  const auto& st = inj.stats();
+  EXPECT_EQ(st.offered, 2000u);
+  EXPECT_EQ(st.delivered, w.received.size());
+  EXPECT_EQ(st.delivered + st.lost, st.offered);  // nothing silently vanished
+  EXPECT_GT(st.lost, 300u);
+  EXPECT_LT(st.lost, 500u);
+}
+
+TEST(FaultInjector, GilbertElliottLossComesInBursts) {
+  Wire w;
+  sim::FaultConfig cfg;
+  cfg.seed = 12;
+  cfg.gilbert = {.p_good_to_bad = 0.05, .p_bad_to_good = 0.3, .loss_good = 0.0, .loss_bad = 1.0};
+  sim::FaultInjector inj(w.ev, cfg);
+  inj.attach(w.a);
+  w.send_burst(5000);
+  const auto& st = inj.stats();
+  EXPECT_GT(st.lost, 100u);
+  EXPECT_EQ(st.delivered + st.lost, st.offered);
+  // A bursty process must produce at least one multi-packet gap.
+  const auto seqs = w.received_seqs();
+  unsigned max_gap = 0;
+  for (std::size_t i = 1; i < seqs.size(); ++i) max_gap = std::max(max_gap, seqs[i] - seqs[i - 1] - 1);
+  EXPECT_GE(max_gap, 2u);
+}
+
+TEST(FaultInjector, ReorderingIsBoundedAndLossless) {
+  Wire w;
+  sim::FaultConfig cfg;
+  cfg.seed = 13;
+  cfg.reorder = {.rate = 0.3, .min_delay_ns = 50, .max_delay_ns = 300};
+  sim::FaultInjector inj(w.ev, cfg);
+  inj.attach(w.a);
+  w.send_burst(1000);
+  ASSERT_EQ(w.received.size(), 1000u);  // reordering never loses packets
+  const auto seqs = w.received_seqs();
+  // Every sequence number exactly once...
+  auto sorted = seqs;
+  std::sort(sorted.begin(), sorted.end());
+  for (unsigned i = 0; i < 1000; ++i) ASSERT_EQ(sorted[i], i);
+  // ...some of them displaced, none beyond a 64-packet window (300 ns of
+  // extra delay against ~7 ns serialization per 64B frame).
+  std::size_t displaced = 0;
+  for (std::size_t pos = 0; pos < seqs.size(); ++pos) {
+    const auto delta = pos > seqs[pos] ? pos - seqs[pos] : seqs[pos] - pos;
+    EXPECT_LE(delta, 64u);
+    if (delta != 0) ++displaced;
+  }
+  EXPECT_GT(displaced, 0u);
+  EXPECT_EQ(inj.stats().reordered + (1000 - inj.stats().reordered), 1000u);
+}
+
+TEST(FaultInjector, DuplicationDeliversExtraCopies) {
+  Wire w;
+  sim::FaultConfig cfg;
+  cfg.seed = 14;
+  cfg.duplicate.rate = 0.05;
+  sim::FaultInjector inj(w.ev, cfg);
+  inj.attach(w.a);
+  w.send_burst(2000);
+  const auto& st = inj.stats();
+  EXPECT_GT(st.duplicated, 50u);
+  EXPECT_EQ(w.received.size(), 2000u + st.duplicated);
+  EXPECT_EQ(st.delivered, st.offered + st.duplicated);
+}
+
+TEST(FaultInjector, CorruptionIsCaughtByFcsVerification) {
+  Wire w;
+  w.b.set_verify_fcs(true);
+  sim::FaultConfig cfg;
+  cfg.seed = 15;
+  cfg.corrupt.rate = 1.0;
+  sim::FaultInjector inj(w.ev, cfg);
+  inj.attach(w.a);
+  w.send_burst(300);
+  EXPECT_EQ(inj.stats().corrupted, 300u);
+  // Flips landing in checksum-covered bytes (IP header, UDP+payload) are
+  // dropped at the MAC; flips in the Ethernet header slip through — but
+  // every flipped frame is accounted one way or the other.
+  EXPECT_GT(w.b.rx_fcs_drops(), 150u);
+  EXPECT_EQ(w.received.size() + w.b.rx_fcs_drops(), 300u);
+}
+
+TEST(FaultInjector, CorruptionCopiesSharedPackets) {
+  Wire w;
+  sim::FaultConfig cfg;
+  cfg.seed = 16;
+  cfg.corrupt.rate = 1.0;
+  sim::FaultInjector inj(w.ev, cfg);
+  auto original = w.make_seq_packet(7);
+  const std::vector<std::uint8_t> snapshot(original->bytes().begin(), original->bytes().end());
+  net::PacketPtr shared = original;  // a template holding a second reference
+  inj.process(std::move(shared), w.b);
+  w.ev.run_until(w.ev.now() + sim::us(1));
+  // The held reference is untouched; the delivered copy carries the flip.
+  EXPECT_TRUE(std::equal(snapshot.begin(), snapshot.end(), original->bytes().begin()));
+  ASSERT_EQ(w.received.size(), 1u);
+  EXPECT_FALSE(std::equal(snapshot.begin(), snapshot.end(), w.received[0]->bytes().begin()));
+}
+
+TEST(FaultInjector, LinkFlapDropsOnlyDuringDownWindow) {
+  Wire w;
+  sim::FaultConfig cfg;
+  cfg.seed = 17;
+  cfg.flap = {.first_down_at = 5'000, .down_ns = 3'000, .period_ns = 0, .count = 1};
+  sim::FaultInjector inj(w.ev, cfg);
+  inj.attach(w.a);
+  for (unsigned i = 0; i < 50; ++i) {
+    w.ev.schedule_at(i * 200, [&w, i] { w.a.send(w.make_seq_packet(i)); });
+  }
+  w.ev.run_until(sim::us(20));
+  const auto& st = inj.stats();
+  EXPECT_TRUE(inj.link_up());
+  EXPECT_GT(st.flap_drops, 5u);
+  EXPECT_LT(st.flap_drops, 25u);
+  EXPECT_EQ(st.delivered + st.flap_drops, st.offered);
+  // Traffic resumed after the link came back.
+  const auto seqs = w.received_seqs();
+  EXPECT_EQ(seqs.back(), 49u);
+}
+
+TEST(FaultInjector, IdenticalSeedsProduceIdenticalRuns) {
+  auto run = [] {
+    Wire w;
+    sim::FaultConfig cfg;
+    cfg.seed = 0xDEADBEEF;
+    cfg.loss.rate = 0.05;
+    cfg.reorder = {.rate = 0.2, .min_delay_ns = 50, .max_delay_ns = 400};
+    cfg.duplicate.rate = 0.02;
+    cfg.corrupt.rate = 0.02;
+    cfg.flap = {.first_down_at = 2'000, .down_ns = 500, .period_ns = 0, .count = 1};
+    sim::FaultInjector inj(w.ev, cfg);
+    inj.attach(w.a);
+    w.send_burst(1500);
+    return std::make_tuple(w.received_seqs(), inj.stats().lost, inj.stats().reordered,
+                           inj.stats().duplicated, inj.stats().corrupted,
+                           inj.stats().flap_drops, w.ev.executed());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultInjector, DropCountersExposeEveryPathology) {
+  Wire w;
+  sim::FaultConfig cfg;
+  cfg.seed = 18;
+  cfg.loss.rate = 0.3;
+  sim::FaultInjector inj(w.ev, cfg);
+  inj.attach(w.a);
+  w.send_burst(500);
+  std::vector<sim::DropCounter> report;
+  inj.append_drop_counters("port0.tx", report);
+  ASSERT_EQ(report.size(), 5u);
+  EXPECT_EQ(report[0].source, "port0.tx.fault_lost");
+  EXPECT_EQ(report[0].count, inj.stats().lost);
+  EXPECT_GT(sim::total_drops(report), 0u);
+  EXPECT_NE(sim::format_drop_report(report).find("fault_lost"), std::string::npos);
+  EXPECT_EQ(sim::format_drop_report({}), "no drops");
+}
+
+TEST(RetryPolicy, BackoffIsCappedExponential) {
+  sim::RetryPolicy p;
+  p.backoff_base_ns = 100;
+  p.backoff_cap_ns = 1'000;
+  EXPECT_EQ(p.backoff(0), 100u);
+  EXPECT_EQ(p.backoff(1), 200u);
+  EXPECT_EQ(p.backoff(2), 400u);
+  EXPECT_EQ(p.backoff(3), 800u);
+  EXPECT_EQ(p.backoff(4), 1'000u);   // capped
+  EXPECT_EQ(p.backoff(40), 1'000u);  // still capped
+  EXPECT_EQ(p.backoff(70), 1'000u);  // shift width guard
+}
+
+TEST(RegisterFifoFaults, OverflowInvokesHookAndCounts) {
+  rmt::RegisterFile rf;
+  regfifo::RegisterFifo fifo(rf, "f", 4, 1);
+  std::vector<std::vector<std::uint64_t>> rejected;
+  fifo.on_overflow = [&](const std::vector<std::uint64_t>& rec) { rejected.push_back(rec); };
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(fifo.enqueue({i}));
+  EXPECT_FALSE(fifo.enqueue({99}));
+  EXPECT_EQ(fifo.overflows(), 1u);
+  EXPECT_EQ(fifo.injected_overflows(), 0u);
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_EQ(rejected[0][0], 99u);
+  EXPECT_EQ(fifo.name(), "f");
+}
+
+TEST(RegisterFifoFaults, InjectedOverflowRejectsRegardlessOfOccupancy) {
+  rmt::RegisterFile rf;
+  regfifo::RegisterFifo fifo(rf, "f", 8, 1);
+  bool arm = true;
+  fifo.set_overflow_injection([&arm] {
+    const bool fire = arm;
+    arm = false;
+    return fire;
+  });
+  EXPECT_FALSE(fifo.enqueue({1}));  // injected: queue is empty but rejects
+  EXPECT_EQ(fifo.injected_overflows(), 1u);
+  EXPECT_EQ(fifo.overflows(), 1u);
+  EXPECT_TRUE(fifo.enqueue({2}));  // one-shot injection disarmed
+  EXPECT_EQ(fifo.size(), 1u);
+}
+
+#ifndef NDEBUG
+using RegisterFifoDeathTest = ::testing::Test;
+TEST(RegisterFifoDeathTest, AssertOnOverflowTripsInDebugBuilds) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  rmt::RegisterFile rf;
+  regfifo::RegisterFifo fifo(rf, "f", 2, 1);
+  fifo.set_assert_on_overflow(true);
+  EXPECT_TRUE(fifo.enqueue({0}));
+  EXPECT_TRUE(fifo.enqueue({1}));
+  EXPECT_DEATH(fifo.enqueue({2}), "RegisterFifo overflow");
+}
+#endif
+
+TEST(AsicFaults, IngressFaultHookDropsAndCounts) {
+  rmt::AsicConfig cfg;
+  cfg.num_ports = 2;
+  test::AsicTestbed bed(cfg);
+  bed.asic.set_ingress_fault([](const net::Packet&) { return true; });
+  bed.sinks[0]->port.send(net::make_packet(net::make_udp_packet(1, 2, 3, 4, 64)));
+  bed.ev.run_until(sim::us(10));
+  EXPECT_EQ(bed.asic.ingress_packets(), 0u);
+  EXPECT_EQ(bed.asic.injected_drops(), 1u);
+  const auto report = bed.asic.drop_counters();
+  const auto it = std::find_if(report.begin(), report.end(), [](const sim::DropCounter& c) {
+    return c.source == "asic.injected_drops";
+  });
+  ASSERT_NE(it, report.end());
+  EXPECT_EQ(it->count, 1u);
+}
+
+TEST(PollerRetry, TotalRpcLossExhaustsRetriesIntoFailureReport) {
+  rmt::AsicConfig acfg;
+  acfg.num_ports = 2;
+  test::AsicTestbed bed(acfg);
+  bed.asic.registers().create("ctr", 8, 64);
+  switchcpu::Controller ctl(bed.asic);
+  ctl.set_rpc_loss(1.0, 42);
+  switchcpu::PeriodicPoller poller(ctl, "ctr", sim::ms(5));
+  sim::RetryPolicy policy;
+  policy.timeout_ns = sim::us(700);
+  policy.max_retries = 2;
+  policy.backoff_base_ns = sim::us(50);
+  policy.backoff_cap_ns = sim::us(200);
+  poller.set_retry_policy(policy);
+  unsigned reported = 0;
+  poller.on_failure = [&](const sim::FailureReport& r) {
+    ++reported;
+    EXPECT_EQ(r.component, "PeriodicPoller");
+    EXPECT_EQ(r.attempts, 3u);  // 1 initial + 2 retries
+    EXPECT_GT(r.gave_up_ns, r.first_attempt_ns);
+    EXPECT_NE(sim::format_failure(r).find("PeriodicPoller"), std::string::npos);
+  };
+  poller.start();
+  bed.ev.run_until(sim::ms(20));
+  poller.stop();
+  EXPECT_EQ(poller.sample_count(), 0u);  // every RPC was swallowed
+  EXPECT_GE(poller.failures(), 2u);
+  EXPECT_EQ(poller.failures(), reported);
+  EXPECT_EQ(poller.failure_reports().size(), reported);
+  EXPECT_EQ(poller.timeouts(), poller.retries() + poller.failures());
+  EXPECT_GT(ctl.rpc_lost(), 0u);
+}
+
+TEST(PollerRetry, PartialRpcLossRecoversViaRetries) {
+  rmt::AsicConfig acfg;
+  acfg.num_ports = 2;
+  test::AsicTestbed bed(acfg);
+  bed.asic.registers().create("ctr", 8, 64);
+  switchcpu::Controller ctl(bed.asic);
+  ctl.set_rpc_loss(0.5, 7);
+  switchcpu::PeriodicPoller poller(ctl, "ctr", sim::ms(5));
+  sim::RetryPolicy policy;
+  policy.timeout_ns = sim::us(700);  // > batched latency for 8 entries
+  policy.max_retries = 6;
+  policy.backoff_base_ns = sim::us(50);
+  policy.backoff_cap_ns = sim::us(400);
+  poller.set_retry_policy(policy);
+  poller.start();
+  bed.ev.run_until(sim::ms(100));
+  poller.stop();
+  // Half the RPCs vanish, but retries keep the series alive.
+  EXPECT_GT(poller.sample_count(), 15u);
+  EXPECT_GT(poller.retries(), 0u);
+  EXPECT_EQ(poller.failures(), 0u);
+}
+
+/// Tester wired through a store-and-forward DUT: port 0 -> DUT -> port 1.
+struct ChaosTestbed {
+  explicit ChaosTestbed(ntapi::Task task) : fwd_storage(make_forwarder()) {
+    tester.asic().port(0).connect(&fwd().port(0));
+    fwd().port(0).connect(&tester.asic().port(0));
+    tester.asic().port(1).connect(&fwd().port(1));
+    fwd().port(1).connect(&tester.asic().port(1));
+    tester.load(task);
+  }
+  dut::Forwarder& fwd() { return *fwd_storage; }
+  std::unique_ptr<dut::Forwarder> make_forwarder() {
+    dut::Forwarder::Config fcfg;
+    fcfg.num_ports = 2;
+    fcfg.forward_delay_ns = 600.0;
+    return std::make_unique<dut::Forwarder>(tester.events(), fcfg);
+  }
+
+  HyperTester tester{[] {
+    TesterConfig cfg;
+    cfg.asic.num_ports = 2;
+    return cfg;
+  }()};
+  std::unique_ptr<dut::Forwarder> fwd_storage;
+};
+
+TEST(HyperTesterRetry, SurvivesMidTaskLinkFlap) {
+  auto app = apps::loss_test(0x02020202, 0x01010101, {0}, {1}, 1500, 200);
+  ntapi::ChaosSpec chaos;
+  chaos.config.seed = 21;
+  chaos.config.flap = {.first_down_at = sim::us(100), .down_ns = sim::us(50),
+                       .period_ns = 0, .count = 1};
+  app.task.set_chaos(chaos);
+  ChaosTestbed bed(app.task);
+  bed.tester.start();
+  sim::RetryPolicy policy;
+  policy.timeout_ns = sim::us(20);
+  policy.max_retries = 10;
+  policy.backoff_base_ns = sim::us(10);
+  policy.backoff_cap_ns = sim::us(40);
+  const auto failure = bed.tester.run_with_retry(sim::us(350), policy);
+  EXPECT_FALSE(failure.has_value()) << sim::format_failure(*failure);
+  // Probes kept flowing after the flap; the dropped window is visible in
+  // the aggregated report, not silently missing.
+  EXPECT_GT(bed.tester.query_matched(app.q_received), 500u);
+  const auto report = bed.tester.drop_report();
+  std::uint64_t flap_drops = 0;
+  for (const auto& c : report) {
+    if (c.source.find("fault_flap_drops") != std::string::npos) flap_drops += c.count;
+  }
+  EXPECT_GT(flap_drops, 0u);
+}
+
+TEST(HyperTesterRetry, PermanentLinkFailureYieldsFailureReport) {
+  auto app = apps::loss_test(0x02020202, 0x01010101, {0}, {1}, 5000, 200);
+  ntapi::ChaosSpec chaos;
+  chaos.config.seed = 22;
+  chaos.config.flap = {.first_down_at = sim::us(50), .down_ns = sim::ms(100),
+                       .period_ns = 0, .count = 1};
+  app.task.set_chaos(chaos);
+  ChaosTestbed bed(app.task);
+  bed.tester.start();
+  sim::RetryPolicy policy;
+  policy.timeout_ns = sim::us(20);
+  policy.max_retries = 3;
+  policy.backoff_base_ns = sim::us(10);
+  policy.backoff_cap_ns = sim::us(20);
+  const auto failure = bed.tester.run_with_retry(sim::us(500), policy);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->component, "HyperTester");
+  EXPECT_EQ(failure->attempts, 4u);  // 1 + max_retries
+  EXPECT_GT(failure->gave_up_ns, failure->first_attempt_ns);
+  // The report carries the counter delta: drops piled up while it retried.
+  EXPECT_GT(sim::total_drops(failure->counters_after),
+            sim::total_drops(failure->counters_before));
+}
+
+TEST(HyperTesterRetry, DropReportCoversEveryLayer) {
+  auto app = apps::loss_test(0x02020202, 0x01010101, {0}, {1}, 1000, 200);
+  ntapi::ChaosSpec chaos;
+  chaos.config.seed = 23;
+  chaos.config.loss.rate = 0.1;
+  app.task.set_chaos(chaos);
+  ChaosTestbed bed(app.task);
+  bed.tester.start();
+  bed.tester.run_for(sim::us(400));
+  const auto report = bed.tester.drop_report();
+  auto has = [&report](const std::string& source) {
+    return std::any_of(report.begin(), report.end(),
+                       [&](const sim::DropCounter& c) { return c.source == source; });
+  };
+  // One flat report spans the ASIC, the MACs, the control plane, and the
+  // chaos links.
+  EXPECT_TRUE(has("asic.pipeline_drops"));
+  EXPECT_TRUE(has("asic.digest_drops"));
+  EXPECT_TRUE(has("port0.queue_full"));
+  EXPECT_TRUE(has("port1.fcs"));
+  EXPECT_TRUE(has("controller.rpc_lost"));
+  EXPECT_TRUE(has("port0.tx.fault_lost"));
+  // And the injected loss is in it — nothing dropped silently.
+  std::uint64_t fault_lost = 0;
+  for (const auto& c : report) {
+    if (c.source.find("fault_lost") != std::string::npos) fault_lost += c.count;
+  }
+  EXPECT_GT(fault_lost, 0u);
+  EXPECT_EQ(bed.tester.chaos_links().size(), 4u);  // tx+rx per connected port
+}
+
+}  // namespace
+}  // namespace ht
