@@ -69,6 +69,20 @@ class BenchJson {
     entries_.push_back(Entry{series, unit, value, wall_s});
   }
 
+  /// Attach a raw pre-rendered JSON value under a top-level key — e.g.
+  /// `telemetry` = ht::telemetry::to_json(tester.metrics()), giving the
+  /// sidecar per-port latency quantiles and queue-depth gauges next to
+  /// the series numbers. The caller owns the validity of the JSON.
+  void set_block(const std::string& key, std::string raw_json) {
+    for (auto& b : blocks_) {
+      if (b.key == key) {
+        b.raw = std::move(raw_json);
+        return;
+      }
+    }
+    blocks_.push_back(Block{key, std::move(raw_json)});
+  }
+
   /// Write the file (no-op without --json). Returns false on I/O failure.
   bool write() const {
     if (path_.empty()) return true;
@@ -86,7 +100,11 @@ class BenchJson {
                    e.series.c_str(), e.value, e.unit.c_str(), e.wall_s,
                    i + 1 < entries_.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ]");
+    for (const Block& b : blocks_) {
+      std::fprintf(f, ",\n  \"%s\": %s", b.key.c_str(), b.raw.c_str());
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     return true;
   }
@@ -98,9 +116,14 @@ class BenchJson {
     double value = 0.0;
     double wall_s = 0.0;
   };
+  struct Block {
+    std::string key;
+    std::string raw;
+  };
   std::string bench_;
   std::string path_;
   std::vector<Entry> entries_;
+  std::vector<Block> blocks_;
 };
 
 inline void headline(const std::string& what, const std::string& paper_ref) {

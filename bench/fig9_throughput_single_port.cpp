@@ -15,6 +15,7 @@
 #include "baseline/moongen.hpp"
 #include "common.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/export.hpp"
 
 namespace {
 
@@ -24,6 +25,7 @@ struct RunResult {
   std::uint64_t offered = 0;
   std::uint64_t delivered = 0;
   std::vector<ht::sim::DropCounter> drops;
+  std::string telemetry_json;  ///< registry dump (per-port latency quantiles etc.)
 };
 
 /// Run a line-rate generation task for 2 ms of sim time; with a nonzero
@@ -43,20 +45,25 @@ RunResult hypertester_run(double port_rate, std::size_t pkt_len, double loss_rat
   tb.tester->run_for(ht::sim::ms(2));
   RunResult r;
   r.tx_gbps = tb.tester->asic().port(1).tx_line_rate_gbps();
-  for (const auto& link : tb.tester->chaos_links()) {
-    r.offered += link.injector->stats().offered;
-    r.delivered += link.injector->stats().delivered;
-  }
+  // Offered/delivered come from the metrics registry's chaos aggregates —
+  // the same single source of truth as the drop report — instead of being
+  // re-derived by summing per-injector stats here.
+  const auto& metrics = tb.tester->metrics();
+  r.offered = metrics.counter_value("ht_chaos_offered_total").value_or(0);
+  r.delivered = metrics.counter_value("ht_chaos_delivered_total").value_or(0);
   r.delivered_gbps = r.offered > 0
                          ? r.tx_gbps * static_cast<double>(r.delivered) /
                                static_cast<double>(r.offered)
                          : r.tx_gbps;
   r.drops = tb.tester->drop_report();
+  r.telemetry_json = ht::telemetry::to_json(metrics);
   return r;
 }
 
-double hypertester_gbps(double port_rate, std::size_t pkt_len) {
-  return hypertester_run(port_rate, pkt_len, 0.0).tx_gbps;
+double hypertester_gbps(double port_rate, std::size_t pkt_len, ht::bench::BenchJson* json) {
+  const RunResult r = hypertester_run(port_rate, pkt_len, 0.0);
+  if (json != nullptr) json->set_block("telemetry", r.telemetry_json);
+  return r.tx_gbps;
 }
 
 }  // namespace
@@ -90,6 +97,7 @@ int main(int argc, char** argv) {
     std::printf("\ndrop report (1500B run):\n%s\n", sim::format_drop_report(last.drops).c_str());
     json.add("total_drops_1500B", static_cast<double>(sim::total_drops(last.drops)), "packets",
              0.0);
+    json.set_block("telemetry", last.telemetry_json);
     return json.write() ? 0 : 1;
   }
 
@@ -101,7 +109,9 @@ int main(int argc, char** argv) {
   bench::row("%8s %14s %14s %10s", "size(B)", "HT (Gbps)", "line (Gbps)", "Mpps");
   for (const auto s : sizes) {
     const auto t0 = clock::now();
-    const double gbps = hypertester_gbps(100.0, s);
+    // The 64B run's registry dump becomes the sidecar's telemetry block
+    // (per-port wire-latency quantiles, queue-depth gauges).
+    const double gbps = hypertester_gbps(100.0, s, s == 64 ? &json : nullptr);
     const double wall = std::chrono::duration<double>(clock::now() - t0).count();
     const double mpps = gbps * 1e9 / (static_cast<double>(s + 24) * 8.0) / 1e6;
     bench::row("%8zu %14.1f %14.1f %10.2f", s, gbps, 100.0, mpps);
@@ -113,7 +123,7 @@ int main(int argc, char** argv) {
   bench::row("%8s %12s %16s %12s", "size(B)", "HT (Gbps)", "MG 1-core (Gbps)", "line");
   for (const auto s : sizes) {
     const auto t0 = clock::now();
-    const double ht_gbps = hypertester_gbps(40.0, s);
+    const double ht_gbps = hypertester_gbps(40.0, s, nullptr);
     const double wall = std::chrono::duration<double>(clock::now() - t0).count();
     const double mg_gbps = mg.throughput_gbps(s, 1, 1, 40.0);
     bench::row("%8zu %12.1f %16.1f %12.1f", s, ht_gbps, mg_gbps, 40.0);

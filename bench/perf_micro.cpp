@@ -151,19 +151,16 @@ void run_fig9_workload(ht::bench::BenchJson& json, int reps) {
       best_wall = wall;
     }
     if (rep + 1 == reps) {
-      const auto& slab = tb.tester->events().slab_stats();
-      const auto& pool = net::default_packet_pool().stats();
-      const sim::AllocCacheReport pool_report{"packet-pool", pool.hits, pool.misses,
-                                              pool.high_water};
-      const sim::AllocCacheReport slab_report{"event-slab", slab.hits, slab.misses,
-                                              slab.high_water};
-      bench::row("  %s", sim::format_alloc_cache(pool_report).c_str());
-      bench::row("  %s", sim::format_alloc_cache(slab_report).c_str());
-      json.add("fig9_packet_pool_hit_rate", pool_report.hit_rate(), "ratio", 0.0);
-      json.add("fig9_event_slab_hit_rate", slab_report.hit_rate(), "ratio", 0.0);
-      json.add("fig9_event_slab_high_water", static_cast<double>(slab.high_water), "nodes",
-               0.0);
-      json.add("fig9_heap_closures", static_cast<double>(slab.heap_closures), "closures",
+      // The tester assembles the uniform reports from its registry-backed
+      // instrumentation; no per-bench stats plumbing.
+      const auto reports = tb.tester->alloc_cache_reports();
+      for (const auto& r : reports) bench::row("  %s", sim::format_alloc_cache(r).c_str());
+      json.add("fig9_packet_pool_hit_rate", reports[0].hit_rate(), "ratio", 0.0);
+      json.add("fig9_event_slab_hit_rate", reports[1].hit_rate(), "ratio", 0.0);
+      json.add("fig9_event_slab_high_water", static_cast<double>(reports[1].high_water),
+               "nodes", 0.0);
+      json.add("fig9_heap_closures",
+               static_cast<double>(tb.tester->events().slab_stats().heap_closures), "closures",
                0.0);
     }
   }

@@ -3,12 +3,19 @@
 //
 //   $ ./ntapi_cli <script.nt> [--ms N] [--p4] [--loopback]
 //   $ ./ntapi_cli lint <script.nt>
+//   $ ./ntapi_cli stats <script.nt> [--ms N] [--loopback] [--json] [--trace out.json]
 //
 // Options:
 //   --ms N       simulated run time in milliseconds (default 10)
 //   --p4         print the generated P4 program and exit
 //   --loopback   wire every switch port back to itself through a cable,
 //                so received-traffic queries see the sent traffic
+//
+// The `stats` subcommand runs the script and dumps the tester's metrics
+// registry — Prometheus exposition text by default, compact JSON with
+// --json. With `--trace out.json` it also records the run's tracing spans
+// and writes a Chrome trace_event file loadable in https://ui.perfetto.dev
+// (task annotations, pipeline walks, per-port TX, recirculation loops).
 //
 // The `lint` subcommand runs htlint — validation plus the static pipeline
 // analyzer — over the script without executing it, and prints one coded
@@ -29,6 +36,7 @@
 #include "dut/capture.hpp"
 #include "ntapi/compiler.hpp"
 #include "ntapi/text/parser.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -67,8 +75,9 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <script.nt> [--ms N] [--p4] [--loopback]\n"
-                 "       %s lint <script.nt>\n",
-                 argv[0], argv[0]);
+                 "       %s lint <script.nt>\n"
+                 "       %s stats <script.nt> [--ms N] [--loopback] [--json] [--trace out.json]\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
   if (std::strcmp(argv[1], "lint") == 0) {
@@ -78,16 +87,27 @@ int main(int argc, char** argv) {
     }
     return lint_script(argv[2]);
   }
-  const char* path = argv[1];
+  const bool stats_mode = std::strcmp(argv[1], "stats") == 0;
+  if (stats_mode && argc < 3) {
+    std::fprintf(stderr, "usage: %s stats <script.nt> [--ms N] [--loopback] [--json] [--trace out.json]\n",
+                 argv[0]);
+    return 2;
+  }
+  const char* path = argv[stats_mode ? 2 : 1];
   long run_ms = 10;
-  bool print_p4 = false, loopback = false;
-  for (int i = 2; i < argc; ++i) {
+  bool print_p4 = false, loopback = false, stats_json = false;
+  const char* trace_path = nullptr;
+  for (int i = stats_mode ? 3 : 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ms") == 0 && i + 1 < argc) {
       run_ms = std::atol(argv[++i]);
-    } else if (std::strcmp(argv[i], "--p4") == 0) {
+    } else if (std::strcmp(argv[i], "--p4") == 0 && !stats_mode) {
       print_p4 = true;
     } else if (std::strcmp(argv[i], "--loopback") == 0) {
       loopback = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && stats_mode) {
+      stats_json = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && stats_mode && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       return 2;
@@ -118,6 +138,10 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Trace recording must be on before load() so the compiled task's
+    // annotation instants (trigger/query installs) land in the buffer.
+    if (trace_path != nullptr) tester.trace().set_enabled(true);
+
     tester.load(prog.task);
     if (print_p4) {
       std::fputs(tester.compiled().p4_source.c_str(), stdout);
@@ -132,6 +156,23 @@ int main(int argc, char** argv) {
     tester.run_for(sim::ms(static_cast<std::uint64_t>(run_ms)));
     std::printf("ran %ldms simulated (%llu events)\n\n", run_ms,
                 static_cast<unsigned long long>(tester.events().executed()));
+
+    if (stats_mode) {
+      const auto report = tester.telemetry_report();
+      std::fputs(stats_json ? report.json.c_str() : report.prometheus.c_str(), stdout);
+      if (stats_json) std::fputc('\n', stdout);
+      if (trace_path != nullptr) {
+        std::ofstream tf(trace_path);
+        if (!tf) {
+          std::fprintf(stderr, "cannot write %s\n", trace_path);
+          return 2;
+        }
+        tester.trace().write_chrome_trace(tf);
+        std::fprintf(stderr, "wrote %zu trace events to %s (load in ui.perfetto.dev)\n",
+                     tester.trace().size(), trace_path);
+      }
+      return 0;
+    }
 
     for (const auto& [name, handle] : prog.triggers) {
       std::printf("trigger %-8s fired %llu times%s\n", name.c_str(),

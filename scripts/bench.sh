@@ -5,10 +5,13 @@
 #                    single-port packets/sec measurement against the
 #                    recorded pre-refactor baseline (see DESIGN.md sec. 8)
 #   BENCH_fig9.json  fig9_throughput_single_port: achieved Gbps per packet
-#                    size on 100G/40G ports
+#                    size on 100G/40G ports, plus a `telemetry` block —
+#                    the 64B run's metrics-registry dump (per-port wire
+#                    latency quantiles, queue-depth gauges; DESIGN.md
+#                    sec. 10)
 #   BENCH_fig9_lossy.json  the same 100G sweep through a chaos link with
 #                    1% Bernoulli loss: delivered goodput + drop counters
-#                    (DESIGN.md sec. 9)
+#                    (DESIGN.md sec. 9) + the final run's telemetry block
 #
 #   scripts/bench.sh [build-dir]
 #
@@ -29,6 +32,12 @@ fi
 "$BUILD_DIR/bench/perf_micro" --json BENCH_perf.json
 "$BUILD_DIR/bench/fig9_throughput_single_port" --json BENCH_fig9.json
 "$BUILD_DIR/bench/fig9_throughput_single_port" --loss 0.01 --json BENCH_fig9_lossy.json
+
+# The fig9 sidecars must carry the registry dump (always present; with
+# -DHT_TELEMETRY=OFF the histograms section is simply empty).
+for f in BENCH_fig9.json BENCH_fig9_lossy.json; do
+  grep -q '"telemetry":' "$f" || { echo "bench.sh: $f missing telemetry block" >&2; exit 1; }
+done
 
 echo
 echo "wrote BENCH_perf.json BENCH_fig9.json BENCH_fig9_lossy.json"

@@ -3,15 +3,58 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "net/packet_pool.hpp"
+
 namespace ht {
 
 HyperTester::HyperTester(TesterConfig cfg)
-    : asic_(ev_, cfg.asic), controller_(asic_) {}
+    : asic_(ev_, cfg.asic), controller_(asic_) {
+  auto& m = asic_.metrics();
+  controller_.register_metrics(m);
+  // Event-slab instrumentation joins the registry as mirrors. The packet
+  // pool deliberately does NOT: it is process-global, so its hit/miss
+  // numbers depend on how many testers ran before this one — which would
+  // break the byte-identical-dumps determinism contract (DESIGN.md §10).
+  // Pool stats stay reachable via alloc_cache_reports().
+  m.mirror_counter("ht_sim_event_slab_hits_total",
+                   [this] { return ev_.slab_stats().hits; },
+                   {.help = "event nodes served from the slab freelist"});
+  m.mirror_counter("ht_sim_event_slab_misses_total",
+                   [this] { return ev_.slab_stats().misses; },
+                   {.help = "event nodes carved fresh from a chunk"});
+  m.mirror_counter("ht_sim_event_heap_closures_total",
+                   [this] { return ev_.slab_stats().heap_closures; },
+                   {.help = "event callables too big for inline storage"});
+  m.mirror_gauge("ht_sim_event_slab_high_water",
+                 [this] { return static_cast<std::int64_t>(ev_.slab_stats().high_water); },
+                 {.help = "max events simultaneously pending"});
+}
+
+void HyperTester::run_for(sim::TimeNs duration) {
+  const sim::TimeNs start = ev_.now();
+  ev_.run_until(start + duration);
+  if constexpr (telemetry::kEnabled) {
+    if (asic_.trace().enabled()) {
+      asic_.trace().complete("run_for", start, ev_.now() - start,
+                             telemetry::TraceRecorder::kTrackTask);
+    }
+  }
+}
+
+std::vector<sim::AllocCacheReport> HyperTester::alloc_cache_reports() const {
+  const auto& slab = ev_.slab_stats();
+  const auto& pool = net::default_packet_pool().stats();
+  return {{"packet-pool", pool.hits, pool.misses, pool.high_water},
+          {"event-slab", slab.hits, slab.misses, slab.high_water}};
+}
 
 void HyperTester::load(const ntapi::Task& task) {
   if (compiled_) throw std::logic_error("HyperTester: a task is already loaded");
   ntapi::Compiler compiler(asic_.config());
   compiled_ = compiler.compile(task);
+  if constexpr (telemetry::kEnabled) {
+    compiled_->annotate_trace(asic_.trace(), ev_.now());
+  }
 
   sender_ = std::make_unique<htps::Sender>(asic_);
   receiver_ = std::make_unique<htpr::Receiver>(asic_);
@@ -25,6 +68,14 @@ void HyperTester::load(const ntapi::Task& task) {
         asic_.registers(), "trigfifo." + std::to_string(wiring.trigger_index), wiring.lanes));
     fifo_of_trigger[wiring.trigger_index] = fifos_.back().get();
     fifos_of_query[wiring.query_index].push_back(fifos_.back().get());
+  }
+  for (const auto& f : fifos_) {
+    const stateless::TriggerFifo* tf = f.get();
+    asic_.metrics().mirror_counter(
+        "ht_regfifo_overflows_total", [tf] { return tf->fifo().overflows(); },
+        {.labels = {{"fifo", tf->fifo().name()}},
+         .help = "trigger records lost to a full register FIFO",
+         .drop_source = tf->fifo().name() + ".overflows"});
   }
 
   // HTPS: install templates (editor EditOps already reference lane
@@ -73,6 +124,11 @@ void HyperTester::load(const ntapi::Task& task) {
     throw std::runtime_error(
         "task rejected: pipeline program does not fit the switching ASIC stages");
   }
+
+  // Per-table occupancy/hit/miss metrics exist only after placement
+  // assigned stages.
+  asic_.ingress().register_metrics(asic_.metrics());
+  asic_.egress().register_metrics(asic_.metrics());
 }
 
 void HyperTester::start() {
@@ -111,16 +167,54 @@ void HyperTester::apply_chaos() {
       chaos_links_.back().injector->attach(*peer);
     }
   }
+
+  // Per-link fault stats join the registry: the drop-flavoured ones under
+  // their legacy "<link>.fault_<kind>" audit source names, plus the
+  // aggregate offered/delivered pair the throughput benches consume
+  // instead of re-summing injector stats by hand.
+  auto& m = asic_.metrics();
+  for (const auto& link : chaos_links_) {
+    const sim::FaultInjector* inj = link.injector.get();
+    const std::vector<telemetry::Label> labels = {{"link", link.name}};
+    m.mirror_counter("ht_chaos_lost_total", [inj] { return inj->stats().lost; },
+                     {.labels = labels, .help = "Bernoulli + Gilbert-Elliott losses",
+                      .drop_source = link.name + ".fault_lost"});
+    m.mirror_counter("ht_chaos_flap_drops_total", [inj] { return inj->stats().flap_drops; },
+                     {.labels = labels, .help = "packets dropped while the link was down",
+                      .drop_source = link.name + ".fault_flap_drops"});
+    m.mirror_counter("ht_chaos_corrupted_total", [inj] { return inj->stats().corrupted; },
+                     {.labels = labels, .help = "packets bit-flipped on the wire",
+                      .drop_source = link.name + ".fault_corrupted"});
+    m.mirror_counter("ht_chaos_duplicated_total", [inj] { return inj->stats().duplicated; },
+                     {.labels = labels, .help = "packets duplicated on the wire",
+                      .drop_source = link.name + ".fault_duplicated"});
+    m.mirror_counter("ht_chaos_reordered_total", [inj] { return inj->stats().reordered; },
+                     {.labels = labels, .help = "packets delivered out of order",
+                      .drop_source = link.name + ".fault_reordered"});
+  }
+  m.mirror_counter("ht_chaos_offered_total",
+                   [this] {
+                     std::uint64_t total = 0;
+                     for (const auto& link : chaos_links_) total += link.injector->stats().offered;
+                     return total;
+                   },
+                   {.help = "packets entering any chaos injector"});
+  m.mirror_counter("ht_chaos_delivered_total",
+                   [this] {
+                     std::uint64_t total = 0;
+                     for (const auto& link : chaos_links_)
+                       total += link.injector->stats().delivered;
+                     return total;
+                   },
+                   {.help = "packets the chaos injectors handed to their destination"});
 }
 
 std::vector<sim::DropCounter> HyperTester::drop_report() const {
-  auto out = asic_.drop_counters();
-  for (const auto& f : fifos_) {
-    const auto& rf = f->fifo();
-    out.push_back({rf.name() + ".overflows", rf.overflows()});
-  }
-  out.push_back({"controller.rpc_lost", controller_.rpc_lost()});
-  for (const auto& link : chaos_links_) link.injector->append_drop_counters(link.name, out);
+  // Everything with a drop_source registered on the device registry, in
+  // registration order: ASIC + ports (construction), controller (ctor),
+  // HTPR integrity gates + FIFOs (load), chaos links (start).
+  std::vector<sim::DropCounter> out;
+  for (auto& [source, count] : asic_.metrics().drop_counters()) out.push_back({source, count});
   return out;
 }
 

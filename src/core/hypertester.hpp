@@ -46,6 +46,23 @@ class HyperTester {
   htpr::Receiver& receiver() { return *receiver_; }
   const ntapi::CompiledTask& compiled() const { return compiled_.value(); }
 
+  // --- telemetry -------------------------------------------------------------
+  /// The tester-wide metrics registry (owned by the ASIC; every attached
+  /// component registers there — DESIGN.md §10). Single source of truth
+  /// for counters, gauges, latency histograms, and the drop audit trail.
+  telemetry::MetricsRegistry& metrics() { return asic_.metrics(); }
+  const telemetry::MetricsRegistry& metrics() const { return asic_.metrics(); }
+  /// Chrome-trace recorder; enable before run_for to capture a timeline.
+  telemetry::TraceRecorder& trace() { return asic_.trace(); }
+  const telemetry::TraceRecorder& trace() const { return asic_.trace(); }
+  /// Snapshot of the registry in both exposition formats (Prometheus
+  /// text + compact JSON).
+  telemetry::Report telemetry_report() const { return telemetry::make_report(asic_.metrics()); }
+  /// The hot-path allocation caches (packet pool, event slab) as uniform
+  /// reports — the registry mirrors the same numbers; this is the
+  /// bench-display adapter.
+  std::vector<sim::AllocCacheReport> alloc_cache_reports() const;
+
   /// Compile the task and install it into the switch. Throws
   /// ntapi::CompileError on invalid tasks. One task per instance.
   void load(const ntapi::Task& task);
@@ -53,8 +70,9 @@ class HyperTester {
   /// Inject the template packets (start generating).
   void start();
 
-  /// Advance the simulated testbed.
-  void run_for(sim::TimeNs duration) { ev_.run_until(ev_.now() + duration); }
+  /// Advance the simulated testbed. Records a "run_for" span on the task
+  /// track when tracing is enabled.
+  void run_for(sim::TimeNs duration);
 
   // --- degradation handling --------------------------------------------------
   /// One fault injector attached to a link direction by the task's chaos
@@ -68,8 +86,10 @@ class HyperTester {
 
   /// Every drop/overflow/corruption counter of the testbed in one flat
   /// report: ASIC pipeline + digest + per-port MAC counters, trigger-FIFO
-  /// overflows, lost control-plane RPCs, and the chaos injectors' stats.
-  /// Anything that discards a packet or record shows up here.
+  /// overflows, lost control-plane RPCs, HTPR integrity rejections, and
+  /// the chaos injectors' stats. Derived from the metrics registry (every
+  /// entry registered with a drop_source, in registration order) — the
+  /// registry is the single source of truth, this is the flat view.
   std::vector<sim::DropCounter> drop_report() const;
 
   /// run_for with supervision: advances in `policy.timeout_ns` slices and

@@ -67,6 +67,38 @@ void Receiver::install() {
     }
   }
 
+  // Per-query telemetry: the query registers stay authoritative; the
+  // device registry mirrors them (single aggregation point), and the two
+  // integrity counters join the drop/corruption audit trail under their
+  // legacy "htpr.<query>.<reason>" source names. The latency histogram is
+  // instrumentation-only and compiles away with HT_TELEMETRY=OFF.
+  latency_hist_.resize(n, nullptr);
+  for (std::size_t q = 0; q < n; ++q) {
+    const std::string& qn = queries_[q].name;
+    auto& m = asic_.metrics();
+    m.mirror_counter("ht_htpr_query_evaluated_total", [this, q] { return evaluated(q); },
+                     {.labels = {{"query", qn}}, .help = "packets evaluated (pre-filter)"});
+    m.mirror_counter("ht_htpr_query_matched_total", [this, q] { return matched(q); },
+                     {.labels = {{"query", qn}},
+                      .help = "packets that survived every operator"});
+    m.mirror_counter(
+        "ht_htpr_query_checksum_fails_total", [this, q] { return checksum_fails(q); },
+        {.labels = {{"query", qn}},
+         .help = "packets rejected by checksum re-verification",
+         .drop_source = "htpr." + qn + ".checksum_fails"});
+    m.mirror_counter(
+        "ht_htpr_query_out_of_window_total", [this, q] { return out_of_window(q); },
+        {.labels = {{"query", qn}},
+         .help = "packets rejected by the plausibility window",
+         .drop_source = "htpr." + qn + ".out_of_window"});
+    if constexpr (telemetry::kEnabled) {
+      latency_hist_[q] = &m.histogram(
+          "ht_htpr_query_latency_ns",
+          {.labels = {{"query", qn}},
+           .help = "ingress MAC timestamp to query match, per matched packet"});
+    }
+  }
+
   const std::size_t front_ports = asic_.port_count();
   auto& asic = asic_;
 
@@ -197,6 +229,12 @@ void Receiver::query_action(std::size_t qid, rmt::ActionContext& ctx) {
   }
 
   matched_->execute(qid, [](std::uint64_t& c) { return ++c; });
+  if constexpr (telemetry::kEnabled) {
+    if (latency_hist_[qid] != nullptr && ctx.phv.packet) {
+      const std::uint64_t t0 = ctx.phv.packet->meta().ingress_tstamp_ns;
+      if (ctx.now >= t0) latency_hist_[qid]->record(ctx.now - t0);
+    }
+  }
   for (const auto& extract : cfg.triggers) {
     if (extract.fifo == nullptr) continue;
     std::vector<std::uint64_t> record;

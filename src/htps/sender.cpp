@@ -79,6 +79,34 @@ void Sender::install() {
                             {{loop_port, 0}, {loop_port, 0}});
   }
 
+  // Send-rate telemetry: per-template fire counters join the device
+  // registry as mirrors (the fires register stays authoritative);
+  // timer-accuracy histograms are instrumentation-only and compile away
+  // with HT_TELEMETRY=OFF.
+  fire_gap_hist_.resize(n, nullptr);
+  timer_err_hist_.resize(n, nullptr);
+  for (std::uint32_t t = 0; t < n; ++t) {
+    const std::string tn = std::to_string(t);
+    asic_.metrics().mirror_counter(
+        "ht_htps_fires_total", [this, t] { return fires(t); },
+        {.labels = {{"template", tn}}, .help = "replication events (mcast fires)"});
+    asic_.metrics().mirror_gauge(
+        "ht_htps_loop_copies",
+        [this, t] { return static_cast<std::int64_t>(loop_copies(t)); },
+        {.labels = {{"template", tn}},
+         .help = "template copies held in the recirculation loop"});
+    if constexpr (telemetry::kEnabled) {
+      fire_gap_hist_[t] = &asic_.metrics().histogram(
+          "ht_htps_fire_interval_ns",
+          {.labels = {{"template", tn}},
+           .help = "achieved inter-departure time between replication fires"});
+      timer_err_hist_[t] = &asic_.metrics().histogram(
+          "ht_htps_timer_error_ns",
+          {.labels = {{"template", tn}},
+           .help = "absolute error between achieved and configured inter-departure interval"});
+    }
+  }
+
   // Accelerator fill targets: the loop's capacity is RTT / min-arrival
   // interval (Fig 14b); shared equally among the templates on the same
   // channel (amortizing across loopback channels multiplies capacity,
@@ -232,13 +260,24 @@ void Sender::ingress_action(std::uint32_t tid, rmt::ActionContext& ctx) {
     if (cfg.fire_limit == 0 || fires_->read(tid) < cfg.fire_limit) {
       const std::uint64_t interval = intervals_->read(tid);
       // The replicator timer: fire when now - last_departure >= interval.
+      std::uint64_t prev_tx = 0;
       fire = last_tx_->execute(tid, [&](std::uint64_t& last) -> std::uint64_t {
                if (ctx.now - last >= interval) {
+                 prev_tx = last;
                  last = ctx.now;
                  return 1;
                }
                return 0;
              }) != 0;
+      if constexpr (telemetry::kEnabled) {
+        // Skip the very first fire (prev_tx == 0 is "never fired", not a
+        // real departure time): no gap exists yet.
+        if (fire && prev_tx != 0 && fire_gap_hist_[tid] != nullptr) {
+          const std::uint64_t gap = ctx.now - prev_tx;
+          fire_gap_hist_[tid]->record(gap);
+          timer_err_hist_[tid]->record(gap >= interval ? gap - interval : interval - gap);
+        }
+      }
       if (fire && cfg.interval_dist) {
         intervals_->write(tid,
                           cfg.interval_dist->sample(static_cast<std::uint32_t>(ctx.rng.next_u64())));

@@ -140,6 +140,12 @@ class Sender {
   rmt::RegisterArray* pktid_ = nullptr;
   /// Per-(template, edit-op) sequence registers, created at install.
   std::vector<std::vector<rmt::RegisterArray*>> edit_state_;
+
+  /// Per-template send-rate telemetry (device registry cells, created at
+  /// install): achieved inter-fire gap and |achieved - configured| timer
+  /// error. Entries stay nullptr when HT_TELEMETRY is off.
+  std::vector<telemetry::Histogram*> fire_gap_hist_;
+  std::vector<telemetry::Histogram*> timer_err_hist_;
 };
 
 }  // namespace ht::htps

@@ -305,4 +305,22 @@ CompiledTask Compiler::lower(const Task& task) const {
   return out;
 }
 
+void CompiledTask::annotate_trace(telemetry::TraceRecorder& tr, std::uint64_t now_ns) const {
+  tr.set_process_name("hypertester: " + name);
+  tr.instant("load task '" + name + "'", now_ns, telemetry::TraceRecorder::kTrackTask);
+  for (std::size_t t = 0; t < templates.size(); ++t) {
+    tr.instant("install trigger " + std::to_string(t), now_ns,
+               telemetry::TraceRecorder::kTrackTask);
+  }
+  for (const CompiledQuery& q : queries) {
+    tr.instant("install query '" + q.config.name + "'", now_ns,
+               telemetry::TraceRecorder::kTrackTask);
+  }
+  for (const FifoWiring& w : fifos) {
+    tr.instant("wire trigger " + std::to_string(w.trigger_index) + " <- query " +
+                   std::to_string(w.query_index),
+               now_ns, telemetry::TraceRecorder::kTrackTask);
+  }
+}
+
 }  // namespace ht::ntapi

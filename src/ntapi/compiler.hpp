@@ -70,6 +70,12 @@ struct CompiledTask {
   /// Chaos profile carried through from the task (ntapi::Task::set_chaos);
   /// applied by the runtime when the task starts.
   std::optional<ChaosSpec> chaos;
+
+  /// Task-level span annotations: names the trace process after the task
+  /// and drops one instant per installed trigger/query/FIFO wiring on the
+  /// task track at time `now_ns`, so a Perfetto view of a run opens with
+  /// the task structure at the top. Called by HyperTester::load().
+  void annotate_trace(telemetry::TraceRecorder& tr, std::uint64_t now_ns) const;
 };
 
 class Compiler {

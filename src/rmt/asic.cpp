@@ -22,6 +22,79 @@ SwitchAsic::SwitchAsic(sim::EventQueue& ev, AsicConfig cfg)
     ports_.push_back(std::move(p));
   }
   recirc_.resize(cfg_.num_recirc_channels);
+  register_device_metrics();
+}
+
+void SwitchAsic::register_device_metrics() {
+  // Registration order matters: drop_counters() reports in this order, and
+  // the first three plus the per-port trio reproduce the historical
+  // SwitchAsic::drop_counters() layout exactly.
+  ingress_packets_ = &metrics_.counter("ht_asic_ingress_packets_total",
+                                       {.help = "packets entering the ingress pipeline"});
+  egress_packets_ = &metrics_.counter("ht_asic_egress_packets_total",
+                                      {.help = "packets leaving the egress pipeline"});
+  dropped_ = &metrics_.counter(
+      "ht_asic_pipeline_drops_total",
+      {.help = "packets dropped by pipeline verdict or an invalid egress port",
+       .drop_source = "asic.pipeline_drops"});
+  injected_drops_ = &metrics_.counter(
+      "ht_asic_injected_drops_total",
+      {.help = "packets dropped by the ASIC-internal fault hook before the parser",
+       .drop_source = "asic.injected_drops"});
+  metrics_.mirror_counter(
+      "ht_asic_digest_drops_total", [this] { return digests_.dropped(); },
+      {.help = "digest messages dropped on a full digest queue",
+       .drop_source = "asic.digest_drops"});
+  recirculations_ = &metrics_.counter(
+      "ht_asic_recirculations_total",
+      {.help = "packets looped through a recirculation channel"});
+  replicas_ = &metrics_.counter("ht_asic_replicas_total",
+                                {.help = "replicas created by the multicast engine"});
+  for (std::size_t c = 0; c < recirc_.size(); ++c) {
+    metrics_.mirror_counter(
+        "ht_asic_recirc_loops_total", [this, c] { return recirc_[c].loops; },
+        {.labels = {{"channel", std::to_string(c)}},
+         .help = "loops through this recirculation channel"});
+  }
+  for (const auto& pp : ports_) {
+    sim::Port* p = pp.get();
+    const std::string n = std::to_string(p->id());
+    const std::string prefix = "port" + n;
+    metrics_.mirror_counter("ht_port_tx_packets_total", [p] { return p->tx_packets(); },
+                            {.labels = {{"port", n}}, .help = "frames queued for transmission"});
+    metrics_.mirror_counter("ht_port_rx_packets_total", [p] { return p->rx_packets(); },
+                            {.labels = {{"port", n}}, .help = "frames delivered from the wire"});
+    metrics_.mirror_gauge(
+        "ht_tm_queue_depth",
+        [p] { return static_cast<std::int64_t>(p->tx_queue_depth()); },
+        {.labels = {{"port", n}}, .help = "frames in flight in the MAC egress queue"});
+    metrics_.mirror_counter(
+        "ht_port_queue_full_drops_total", [p] { return p->dropped_queue_full(); },
+        {.labels = {{"port", n}}, .help = "frames tail-dropped on a full egress queue",
+         .drop_source = prefix + ".queue_full"});
+    metrics_.mirror_counter(
+        "ht_port_no_peer_drops_total", [p] { return p->dropped_no_peer(); },
+        {.labels = {{"port", n}}, .help = "frames sent with no wire attached",
+         .drop_source = prefix + ".no_peer"});
+    metrics_.mirror_counter(
+        "ht_port_fcs_drops_total", [p] { return p->rx_fcs_drops(); },
+        {.labels = {{"port", n}}, .help = "frames dropped by MAC FCS verification",
+         .drop_source = prefix + ".fcs"});
+    if constexpr (telemetry::kEnabled) {
+      auto& h = metrics_.histogram(
+          "ht_port_wire_latency_ns",
+          {.labels = {{"port", n}},
+           .help = "send() to last-bit-arrival per frame: queue wait + serialization + propagation"});
+      p->set_telemetry(&h, &trace_);
+      trace_.set_track_name(telemetry::TraceRecorder::kTrackPortBase + p->id(), "port" + n + " tx");
+    }
+  }
+  if constexpr (telemetry::kEnabled) {
+    trace_.set_track_name(telemetry::TraceRecorder::kTrackTask, "task");
+    trace_.set_track_name(telemetry::TraceRecorder::kTrackIngress, "ingress pipeline");
+    trace_.set_track_name(telemetry::TraceRecorder::kTrackEgress, "egress pipeline");
+    trace_.set_track_name(telemetry::TraceRecorder::kTrackRecirc, "recirculation");
+  }
 }
 
 sim::Port& SwitchAsic::port(std::uint16_t i) {
@@ -65,7 +138,7 @@ ActionContext SwitchAsic::make_ctx(Phv& phv) {
 
 void SwitchAsic::enter_ingress(net::PacketPtr pkt) {
   if (ingress_fault_ && ingress_fault_(*pkt)) {
-    ++injected_drops_;
+    injected_drops_->inc();
     return;
   }
   run_ingress(std::move(pkt));
@@ -73,20 +146,19 @@ void SwitchAsic::enter_ingress(net::PacketPtr pkt) {
 
 std::vector<sim::DropCounter> SwitchAsic::drop_counters() const {
   std::vector<sim::DropCounter> out;
-  out.push_back({"asic.pipeline_drops", dropped_});
-  out.push_back({"asic.injected_drops", injected_drops_});
-  out.push_back({"asic.digest_drops", digests_.dropped()});
-  for (const auto& p : ports_) {
-    const std::string prefix = "port" + std::to_string(p->id());
-    out.push_back({prefix + ".queue_full", p->dropped_queue_full()});
-    out.push_back({prefix + ".no_peer", p->dropped_no_peer()});
-    out.push_back({prefix + ".fcs", p->rx_fcs_drops()});
-  }
+  for (auto& [source, count] : metrics_.drop_counters()) out.push_back({source, count});
   return out;
 }
 
 void SwitchAsic::run_ingress(net::PacketPtr pkt) {
-  ++ingress_packets_;
+  ingress_packets_->inc();
+  if constexpr (telemetry::kEnabled) {
+    if (trace_.enabled()) {
+      trace_.complete("ingress", ev_.now(),
+                      static_cast<std::uint64_t>(std::llround(cfg_.timing.ingress_latency_ns)),
+                      telemetry::TraceRecorder::kTrackIngress);
+    }
+  }
   Phv phv = parser_.parse(pkt);
   ActionContext ctx = make_ctx(phv);
   ingress_.apply(ctx);
@@ -100,7 +172,7 @@ void SwitchAsic::to_traffic_manager(net::PacketPtr pkt, IntrinsicMeta im) {
   const double ingress = cfg_.timing.ingress_latency_ns;
   switch (im.dest) {
     case Destination::kDrop:
-      ++dropped_;
+      dropped_->inc();
       return;
     case Destination::kUnicast: {
       const auto delay =
@@ -124,7 +196,7 @@ void SwitchAsic::to_traffic_manager(net::PacketPtr pkt, IntrinsicMeta im) {
         copy->meta().replica_index = m.rid;
         const double d =
             ingress + TimingModel::jittered(rng_, mean, cfg_.timing.mcast_jitter_sigma_ns);
-        ++replicas_;
+        replicas_->inc();
         ev_.schedule_in(static_cast<sim::TimeNs>(std::llround(d)),
                         [this, copy = std::move(copy), port = m.port, rid = m.rid]() mutable {
                           run_egress(std::move(copy), port, rid);
@@ -148,7 +220,7 @@ void SwitchAsic::to_traffic_manager(net::PacketPtr pkt, IntrinsicMeta im) {
         copy->meta().replica_index = m.rid;
         const double d =
             ingress + TimingModel::jittered(rng_, mean, cfg_.timing.mcast_jitter_sigma_ns);
-        ++replicas_;
+        replicas_->inc();
         reps.push_back(PendingReplica{static_cast<sim::TimeNs>(std::llround(d)),
                                       std::move(copy), m.port, m.rid});
       }
@@ -194,8 +266,14 @@ void SwitchAsic::run_egress(net::PacketPtr pkt, std::uint16_t eport, std::uint16
   // The deparser's checksum engine only matters for packets that leave the
   // box; recirculating templates skip it (their headers are untouched).
   if (eport < ports_.size()) net::fix_checksums(*pkt);
-  ++egress_packets_;
+  egress_packets_->inc();
   const auto delay = static_cast<sim::TimeNs>(std::llround(cfg_.timing.egress_latency_ns));
+  if constexpr (telemetry::kEnabled) {
+    if (trace_.enabled()) {
+      trace_.complete("egress", ev_.now(), static_cast<std::uint64_t>(delay),
+                      telemetry::TraceRecorder::kTrackEgress);
+    }
+  }
   ev_.schedule_in(delay,
                   [this, pkt = std::move(pkt), eport]() mutable { emit(std::move(pkt), eport); });
 }
@@ -232,9 +310,15 @@ void SwitchAsic::run_egress_batch(EgressBatch batch) {
     phv.set(net::FieldId::kMetaEgressTstamp, ev_.now());
     Parser::deparse(phv);
     if (batch[i].port < ports_.size()) net::fix_checksums(*batch[i].pkt);
-    ++egress_packets_;
+    egress_packets_->inc();
   }
   const auto delay = static_cast<sim::TimeNs>(std::llround(cfg_.timing.egress_latency_ns));
+  if constexpr (telemetry::kEnabled) {
+    if (trace_.enabled()) {
+      trace_.complete("egress", ev_.now(), static_cast<std::uint64_t>(delay),
+                      telemetry::TraceRecorder::kTrackEgress);
+    }
+  }
   ev_.schedule_in(delay, [this, batch = std::move(batch)]() mutable {
     for (EgressReplica& r : batch) emit(std::move(r.pkt), r.port);
   });
@@ -252,10 +336,17 @@ void SwitchAsic::emit(net::PacketPtr pkt, std::uint16_t eport) {
     const double ser = cfg_.timing.recirc_serialization_ns(pkt->size());
     ch.busy_until = start + ser;
     ++ch.loops;
-    ++recirculations_;
+    recirculations_->inc();
     const double arrive = start + ser +
                           TimingModel::jittered(rng_, cfg_.timing.recirc_fixed_ns,
                                                 cfg_.timing.recirc_jitter_sigma_ns);
+    if constexpr (telemetry::kEnabled) {
+      if (trace_.enabled() && arrive >= now) {
+        trace_.complete("recirc", ev_.now(),
+                        static_cast<std::uint64_t>(std::llround(arrive - now)),
+                        telemetry::TraceRecorder::kTrackRecirc);
+      }
+    }
     ev_.schedule_at(static_cast<sim::TimeNs>(std::llround(arrive)),
                     [this, pkt = std::move(pkt), eport]() mutable {
                       pkt->meta().recirc_count++;
@@ -266,7 +357,7 @@ void SwitchAsic::emit(net::PacketPtr pkt, std::uint16_t eport) {
     return;
   }
   if (eport >= ports_.size()) {
-    ++dropped_;
+    dropped_->inc();
     return;
   }
   pkt->meta().egress_port = eport;

@@ -30,6 +30,7 @@
 #include "sim/port.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ht::rmt {
 
@@ -89,18 +90,33 @@ class SwitchAsic {
     ingress_fault_ = std::move(fn);
   }
 
-  // --- counters --------------------------------------------------------------
-  std::uint64_t ingress_packets() const { return ingress_packets_; }
-  std::uint64_t egress_packets() const { return egress_packets_; }
-  std::uint64_t dropped_packets() const { return dropped_; }
-  std::uint64_t recirculations() const { return recirculations_; }
-  std::uint64_t replicas_created() const { return replicas_; }
-  std::uint64_t injected_drops() const { return injected_drops_; }
+  // --- telemetry -------------------------------------------------------------
+  /// The device-wide metrics registry. Every component attached to this
+  /// ASIC (ports, pipelines, HTPS/HTPR programs, controller, chaos links)
+  /// registers its counters/gauges/histograms here, so one registry is the
+  /// single source of truth for the whole tester instance.
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
+  const telemetry::MetricsRegistry& metrics() const { return metrics_; }
+  /// Device trace recorder (Chrome trace_event export). Off by default;
+  /// enable via trace().set_enabled(true) before running.
+  telemetry::TraceRecorder& trace() { return trace_; }
+  const telemetry::TraceRecorder& trace() const { return trace_; }
 
-  /// Every drop/overflow path of the device in one flat report: pipeline
-  /// drops, injected drops, digest-queue drops, and the per-port MAC
-  /// counters (queue-full, no-peer, FCS). Aggregators fold this into the
-  /// testbed-wide sim::stats report — nothing here is per-object-only.
+  // --- counters --------------------------------------------------------------
+  // Thin compat accessors over the registry-backed cells: the registry is
+  // the storage, these keep the historical API (and tests) intact.
+  std::uint64_t ingress_packets() const { return ingress_packets_->value(); }
+  std::uint64_t egress_packets() const { return egress_packets_->value(); }
+  std::uint64_t dropped_packets() const { return dropped_->value(); }
+  std::uint64_t recirculations() const { return recirculations_->value(); }
+  std::uint64_t replicas_created() const { return replicas_->value(); }
+  std::uint64_t injected_drops() const { return injected_drops_->value(); }
+
+  /// Every drop/overflow path registered on the device registry in one flat
+  /// report: pipeline drops, injected drops, digest-queue drops, per-port
+  /// MAC counters (queue-full, no-peer, FCS), plus whatever attached
+  /// components (HTPR integrity gates, chaos links, FIFOs) registered.
+  /// Compat adapter over metrics().drop_counters().
   std::vector<sim::DropCounter> drop_counters() const;
 
  private:
@@ -135,8 +151,14 @@ class SwitchAsic {
     std::uint64_t loops = 0;
   };
 
+  void register_device_metrics();
+
   sim::EventQueue& ev_;
   AsicConfig cfg_;
+  // Declared before ports/pipelines so the registry outlives every
+  // component that holds cell pointers into it.
+  telemetry::MetricsRegistry metrics_;
+  telemetry::TraceRecorder trace_;
   sim::Rng rng_;
   std::vector<std::unique_ptr<sim::Port>> ports_;
   std::vector<RecircChannel> recirc_;
@@ -154,12 +176,14 @@ class SwitchAsic {
   std::function<void(net::PacketPtr)> cpu_punt_;
   std::function<bool(const net::Packet&)> ingress_fault_;
 
-  std::uint64_t ingress_packets_ = 0;
-  std::uint64_t egress_packets_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t recirculations_ = 0;
-  std::uint64_t replicas_ = 0;
-  std::uint64_t injected_drops_ = 0;
+  // Registry-backed device counters (set up in register_device_metrics;
+  // never null after construction).
+  telemetry::Counter* ingress_packets_ = nullptr;
+  telemetry::Counter* egress_packets_ = nullptr;
+  telemetry::Counter* dropped_ = nullptr;
+  telemetry::Counter* recirculations_ = nullptr;
+  telemetry::Counter* replicas_ = nullptr;
+  telemetry::Counter* injected_drops_ = nullptr;
 };
 
 }  // namespace ht::rmt

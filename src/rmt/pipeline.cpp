@@ -1,5 +1,7 @@
 #include "rmt/pipeline.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace ht::rmt {
 
 MatchActionTable& Pipeline::add_table(std::unique_ptr<MatchActionTable> table, GatewayFn gate) {
@@ -51,6 +53,22 @@ int Pipeline::stages_used() const {
     if (node.stage >= used) used = node.stage + 1;
   }
   return used;
+}
+
+void Pipeline::register_metrics(telemetry::MetricsRegistry& reg) const {
+  reg.mirror_gauge(
+      "ht_pipeline_stages_used", [this] { return static_cast<std::int64_t>(stages_used()); },
+      {.labels = {{"pipe", name_}},
+       .help = "physical stages occupied by the placed program"});
+  for (const auto& node : nodes_) {
+    const MatchActionTable* t = node.table.get();
+    const std::vector<telemetry::Label> labels = {
+        {"pipe", name_}, {"table", t->name()}, {"stage", std::to_string(node.stage)}};
+    reg.mirror_counter("ht_pipeline_table_hits_total", [t] { return t->hits(); },
+                       {.labels = labels, .help = "packets matched by this table"});
+    reg.mirror_counter("ht_pipeline_table_misses_total", [t] { return t->misses(); },
+                       {.labels = labels, .help = "packets that missed this table"});
+  }
 }
 
 ResourceUsage Pipeline::estimate_resources() const {

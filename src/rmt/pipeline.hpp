@@ -14,6 +14,10 @@
 
 #include "rmt/table.hpp"
 
+namespace ht::telemetry {
+class MetricsRegistry;
+}
+
 namespace ht::rmt {
 
 using GatewayFn = std::function<bool(const Phv&)>;
@@ -58,6 +62,13 @@ class Pipeline {
   const std::string& name() const { return name_; }
 
   ResourceUsage estimate_resources() const;
+
+  /// Mirror per-table hit/miss counters and stage occupancy into `reg`
+  /// (labels: pipe/table/stage). Call after place(); the mirrors sample the
+  /// live tables, so the program must stay installed for the registry's
+  /// lifetime (HyperTester registers once per load, and a loaded task
+  /// cannot be replaced on the same instance).
+  void register_metrics(telemetry::MetricsRegistry& reg) const;
 
   void clear() { nodes_.clear(); }
 

@@ -16,6 +16,7 @@
 #include "net/packet.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ht::sim {
 
@@ -77,6 +78,15 @@ class Port {
   /// (the convention used when a tester claims "line rate").
   double tx_line_rate_gbps() const;
 
+  /// Owner-device telemetry: `wire_latency` observes send()->last-bit-arrival
+  /// time (queue wait + serialization + propagation) per packet; `trace`
+  /// records per-port TX spans on track kTrackPortBase + id. Both may be
+  /// nullptr; the port never owns them.
+  void set_telemetry(telemetry::Histogram* wire_latency, telemetry::TraceRecorder* trace) {
+    wire_latency_ = wire_latency;
+    trace_ = trace;
+  }
+
  private:
   EventQueue& ev_;
   std::uint16_t id_;
@@ -98,6 +108,9 @@ class Port {
   std::uint64_t dropped_no_peer_ = 0;
   bool verify_fcs_ = false;
   std::uint64_t rx_fcs_drops_ = 0;
+
+  telemetry::Histogram* wire_latency_ = nullptr;
+  telemetry::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace ht::sim

@@ -46,6 +46,15 @@ void Controller::subscribe(std::uint32_t type,
   subscribers_[type].push_back(std::move(fn));
 }
 
+void Controller::register_metrics(telemetry::MetricsRegistry& reg) {
+  reg.mirror_counter(
+      "ht_controller_rpc_lost_total", [this] { return rpc_lost_; },
+      {.help = "control-plane read RPCs swallowed by injected loss",
+       .drop_source = "controller.rpc_lost"});
+  reg.mirror_counter("ht_controller_digests_total", [this] { return digest_count_; },
+                     {.help = "push-mode digest messages received by the switch CPU"});
+}
+
 void Controller::on_digest(const rmt::DigestMessage& msg) {
   ++digest_count_;
   digests_[msg.type].push_back(msg);

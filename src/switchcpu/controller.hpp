@@ -74,6 +74,13 @@ class Controller {
   /// Read RPCs swallowed by the injected loss.
   std::uint64_t rpc_lost() const { return rpc_lost_; }
 
+  // --- telemetry -------------------------------------------------------------
+  /// Mirror the controller's counters into `reg` ("controller.rpc_lost"
+  /// joins the drop audit trail). A method rather than ctor-side
+  /// registration so tests that attach extra controllers to one ASIC do
+  /// not register duplicates; HyperTester calls it once.
+  void register_metrics(telemetry::MetricsRegistry& reg);
+
  private:
   void on_digest(const rmt::DigestMessage& msg);
 

@@ -1,0 +1,130 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace ht::telemetry {
+
+namespace {
+
+using EntryPtr = const MetricsRegistry::Entry*;
+
+std::vector<EntryPtr> sorted_entries(const MetricsRegistry& reg) {
+  std::vector<EntryPtr> out;
+  out.reserve(reg.size());
+  reg.for_each([&out](const MetricsRegistry::Entry& e) { out.push_back(&e); });
+  std::sort(out.begin(), out.end(),
+            [](EntryPtr a, EntryPtr b) { return a->full_name < b->full_name; });
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Doubles are printed with %.6g; integral values print exactly.
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsRegistry& reg) {
+  std::ostringstream os;
+  const auto entries = sorted_entries(reg);
+  const std::string* last_typed = nullptr;
+  for (const EntryPtr e : entries) {
+    // HELP/TYPE once per base name (label variants share them).
+    if (last_typed == nullptr || *last_typed != e->name) {
+      if (!e->help.empty()) os << "# HELP " << e->name << ' ' << e->help << '\n';
+      os << "# TYPE " << e->name << ' ';
+      switch (e->kind) {
+        case MetricsRegistry::Kind::kCounter: os << "counter"; break;
+        case MetricsRegistry::Kind::kGauge: os << "gauge"; break;
+        case MetricsRegistry::Kind::kHistogram: os << "summary"; break;
+      }
+      os << '\n';
+      last_typed = &e->name;
+    }
+    switch (e->kind) {
+      case MetricsRegistry::Kind::kCounter:
+        os << e->full_name << ' ' << e->counter_value() << '\n';
+        break;
+      case MetricsRegistry::Kind::kGauge:
+        os << e->full_name << ' ' << e->gauge_value() << '\n';
+        break;
+      case MetricsRegistry::Kind::kHistogram: {
+        const Histogram& h = *e->histogram;
+        // Splice the quantile label into any existing label set.
+        const bool labeled = e->full_name.back() == '}';
+        const std::string base =
+            labeled ? e->full_name.substr(0, e->full_name.size() - 1) : e->name;
+        const char* sep = labeled ? "," : "{";
+        for (std::size_t i = 0; i < std::size(kQuantiles); ++i) {
+          os << base << sep << "quantile=\"" << num(kQuantiles[i]) << "\"} "
+             << h.quantile(kQuantiles[i]) << '\n';
+        }
+        os << e->name << "_sum" << (labeled ? e->full_name.substr(e->name.size()) : "") << ' '
+           << h.sum() << '\n';
+        os << e->name << "_count" << (labeled ? e->full_name.substr(e->name.size()) : "")
+           << ' ' << h.count() << '\n';
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string to_json(const MetricsRegistry& reg, int indent) {
+  const auto entries = sorted_entries(reg);
+  const std::string nl = indent > 0 ? "\n" : "";
+  const std::string pad1 = indent > 0 ? std::string(static_cast<std::size_t>(indent), ' ') : "";
+  const std::string pad2 = pad1 + pad1;
+
+  std::ostringstream os;
+  const auto emit_section = [&](MetricsRegistry::Kind kind, const char* title, bool last) {
+    os << pad1 << '"' << title << "\":{" << nl;
+    bool first = true;
+    for (const EntryPtr e : entries) {
+      if (e->kind != kind) continue;
+      if (!first) os << ',' << nl;
+      first = false;
+      os << pad2 << '"' << json_escape(e->full_name) << "\":";
+      switch (kind) {
+        case MetricsRegistry::Kind::kCounter: os << e->counter_value(); break;
+        case MetricsRegistry::Kind::kGauge: os << e->gauge_value(); break;
+        case MetricsRegistry::Kind::kHistogram: {
+          const Histogram& h = *e->histogram;
+          os << "{\"count\":" << h.count() << ",\"sum\":" << h.sum()
+             << ",\"min\":" << h.min() << ",\"max\":" << h.max()
+             << ",\"mean\":" << num(h.mean());
+          for (std::size_t i = 0; i < std::size(kQuantiles); ++i) {
+            os << ",\"" << kQuantileNames[i] << "\":" << h.quantile(kQuantiles[i]);
+          }
+          os << '}';
+          break;
+        }
+      }
+    }
+    os << nl << pad1 << '}' << (last ? "" : ",") << nl;
+  };
+
+  os << '{' << nl;
+  emit_section(MetricsRegistry::Kind::kCounter, "counters", false);
+  emit_section(MetricsRegistry::Kind::kGauge, "gauges", false);
+  emit_section(MetricsRegistry::Kind::kHistogram, "histograms", true);
+  os << '}';
+  return os.str();
+}
+
+}  // namespace ht::telemetry

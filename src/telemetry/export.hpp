@@ -1,0 +1,42 @@
+// Text exporters for the metrics registry.
+//
+//  * Prometheus exposition format: counters and gauges as single
+//    samples; histograms as summaries (p50/p90/p99/p999 quantiles plus
+//    _sum/_count), ready for `curl | promtool check metrics`-style
+//    tooling or a textfile collector.
+//  * Compact JSON: one object with "counters", "gauges" and
+//    "histograms" maps — the `telemetry` block embedded in the bench
+//    --json sidecars and printed by `ntapi_cli stats --json`.
+//
+// Both exporters sort entries by full metric name, so the output of a
+// deterministic run is byte-stable (pinned by tests/telemetry_test.cpp).
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace ht::telemetry {
+
+/// The quantiles every histogram export reports.
+inline constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+inline constexpr const char* kQuantileNames[] = {"p50", "p90", "p99", "p999"};
+
+/// Prometheus exposition text (HELP/TYPE + samples).
+std::string to_prometheus(const MetricsRegistry& reg);
+
+/// Compact JSON dump. `indent` > 0 pretty-prints with that many spaces.
+std::string to_json(const MetricsRegistry& reg, int indent = 0);
+
+/// Snapshot of one registry in both formats — the return type of
+/// HyperTester::telemetry_report().
+struct Report {
+  std::string json;
+  std::string prometheus;
+};
+
+inline Report make_report(const MetricsRegistry& reg) {
+  return Report{to_json(reg), to_prometheus(reg)};
+}
+
+}  // namespace ht::telemetry

@@ -1,0 +1,128 @@
+#include "telemetry/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ht::telemetry {
+
+namespace {
+
+/// JSON string escaping for event/track names.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Chrome trace timestamps are microseconds; print ns/1000 with fixed
+/// 3-decimal precision so the text is byte-stable.
+void print_us(std::ostream& os, std::uint64_t ns) {
+  os << ns / 1000 << '.';
+  const std::uint64_t frac = ns % 1000;
+  os << static_cast<char>('0' + frac / 100) << static_cast<char>('0' + (frac / 10) % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  events_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+void TraceRecorder::push(TraceEvent ev) {
+  if (events_.size() < capacity_ && !full_) {
+    events_.push_back(std::move(ev));
+    if (events_.size() == capacity_) full_ = true;
+    return;
+  }
+  events_[head_] = std::move(ev);
+  head_ = (head_ + 1) % capacity_;
+  ++overwritten_;
+}
+
+void TraceRecorder::complete(std::string name, std::uint64_t ts_ns, std::uint64_t dur_ns,
+                             std::uint32_t track, const char* category) {
+  if (!enabled_) return;
+  push(TraceEvent{std::move(name), category, ts_ns, dur_ns, track, 'X'});
+}
+
+void TraceRecorder::instant(std::string name, std::uint64_t ts_ns, std::uint32_t track,
+                            const char* category) {
+  if (!enabled_) return;
+  push(TraceEvent{std::move(name), category, ts_ns, 0, track, 'i'});
+}
+
+void TraceRecorder::set_track_name(std::uint32_t track, std::string name) {
+  track_names_[track] = std::move(name);
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  head_ = 0;
+  full_ = false;
+  overwritten_ = 0;
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit_meta = [&](const char* what, std::uint32_t tid, const std::string& name) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid << ",\"name\":\"" << what
+       << "\",\"args\":{\"name\":\"" << escape(name) << "\"}}";
+  };
+  emit_meta("process_name", 0, process_name_);
+  for (const auto& [tid, name] : track_names_) emit_meta("thread_name", tid, name);
+
+  const auto emit_event = [&](const TraceEvent& ev) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << escape(ev.name) << "\",\"cat\":\"" << ev.category
+       << "\",\"ph\":\"" << ev.ph << "\",\"pid\":1,\"tid\":" << ev.track << ",\"ts\":";
+    print_us(os, ev.ts_ns);
+    if (ev.ph == 'X') {
+      os << ",\"dur\":";
+      print_us(os, ev.dur_ns);
+    } else if (ev.ph == 'i') {
+      os << ",\"s\":\"t\"";
+    }
+    os << "}";
+  };
+  // Ring order: oldest first. When the ring wrapped, the oldest event is
+  // at head_ (the next overwrite position).
+  if (full_) {
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      emit_event(events_[(head_ + i) % events_.size()]);
+    }
+  } else {
+    for (const TraceEvent& ev : events_) emit_event(ev);
+  }
+  os << "\n]}\n";
+}
+
+std::string TraceRecorder::chrome_trace_json() const {
+  std::ostringstream os;
+  write_chrome_trace(os);
+  return os.str();
+}
+
+}  // namespace ht::telemetry
