@@ -3,6 +3,7 @@
 //
 //   $ ./ntapi_cli <script.nt> [--ms N] [--p4] [--loopback]
 //   $ ./ntapi_cli lint <script.nt>
+//   $ ./ntapi_cli testgen <script.nt> [--out suite.json]
 //   $ ./ntapi_cli stats <script.nt> [--ms N] [--loopback] [--json] [--trace out.json]
 //
 // Options:
@@ -19,11 +20,17 @@
 //
 // The `lint` subcommand runs htlint — validation plus the static pipeline
 // analyzer — over the script without executing it, and prints one coded
-// diagnostic per line (HT1xx = error, HT2xx = warning), e.g.
+// diagnostic per line (HT1xx = error, HT2xx/HT3xx = warning), e.g.
 //
 //   HT102 error trigger[0]: register 'delaystate.0' read after write ...
 //
 // Exit status: 0 clean (warnings allowed), 1 errors found.
+//
+// The `testgen` subcommand compiles the script and runs the symbolic path
+// oracle over the compiled artifacts, emitting a ConformanceSuite as JSON:
+// concrete input packets per feasible path with the exact per-query counter
+// state each must produce, the expected editor replica bytes (with per-byte
+// care masks), and a path/rule coverage block.
 //
 // Without --loopback every port is terminated by an absorbing capture
 // device. After the run, every query's totals are printed.
@@ -32,6 +39,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/symx/oracle.hpp"
 #include "core/hypertester.hpp"
 #include "dut/capture.hpp"
 #include "ntapi/compiler.hpp"
@@ -68,6 +76,43 @@ int lint_script(const char* path) {
   }
 }
 
+int testgen_script(const char* path, const char* out_path) {
+  using namespace ht;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const auto prog = ntapi::text::parse_ntapi(buffer.str(), path);
+    const rmt::AsicConfig asic;
+    const auto compiled = ntapi::Compiler(asic).compile(prog.task);
+    analysis::symx::TaskModel model(prog.task, compiled, asic);
+    analysis::symx::Oracle oracle(model);
+    const std::string json =
+        oracle.suite_json(compiled.name.empty() ? std::string(path) : compiled.name);
+    if (out_path != nullptr) {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path);
+        return 2;
+      }
+      out << json << '\n';
+      const auto cov = oracle.coverage();
+      std::fprintf(stderr, "wrote %s: %zu inject cases, %zu/%zu feasible paths\n", out_path,
+                   oracle.injects().size(), cov.paths_feasible, cov.paths_total);
+    } else {
+      std::printf("%s\n", json.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -76,8 +121,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <script.nt> [--ms N] [--p4] [--loopback]\n"
                  "       %s lint <script.nt>\n"
+                 "       %s testgen <script.nt> [--out suite.json]\n"
                  "       %s stats <script.nt> [--ms N] [--loopback] [--json] [--trace out.json]\n",
-                 argv[0], argv[0], argv[0]);
+                 argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   if (std::strcmp(argv[1], "lint") == 0) {
@@ -86,6 +132,16 @@ int main(int argc, char** argv) {
       return 2;
     }
     return lint_script(argv[2]);
+  }
+  if (std::strcmp(argv[1], "testgen") == 0) {
+    const char* out_path = nullptr;
+    if (argc == 5 && std::strcmp(argv[3], "--out") == 0) {
+      out_path = argv[4];
+    } else if (argc != 3) {
+      std::fprintf(stderr, "usage: %s testgen <script.nt> [--out suite.json]\n", argv[0]);
+      return 2;
+    }
+    return testgen_script(argv[2], out_path);
   }
   const bool stats_mode = std::strcmp(argv[1], "stats") == 0;
   if (stats_mode && argc < 3) {

@@ -10,6 +10,8 @@ Analyzer Analyzer::with_default_passes() {
   a.add_pass(std::make_unique<EditorOrderPass>());
   a.add_pass(std::make_unique<FifoSchemaPass>());
   a.add_pass(std::make_unique<DeadEntryPass>());
+  a.add_pass(std::make_unique<ShadowedRulePass>());
+  a.add_pass(std::make_unique<SymxCoveragePass>());
   return a;
 }
 
@@ -17,7 +19,13 @@ void Analyzer::add_pass(std::unique_ptr<Pass> pass) { passes_.push_back(std::mov
 
 AnalysisReport Analyzer::run(const AnalysisInput& in) const {
   AnalysisReport report;
-  for (const auto& pass : passes_) pass->run(in, report);
+  for (std::size_t i = 0; i < passes_.size(); ++i) {
+    const std::size_t before = report.diagnostics.size();
+    passes_[i]->run(in, report);
+    for (std::size_t d = before; d < report.diagnostics.size(); ++d) {
+      report.diagnostics[d].pass_id = static_cast<std::uint16_t>(i + 1);
+    }
+  }
   report.sort();
   return report;
 }

@@ -37,8 +37,9 @@ class Pass {
 
 class Analyzer {
  public:
-  /// The six built-in passes: stage-fit, SALU discipline, parser
-  /// coverage, editor order, FIFO schema, dead/shadowed entries.
+  /// The eight built-in passes: stage-fit, SALU discipline, parser
+  /// coverage, editor order, FIFO schema, dead/shadowed entries,
+  /// shadowed rules (symx), symbolic path coverage (symx).
   static Analyzer with_default_passes();
 
   Analyzer() = default;
@@ -100,6 +101,24 @@ class FifoSchemaPass : public Pass {
 class DeadEntryPass : public Pass {
  public:
   std::string_view name() const override { return "dead-entries"; }
+  void run(const AnalysisInput& in, AnalysisReport& out) const override;
+};
+
+/// HT204: a filter that can never *reject* — every packet surviving the
+/// earlier operators already satisfies it, so the rule the compiler
+/// installs for it is shadowed by the preceding rules' key space.
+class ShadowedRulePass : public Pass {
+ public:
+  std::string_view name() const override { return "shadowed-rules"; }
+  void run(const AnalysisInput& in, AnalysisReport& out) const override;
+};
+
+/// HT301/HT302/HT303: symbolic-walk coverage — queries with zero feasible
+/// matching paths, exact-key entries outside the enumerated key space,
+/// and parser states unreachable from the entry state.
+class SymxCoveragePass : public Pass {
+ public:
+  std::string_view name() const override { return "symx-coverage"; }
   void run(const AnalysisInput& in, AnalysisReport& out) const override;
 };
 

@@ -29,8 +29,8 @@ std::size_t AnalysisReport::warning_count() const {
 void AnalysisReport::sort() {
   std::stable_sort(diagnostics.begin(), diagnostics.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {
-                     return std::tie(a.code, a.where, a.message) <
-                            std::tie(b.code, b.where, b.message);
+                     return std::tie(a.pass_id, a.where, a.code, a.message) <
+                            std::tie(b.pass_id, b.where, b.code, b.message);
                    });
 }
 

@@ -20,12 +20,18 @@
 //   HT201  query filter shadowed by earlier filters (can never match)
 //   HT202  sent-traffic filter dead against the trigger's value support
 //   HT203  duplicate entry in the exact-key-matching table (shadowed)
+//   HT204  rule shadowed: a filter no packet reaching it can fail (an
+//          earlier rule's key space fully covers it)
+//   HT301  symbolic walk found zero feasible matching paths for a query
+//   HT302  exact-key table entry outside the enumerated key space
+//   HT303  parser state unreachable from the entry state
 //
-// HT1xx are errors (compile() refuses the task); HT2xx are warnings
+// HT1xx are errors (compile() refuses the task); HT2xx/HT3xx are warnings
 // (carried through CompiledTask).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -39,6 +45,10 @@ struct Diagnostic {
   std::string where;    ///< "trigger[0]", "query[2]", "stage 4"
   std::string message;  ///< what is wrong
   std::string hint;     ///< how to fix it (may be empty)
+  /// Ordinal of the emitting pass (1-based, stamped by Analyzer::run; 0
+  /// for diagnostics injected outside a pass). Primary sort key, so the
+  /// report order is byte-stable regardless of code numbering.
+  std::uint16_t pass_id = 0;
 };
 
 /// One line, stable across runs: "HT102 error trigger[0]: message".
@@ -54,8 +64,10 @@ struct AnalysisReport {
   bool has_errors() const;
   std::size_t error_count() const;
   std::size_t warning_count() const;
-  /// Deterministic order for printing and golden files: code (errors
-  /// first, since errors are HT1xx), then where, then message.
+  /// Deterministic order for printing and golden files: (pass id,
+  /// location, code, message). Pass-id-first keeps the order byte-stable
+  /// when a pass gains new codes; within the default registration order
+  /// errors (HT1xx passes) still precede warnings.
   void sort();
 };
 

@@ -1,0 +1,578 @@
+#include "analysis/symx/oracle.hpp"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <span>
+#include <sstream>
+#include <variant>
+
+#include "net/bytes.hpp"
+#include "net/headers.hpp"
+#include "net/packet_builder.hpp"
+
+namespace ht::analysis::symx {
+
+namespace {
+
+/// Post-update aggregate of a counter-store entry (CounterStore::apply_func).
+std::uint64_t apply_update(htpr::UpdateFunc func, std::uint64_t current, std::uint64_t inc,
+                           bool fresh) {
+  switch (func) {
+    case htpr::UpdateFunc::kSum:
+      return current + inc;
+    case htpr::UpdateFunc::kCount:
+      return current + 1;
+    case htpr::UpdateFunc::kMax:
+      return fresh ? inc : std::max(current, inc);
+    case htpr::UpdateFunc::kMin:
+      return fresh ? inc : std::min(current, inc);
+    case htpr::UpdateFunc::kDistinct:
+      return 1;
+  }
+  return current;
+}
+
+/// Aggregation shape of one query, mirrored from Receiver::install.
+struct AggShape {
+  std::vector<net::FieldId> keys;
+  htpr::UpdateFunc func = htpr::UpdateFunc::kSum;
+  bool keyed = false;
+  bool has_distinct = false;
+};
+
+AggShape agg_shape(const htpr::QueryConfig& cfg) {
+  AggShape s;
+  std::vector<net::FieldId> keys;
+  for (const auto& op : cfg.ops) {
+    if (const auto* map = std::get_if<htpr::MapOp>(&op)) keys = map->keys;
+    if (std::holds_alternative<htpr::ReduceOp>(op) ||
+        std::holds_alternative<htpr::DistinctOp>(op)) {
+      s.keyed = s.keyed || !keys.empty();
+      if (const auto* red = std::get_if<htpr::ReduceOp>(&op)) s.func = red->func;
+      if (std::holds_alternative<htpr::DistinctOp>(op)) {
+        s.func = htpr::UpdateFunc::kDistinct;
+        s.has_distinct = true;
+      }
+    }
+  }
+  s.keys = std::move(keys);
+  return s;
+}
+
+std::string hex(std::span<const std::uint8_t> bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const auto b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Oracle::Oracle(TaskModel& model) : model_(model) {
+  const std::size_t n = model_.compiled().queries.size();
+  totals_.resize(n);
+  store_state_.resize(n);
+  fifo_records_.resize(model_.compiled().fifos.size());
+  build_injects();
+}
+
+std::vector<std::uint8_t> Oracle::build_packet(
+    const PathInfo& path, const std::map<net::FieldId, std::uint64_t>& fields) const {
+  std::size_t len = 64;
+  const auto lit = fields.find(net::FieldId::kPktLen);
+  if (lit != fields.end()) len = static_cast<std::size_t>(std::min<std::uint64_t>(lit->second, 1500));
+  net::PacketBuilder builder(path.l4, len);
+  const ParserPath* ppath = model_.parser_path(path.l4);
+  for (const auto& [field, value] : fields) {
+    if (!net::is_header_field(field)) continue;
+    const auto h = net::field_header(field);
+    if (ppath != nullptr &&
+        std::find(ppath->headers.begin(), ppath->headers.end(), h) == ppath->headers.end()) {
+      continue;  // header not on this packet's stack
+    }
+    builder.set(field, value);
+  }
+  net::Packet pkt = builder.build();
+  return {pkt.bytes().begin(), pkt.bytes().end()};
+}
+
+InjectCase Oracle::run_inject(const PathInfo& path, std::string path_id,
+                              std::vector<std::uint8_t> bytes, std::uint16_t port,
+                              const std::string& description) {
+  const auto& compiled = model_.compiled();
+  const net::Packet pkt{std::vector<std::uint8_t>(bytes)};
+  const std::uint64_t front = model_.asic().num_ports;
+
+  // The PHV the parser would produce for this packet: header fields on the
+  // packet's parse path read the wire; everything else reads zero except
+  // the metadata deliver()/parse() populate.
+  const ParserPath* ppath = model_.parser_path(path.l4);
+  const auto phv_get = [&](net::FieldId f) -> std::uint64_t {
+    if (net::is_header_field(f)) {
+      const auto h = net::field_header(f);
+      if (ppath != nullptr &&
+          std::find(ppath->headers.begin(), ppath->headers.end(), h) != ppath->headers.end()) {
+        return net::get_field(pkt, f);
+      }
+      return 0;
+    }
+    if (f == net::FieldId::kMetaIngressPort) return port;
+    if (f == net::FieldId::kPktLen) return pkt.size();
+    return 0;  // timestamps/template id/etc. at t=0 on a foreign packet
+  };
+
+  auto mark = [this](RuleKind kind, std::size_t owner, std::size_t sub) {
+    for (auto& r : model_.rules()) {
+      if (r.kind == kind && r.owner == owner && r.sub == sub) r.exercised = true;
+    }
+  };
+
+  InjectCase out;
+  out.path_id = std::move(path_id);
+  out.description = description;
+  out.port = port;
+  out.bytes = std::move(bytes);
+
+  for (std::size_t q = 0; q < compiled.queries.size(); ++q) {
+    const auto& cfg = compiled.queries[q].config;
+    if (cfg.source != htpr::QueryConfig::Source::kReceived) continue;
+    const bool gate = port < front && (cfg.ports.empty() ||
+                                       std::find(cfg.ports.begin(), cfg.ports.end(), port) !=
+                                           cfg.ports.end());
+    if (!gate) continue;
+    mark(RuleKind::kQueryGate, q, 0);
+    ++totals_[q].evaluated;
+
+    if (cfg.integrity.window_field) {
+      const std::uint64_t v = phv_get(*cfg.integrity.window_field);
+      if (v < cfg.integrity.window_lo || v > cfg.integrity.window_hi) {
+        ++totals_[q].out_of_window;
+        continue;
+      }
+    }
+    // verify_checksums never fails: build_packet fixes every checksum.
+
+    const AggShape shape = agg_shape(cfg);
+    std::uint64_t value = 1;
+    std::uint64_t result = 0;
+    bool rejected = false;
+    for (std::size_t j = 0; j < cfg.ops.size() && !rejected; ++j) {
+      const auto& op = cfg.ops[j];
+      if (const auto* filter = std::get_if<htpr::FilterOp>(&op)) {
+        mark(RuleKind::kFilter, q, j);
+        const std::uint64_t lhs = filter->on_result ? result : phv_get(filter->field);
+        if (!htpr::compare(filter->cmp, lhs, filter->value)) rejected = true;
+      } else if (const auto* map = std::get_if<htpr::MapOp>(&op)) {
+        mark(RuleKind::kMapOp, q, j);
+        value = map->value_field ? phv_get(*map->value_field) : 1;
+        if (map->state_index_field && !map->state_register.empty()) {
+          value = 0;  // now(0) - zero-initialized state register
+        } else if (map->minus_field) {
+          const unsigned w = std::min(net::field_width(*map->value_field),
+                                      net::field_width(*map->minus_field));
+          value = (value - phv_get(*map->minus_field)) & net::low_mask(w);
+        }
+      } else if (std::holds_alternative<htpr::ReduceOp>(op) ||
+                 std::holds_alternative<htpr::DistinctOp>(op)) {
+        mark(RuleKind::kAggOp, q, j);
+        const std::uint64_t inc = std::holds_alternative<htpr::DistinctOp>(op) ? 1 : value;
+        if (shape.keyed) {
+          std::vector<std::uint64_t> key;
+          key.reserve(shape.keys.size());
+          for (const auto f : shape.keys) key.push_back(phv_get(f));
+          const auto it = store_state_[q].find(key);
+          const bool fresh = it == store_state_[q].end();
+          const std::uint64_t agg =
+              apply_update(shape.func, fresh ? 0 : it->second, inc, fresh);
+          store_state_[q][key] = agg;
+          if (std::holds_alternative<htpr::ReduceOp>(op)) result = agg;
+          if (std::holds_alternative<htpr::DistinctOp>(op)) result = agg;
+          const auto& exact = compiled.queries[q].exact_keys;
+          const auto kit = std::find(exact.begin(), exact.end(), key);
+          if (kit != exact.end()) {
+            mark(RuleKind::kExactKey, q,
+                 static_cast<std::size_t>(std::distance(exact.begin(), kit)));
+          }
+          out.stores.push_back({q, key, agg});
+        } else if (std::holds_alternative<htpr::ReduceOp>(op)) {
+          totals_[q].keyless_total += value;
+          result = totals_[q].keyless_total;
+        }
+      }
+    }
+    if (!rejected) {
+      ++totals_[q].matched;
+      for (std::size_t w = 0; w < compiled.fifos.size(); ++w) {
+        if (compiled.fifos[w].query_index != q) continue;
+        std::vector<std::uint64_t> record;
+        record.reserve(compiled.fifos[w].lanes.size());
+        for (const auto lane : compiled.fifos[w].lanes) record.push_back(phv_get(lane));
+        fifo_records_[w].push_back(std::move(record));
+      }
+    }
+    if (shape.keyed && shape.has_distinct) {
+      out.distinct.push_back({q, store_state_[q].size()});
+    }
+  }
+
+  out.totals = totals_;
+  out.drops_after = ++drops_;
+  return out;
+}
+
+void Oracle::build_injects() {
+  const auto& compiled = model_.compiled();
+
+  for (const auto& path : model_.paths()) {
+    if (path.sent || !path.feasible || path.query == SIZE_MAX) continue;
+    const auto witness = path.cube.witness();
+    injects_.push_back(run_inject(path, path.id, build_packet(path, witness), path.port,
+                                  path.description));
+  }
+
+  // Aggregation depth + key variants: re-inject every keyed query's pass
+  // witness (the aggregate must advance, not reset), and a second key when
+  // the pass cube admits one (distinct counts must reach 2).
+  for (std::size_t q = 0; q < compiled.queries.size(); ++q) {
+    const auto& cfg = compiled.queries[q].config;
+    if (cfg.source != htpr::QueryConfig::Source::kReceived) continue;
+    const AggShape shape = agg_shape(cfg);
+    const PathInfo* pass = nullptr;
+    for (const auto& path : model_.paths()) {
+      if (path.query == q && path.feasible && !path.sent &&
+          path.id == "query[" + std::to_string(q) + "]/pass") {
+        pass = &path;
+      }
+    }
+    if (pass == nullptr || !shape.keyed) continue;
+    const auto witness = pass->cube.witness();
+    injects_.push_back(run_inject(*pass, pass->id + "#2", build_packet(*pass, witness),
+                                  pass->port, "aggregation depth: repeat the pass witness"));
+    for (const auto f : shape.keys) {
+      if (!net::is_header_field(f)) continue;
+      const IntervalSet set = pass->cube.get(f);
+      if (set.count() < 2) continue;
+      auto variant = witness;
+      variant[f] = set.value_at(1);
+      injects_.push_back(run_inject(*pass, pass->id + "/key-variant",
+                                    build_packet(*pass, variant), pass->port,
+                                    "second grouping key on " +
+                                        std::string(net::field_name(f))));
+      break;
+    }
+  }
+
+  // Exact-key-matching entries: one inject per installed collision key.
+  for (std::size_t q = 0; q < compiled.queries.size(); ++q) {
+    const auto& cfg = compiled.queries[q].config;
+    if (cfg.source != htpr::QueryConfig::Source::kReceived) continue;
+    const AggShape shape = agg_shape(cfg);
+    if (!shape.keyed) continue;
+    const PathInfo* pass = nullptr;
+    for (const auto& path : model_.paths()) {
+      if (path.query == q && path.feasible && !path.sent &&
+          path.id == "query[" + std::to_string(q) + "]/pass") {
+        pass = &path;
+      }
+    }
+    if (pass == nullptr) continue;
+    const auto& exact = compiled.queries[q].exact_keys;
+    for (std::size_t k = 0; k < exact.size() && k < 8; ++k) {
+      if (exact[k].size() != shape.keys.size()) continue;
+      auto witness = pass->cube.witness();
+      bool wire = true;
+      for (std::size_t i = 0; i < shape.keys.size(); ++i) {
+        if (!net::is_header_field(shape.keys[i])) {
+          wire = false;
+          break;
+        }
+        witness[shape.keys[i]] = exact[k][i];
+      }
+      if (!wire) continue;
+      injects_.push_back(run_inject(*pass, pass->id + "/exact-key[" + std::to_string(k) + "]",
+                                    build_packet(*pass, witness), pass->port,
+                                    "exact-key-matching table entry " + std::to_string(k)));
+    }
+  }
+}
+
+std::vector<ReplicaExpect> Oracle::replicas(
+    std::size_t t, std::uint64_t fires,
+    const std::vector<std::vector<std::uint64_t>>* records) const {
+  const auto& tpl = model_.compiled().templates[t];
+  const net::Packet base = tpl.spec.materialize();
+  EditStream stream(tpl);
+  std::vector<ReplicaExpect> out;
+  // Three don't-care samples: if a byte agrees across all three, the
+  // oracle pins it (checksum propagation of RNG/timestamp edits falls out
+  // of the comparison automatically).
+  const auto sample = [](std::size_t i, net::FieldId f) -> std::uint64_t {
+    const std::uint64_t m = net::field_mask(f);
+    if (i == 0) return 0;
+    if (i == 1) return m;
+    return 0x5A5A5A5A5A5A5A5AULL & m;
+  };
+  for (std::uint64_t f = 0; f < fires; ++f) {
+    const std::vector<std::uint64_t>* rec =
+        records != nullptr && f < records->size() ? &(*records)[f] : nullptr;
+    for (const auto port : tpl.egress_ports) {
+      const EditStream::Step step = stream.next(rec);
+      std::array<net::Packet, 3> pkts{base, base, base};
+      for (std::size_t i = 0; i < 3; ++i) {
+        for (const auto& [field, v] : step.values) net::set_field(pkts[i], field, v);
+        for (const auto field : step.dont_care) net::set_field(pkts[i], field, sample(i, field));
+        net::fix_checksums(pkts[i]);
+      }
+      ReplicaExpect r;
+      r.fire = f;
+      r.port = port;
+      r.bytes.assign(pkts[0].bytes().begin(), pkts[0].bytes().end());
+      r.care.assign(r.bytes.size(), 1);
+      for (std::size_t b = 0; b < r.bytes.size(); ++b) {
+        if (pkts[1].bytes()[b] != r.bytes[b] || pkts[2].bytes()[b] != r.bytes[b]) r.care[b] = 0;
+      }
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+SentTotals Oracle::sent_totals(std::size_t q, std::uint64_t evaluated) {
+  const auto& compiled = model_.compiled();
+  const auto& cfg = compiled.queries[q].config;
+  const std::size_t t = cfg.template_id;
+  const auto& tpl = compiled.templates[t];
+  const net::Packet base = tpl.spec.materialize();
+  const AggShape shape = agg_shape(cfg);
+  const std::size_t nports = std::max<std::size_t>(tpl.egress_ports.size(), 1);
+
+  // The fifo records feeding a triggered template, flattened per fire.
+  const std::vector<std::vector<std::uint64_t>>* records = nullptr;
+  for (std::size_t w = 0; w < compiled.fifos.size(); ++w) {
+    if (compiled.fifos[w].trigger_index == t) records = &fifo_records_[w];
+  }
+
+  auto mark = [this](RuleKind kind, std::size_t owner, std::size_t sub) {
+    for (auto& r : model_.rules()) {
+      if (r.kind == kind && r.owner == owner && r.sub == sub) r.exercised = true;
+    }
+  };
+
+  const ParserPath* ppath = model_.parser_path(tpl.spec.l4);
+  EditStream stream(tpl);
+  SentTotals out;
+  out.evaluated = evaluated;
+  std::map<std::vector<std::uint64_t>, std::uint64_t> store;
+  if (evaluated > 0) mark(RuleKind::kQueryGate, q, 0);
+
+  for (std::uint64_t r = 0; r < evaluated; ++r) {
+    const std::uint64_t fire = r / nports;
+    const std::vector<std::uint64_t>* rec =
+        records != nullptr && fire < records->size() ? &(*records)[fire] : nullptr;
+    const EditStream::Step step = stream.next(rec);
+    const std::uint16_t port = tpl.egress_ports.empty()
+                                   ? std::uint16_t{0}
+                                   : tpl.egress_ports[r % nports];
+
+    // nullopt = a runtime (RNG/timestamp) value the oracle cannot pin.
+    const auto phv_get = [&](net::FieldId f) -> std::optional<std::uint64_t> {
+      for (const auto& [field, v] : step.values) {
+        if (field == f) return v;
+      }
+      if (std::find(step.dont_care.begin(), step.dont_care.end(), f) != step.dont_care.end()) {
+        return std::nullopt;
+      }
+      if (f == net::FieldId::kMetaEgressPort) return port;
+      if (f == net::FieldId::kMetaTemplateId) return t;
+      if (f == net::FieldId::kMetaPacketId) return r;
+      if (f == net::FieldId::kPktLen) return base.size();
+      if (net::is_header_field(f)) {
+        const auto h = net::field_header(f);
+        if (ppath != nullptr &&
+            std::find(ppath->headers.begin(), ppath->headers.end(), h) != ppath->headers.end()) {
+          return net::get_field(base, f);
+        }
+        return std::uint64_t{0};
+      }
+      return std::nullopt;  // ingress metadata / timestamps on a replica
+    };
+
+    std::uint64_t value = 1;
+    std::optional<std::uint64_t> result = 0;
+    bool rejected = false;
+    for (std::size_t j = 0; j < cfg.ops.size() && !rejected; ++j) {
+      const auto& op = cfg.ops[j];
+      if (const auto* filter = std::get_if<htpr::FilterOp>(&op)) {
+        mark(RuleKind::kFilter, q, j);
+        std::optional<std::uint64_t> lhs = filter->on_result ? result : phv_get(filter->field);
+        if (!lhs) {
+          out.matched_exact = false;
+          out.total_exact = false;  // optimistic pass; downstream diverges
+        } else if (!htpr::compare(filter->cmp, *lhs, filter->value)) {
+          rejected = true;
+        }
+      } else if (const auto* map = std::get_if<htpr::MapOp>(&op)) {
+        mark(RuleKind::kMapOp, q, j);
+        std::optional<std::uint64_t> v = map->value_field ? phv_get(*map->value_field)
+                                                          : std::optional<std::uint64_t>{1};
+        if (map->state_index_field || map->minus_field ||
+            (map->value_field && !v)) {
+          out.total_exact = false;  // timestamp-derived value
+          v = std::nullopt;
+        }
+        value = v.value_or(0);
+        if (!v) result = std::nullopt;
+      } else if (std::holds_alternative<htpr::ReduceOp>(op) ||
+                 std::holds_alternative<htpr::DistinctOp>(op)) {
+        mark(RuleKind::kAggOp, q, j);
+        const std::uint64_t inc = std::holds_alternative<htpr::DistinctOp>(op) ? 1 : value;
+        if (shape.keyed) {
+          std::vector<std::uint64_t> key;
+          bool known = true;
+          for (const auto f : shape.keys) {
+            const auto kv = phv_get(f);
+            if (!kv) known = false;
+            key.push_back(kv.value_or(0));
+          }
+          if (!known) {
+            out.matched_exact = false;
+            out.total_exact = false;
+            result = std::nullopt;
+          } else {
+            const auto it = store.find(key);
+            const bool fresh = it == store.end();
+            const std::uint64_t agg = apply_update(shape.func, fresh ? 0 : it->second, inc, fresh);
+            store[key] = agg;
+            result = agg;
+          }
+        } else if (std::holds_alternative<htpr::ReduceOp>(op)) {
+          out.keyless_total += value;
+          result = out.keyless_total;
+        }
+      }
+    }
+    if (!rejected) ++out.matched;
+  }
+  return out;
+}
+
+void Oracle::mark_template_exercised(std::size_t t, bool with_records) {
+  const auto& tpl = model_.compiled().templates[t];
+  for (auto& r : model_.rules()) {
+    if (r.owner != t) continue;
+    if (r.kind == RuleKind::kSenderEntry) r.exercised = true;
+    if (r.kind == RuleKind::kEdit) {
+      const bool trig = tpl.edits[r.sub].kind == htps::EditOp::Kind::kFromTrigger;
+      if (!trig || with_records) r.exercised = true;
+    }
+  }
+}
+
+Coverage Oracle::coverage() const {
+  Coverage c;
+  for (const auto& p : model_.paths()) {
+    ++c.paths_total;
+    if (p.feasible) {
+      ++c.paths_feasible;
+    } else {
+      ++c.paths_infeasible;
+    }
+  }
+  for (const auto& r : model_.rules()) {
+    ++c.rules_total;
+    if (r.exercised) {
+      ++c.rules_exercised;
+    } else {
+      c.unexercised.push_back(r.id);
+    }
+  }
+  return c;
+}
+
+std::string Oracle::coverage_json(const std::string& task_name) const {
+  const Coverage c = coverage();
+  std::ostringstream os;
+  os << "{\"task\":\"" << json_escape(task_name) << "\""
+     << ",\"paths_total\":" << c.paths_total << ",\"paths_feasible\":" << c.paths_feasible
+     << ",\"paths_infeasible\":" << c.paths_infeasible << ",\"rules_total\":" << c.rules_total
+     << ",\"rules_exercised\":" << c.rules_exercised << ",\"unexercised\":[";
+  for (std::size_t i = 0; i < c.unexercised.size(); ++i) {
+    os << (i != 0 ? "," : "") << "\"" << json_escape(c.unexercised[i]) << "\"";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Oracle::suite_json(const std::string& task_name) const {
+  std::ostringstream os;
+  os << "{\"task\":\"" << json_escape(task_name) << "\",\"injects\":[";
+  for (std::size_t i = 0; i < injects_.size(); ++i) {
+    const auto& c = injects_[i];
+    os << (i != 0 ? "," : "") << "{\"path\":\"" << json_escape(c.path_id) << "\""
+       << ",\"description\":\"" << json_escape(c.description) << "\""
+       << ",\"port\":" << c.port << ",\"bytes\":\"" << hex(c.bytes) << "\""
+       << ",\"drops_after\":" << c.drops_after << ",\"queries\":[";
+    for (std::size_t q = 0; q < c.totals.size(); ++q) {
+      const auto& t = c.totals[q];
+      os << (q != 0 ? "," : "") << "{\"evaluated\":" << t.evaluated
+         << ",\"matched\":" << t.matched << ",\"keyless_total\":" << t.keyless_total
+         << ",\"out_of_window\":" << t.out_of_window << "}";
+    }
+    os << "],\"stores\":[";
+    for (std::size_t s = 0; s < c.stores.size(); ++s) {
+      os << (s != 0 ? "," : "") << "{\"query\":" << c.stores[s].query << ",\"key\":[";
+      for (std::size_t k = 0; k < c.stores[s].key.size(); ++k) {
+        os << (k != 0 ? "," : "") << c.stores[s].key[k];
+      }
+      os << "],\"value\":" << c.stores[s].value << "}";
+    }
+    os << "],\"distinct\":[";
+    for (std::size_t d = 0; d < c.distinct.size(); ++d) {
+      os << (d != 0 ? "," : "") << "{\"query\":" << c.distinct[d].first
+         << ",\"count\":" << c.distinct[d].second << "}";
+    }
+    os << "]}";
+  }
+  os << "],\"templates\":[";
+  const auto& compiled = model_.compiled();
+  for (std::size_t t = 0; t < compiled.templates.size(); ++t) {
+    const std::vector<std::vector<std::uint64_t>>* records = nullptr;
+    for (std::size_t w = 0; w < compiled.fifos.size(); ++w) {
+      if (compiled.fifos[w].trigger_index == t) records = &fifo_records_[w];
+    }
+    std::uint64_t fires = 4;
+    if (records != nullptr) fires = std::min<std::uint64_t>(fires, records->size());
+    const auto reps = replicas(t, fires, records);
+    os << (t != 0 ? "," : "") << "{\"template\":" << t << ",\"replicas\":[";
+    for (std::size_t r = 0; r < reps.size(); ++r) {
+      os << (r != 0 ? "," : "") << "{\"fire\":" << reps[r].fire << ",\"port\":" << reps[r].port
+         << ",\"bytes\":\"" << hex(reps[r].bytes) << "\",\"care\":\"" << hex(reps[r].care)
+         << "\"}";
+    }
+    os << "]}";
+  }
+  os << "],\"coverage\":" << coverage_json(task_name) << "}";
+  return os.str();
+}
+
+}  // namespace ht::analysis::symx

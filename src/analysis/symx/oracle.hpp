@@ -1,0 +1,147 @@
+// The conformance oracle: turns a TaskModel's feasible paths into concrete
+// packets with fully predicted outcomes.
+//
+// Received-side paths become InjectCases — wire bytes to deliver on a
+// front-panel port at t=0 plus the exact cumulative counter state every
+// query must show afterwards (evaluated/matched/keyless totals, per-key
+// store values, distinct counts, trigger-FIFO records). Sent-side paths
+// become ReplicaExpects — the exact bytes every editor-produced replica
+// carries, with a per-byte care mask excluding RNG- and timestamp-driven
+// fields (and any checksum bytes they influence).
+//
+// The oracle mirrors htpr::Receiver::query_action and the htps editor
+// semantics operator-for-operator; the conformance test replays its
+// predictions through the interpreted RMT model and diffs byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/symx/model.hpp"
+
+namespace ht::analysis::symx {
+
+/// Cumulative expected counters of one query after an inject.
+struct QueryTotals {
+  std::uint64_t evaluated = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t keyless_total = 0;
+  std::uint64_t checksum_fails = 0;
+  std::uint64_t out_of_window = 0;
+};
+
+/// Expected per-key aggregate of a keyed query after an inject.
+struct StoreExpect {
+  std::size_t query = 0;
+  std::vector<std::uint64_t> key;
+  std::uint64_t value = 0;
+};
+
+/// One conformance packet: deliver `bytes` on `port` at t=0 and expect
+/// exactly the cumulative state below (injected packets always drop — the
+/// testbed has no forwarding rules — so the ASIC drop counter advances by
+/// one per inject).
+struct InjectCase {
+  std::string path_id;
+  std::string description;
+  std::uint16_t port = 0;
+  std::vector<std::uint8_t> bytes;
+  std::vector<QueryTotals> totals;  ///< per query, cumulative after this inject
+  std::vector<StoreExpect> stores;
+  std::vector<std::pair<std::size_t, std::uint64_t>> distinct;  ///< (query, count)
+  std::uint64_t drops_after = 0;  ///< cumulative ASIC drop counter
+};
+
+/// Expected bytes of one editor-produced replica. `care[i]` is nonzero for
+/// bytes the oracle pins down; bytes driven by RNG/timestamps (and the
+/// checksums they feed) are excluded.
+struct ReplicaExpect {
+  std::uint64_t fire = 0;  ///< fire ordinal of the owning template
+  std::uint16_t port = 0;
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::uint8_t> care;
+};
+
+/// Expected sent-query counters after `evaluated` replicas. The *_exact
+/// flags drop when an operator reads an RNG/timestamp field the oracle
+/// cannot predict.
+struct SentTotals {
+  std::uint64_t evaluated = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t keyless_total = 0;
+  bool matched_exact = true;
+  bool total_exact = true;
+};
+
+struct Coverage {
+  std::size_t paths_total = 0;
+  std::size_t paths_feasible = 0;
+  std::size_t paths_infeasible = 0;
+  std::size_t rules_total = 0;
+  std::size_t rules_exercised = 0;
+  std::vector<std::string> unexercised;
+};
+
+class Oracle {
+ public:
+  explicit Oracle(TaskModel& model);
+
+  const std::vector<InjectCase>& injects() const { return injects_; }
+
+  /// Trigger-FIFO records the inject plan pushes into wiring `w`
+  /// (index into CompiledTask::fifos), in FIFO order.
+  const std::vector<std::vector<std::uint64_t>>& fifo_records(std::size_t w) const {
+    return fifo_records_.at(w);
+  }
+
+  /// Expected replicas of template `t` for its first `fires` fires, in
+  /// emission order (one replica per egress port per fire). `records`
+  /// supplies the bridged trigger record of each fire for FIFO-triggered
+  /// templates (null for timer templates).
+  std::vector<ReplicaExpect> replicas(
+      std::size_t t, std::uint64_t fires,
+      const std::vector<std::vector<std::uint64_t>>* records = nullptr) const;
+
+  /// Expected counters of sent query `q` after `evaluated` replicas of its
+  /// template. Marks the query's rules exercised as the simulated stream
+  /// reaches them.
+  SentTotals sent_totals(std::size_t q, std::uint64_t evaluated);
+
+  /// Mark a template's replicator entry and edits exercised (called by the
+  /// test once the replica stream has been replayed and verified).
+  /// kFromTrigger edits count only when a record-fed fire was verified.
+  void mark_template_exercised(std::size_t t, bool with_records);
+
+  Coverage coverage() const;
+
+  /// The full ConformanceSuite as JSON (what `ntapi_cli testgen` prints):
+  /// inject cases, expected replica prefixes, and the coverage block.
+  std::string suite_json(const std::string& task_name) const;
+  std::string coverage_json(const std::string& task_name) const;
+
+  TaskModel& model() { return model_; }
+
+ private:
+  void build_injects();
+  InjectCase run_inject(const PathInfo& path, std::string path_id,
+                        std::vector<std::uint8_t> bytes, std::uint16_t port,
+                        const std::string& description);
+  std::vector<std::uint8_t> build_packet(const PathInfo& path,
+                                         const std::map<net::FieldId, std::uint64_t>& fields)
+      const;
+
+  TaskModel& model_;
+  std::vector<InjectCase> injects_;
+  std::vector<std::vector<std::vector<std::uint64_t>>> fifo_records_;
+
+  // Cumulative interpreter state across the inject plan.
+  std::vector<QueryTotals> totals_;
+  /// Per query: key -> (aggregate, seen); mirrors the counter store with
+  /// the catalog-scale assumption that collisions resolve exactly.
+  std::vector<std::map<std::vector<std::uint64_t>, std::uint64_t>> store_state_;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace ht::analysis::symx

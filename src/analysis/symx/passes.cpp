@@ -1,0 +1,106 @@
+// Symx-backed lint passes (HT204, HT301/302/303). These run inside the
+// default analyzer, so every ntapi::Compiler::compile carries their
+// findings; `ntapi_cli lint` surfaces them as warnings.
+#include <string>
+#include <variant>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/symx/model.hpp"
+#include "rmt/parser.hpp"
+
+namespace ht::analysis {
+
+namespace {
+
+std::string qwhere(std::size_t q) { return "query[" + std::to_string(q) + "]"; }
+
+}  // namespace
+
+void ShadowedRulePass::run(const AnalysisInput& in, AnalysisReport& out) const {
+  for (std::size_t q = 0; q < in.compiled.queries.size(); ++q) {
+    const auto& cfg = in.compiled.queries[q].config;
+    // The filters compile to a priority-ordered rule chain; a filter whose
+    // pass set already contains everything the earlier filters let through
+    // can never reject a packet — its reject rule is fully covered by the
+    // earlier rules' key space.
+    symx::Cube cube;
+    for (std::size_t j = 0; j < cfg.ops.size(); ++j) {
+      const auto* f = std::get_if<htpr::FilterOp>(&cfg.ops[j]);
+      if (f == nullptr || f->on_result) continue;
+      const unsigned w = net::field_width(f->field);
+      const symx::IntervalSet pass = symx::IntervalSet::from_cmp(f->cmp, f->value, w);
+      const symx::IntervalSet prior = cube.get(f->field);
+      if (prior.empty()) break;  // contradictory earlier filters: HT201's case
+      if (prior.subset_of(pass)) {
+        out.diagnostics.push_back(
+            {Severity::kWarning, "HT204", qwhere(q),
+             "filter op[" + std::to_string(j) + "] on " +
+                 std::string(net::field_name(f->field)) +
+                 " is shadowed: every packet the earlier filters admit already satisfies it",
+             "remove the redundant filter or tighten its comparison"});
+      }
+      if (!cube.meet(f->field, pass)) break;
+    }
+  }
+}
+
+void SymxCoveragePass::run(const AnalysisInput& in, AnalysisReport& out) const {
+  symx::TaskModel model(in.task, in.compiled, in.asic);
+
+  // HT303: parser states no walk from the entry reaches.
+  for (const auto& state : symx::unreachable_parser_states(rmt::Parser::default_graph())) {
+    out.diagnostics.push_back({Severity::kWarning, "HT303", "parser",
+                               "parser state '" + state + "' is unreachable from the entry state",
+                               "remove the state or add a transition to it"});
+  }
+
+  for (std::size_t q = 0; q < in.compiled.queries.size(); ++q) {
+    // HT301: the symbolic walk found no packet that survives every
+    // operator — the query's match rules are dead. Suppressed when the
+    // dead-entry pass already pinpointed the contradiction (HT201/HT202).
+    if (model.feasible_match_paths(q) == 0) {
+      bool flagged = false;
+      for (const auto& d : out.diagnostics) {
+        if ((d.code == "HT201" || d.code == "HT202") && d.where == qwhere(q)) flagged = true;
+      }
+      if (!flagged) {
+        out.diagnostics.push_back(
+            {Severity::kWarning, "HT301", qwhere(q),
+             "symbolic walk found no feasible matching path: the query can never match",
+             "check the filter chain against the monitored traffic"});
+      }
+      continue;
+    }
+
+    // HT302: a precomputed exact-key entry whose key value lies outside
+    // the pass-path key space — the entry can never be hit.
+    const auto& cq = in.compiled.queries[q];
+    if (cq.config.source != htpr::QueryConfig::Source::kReceived) continue;
+    std::vector<net::FieldId> keys;
+    for (const auto& op : cq.config.ops) {
+      if (const auto* m = std::get_if<htpr::MapOp>(&op)) keys = m->keys;
+    }
+    if (keys.empty() || cq.exact_keys.empty()) continue;
+    const symx::PathInfo* pass = nullptr;
+    for (const auto& p : model.paths()) {
+      if (p.query == q && p.id == qwhere(q) + "/pass") pass = &p;
+    }
+    if (pass == nullptr || !pass->feasible) continue;
+    for (std::size_t k = 0; k < cq.exact_keys.size(); ++k) {
+      if (cq.exact_keys[k].size() != keys.size()) continue;
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (!model.field_extracted(model.query_l4(q), keys[i])) continue;
+        if (!pass->cube.get(keys[i]).contains(cq.exact_keys[k][i])) {
+          out.diagnostics.push_back(
+              {Severity::kWarning, "HT302", qwhere(q),
+               "exact-key entry " + std::to_string(k) + " lies outside the feasible key space on " +
+                   std::string(net::field_name(keys[i])),
+               "the entry can never be hit; drop it or widen the filters"});
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ht::analysis

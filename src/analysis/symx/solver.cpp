@@ -1,0 +1,234 @@
+#include "analysis/symx/solver.hpp"
+
+#include <algorithm>
+
+namespace ht::analysis::symx {
+
+// --- IntervalSet -------------------------------------------------------------
+
+IntervalSet IntervalSet::range(std::uint64_t lo, std::uint64_t hi) {
+  IntervalSet s;
+  if (lo <= hi) s.intervals_.push_back({lo, hi});
+  return s;
+}
+
+IntervalSet IntervalSet::from_cmp(htpr::Cmp cmp, std::uint64_t value, unsigned width) {
+  const std::uint64_t dmax = domain_max(width);
+  switch (cmp) {
+    case htpr::Cmp::kEq:
+      return value <= dmax ? singleton(value) : none();
+    case htpr::Cmp::kNe:
+      return value <= dmax ? singleton(value).complement(width) : full(width);
+    case htpr::Cmp::kLt:
+      return value == 0 ? none() : range(0, std::min(value - 1, dmax));
+    case htpr::Cmp::kLe:
+      return range(0, std::min(value, dmax));
+    case htpr::Cmp::kGt:
+      return value >= dmax ? none() : range(value + 1, dmax);
+    case htpr::Cmp::kGe:
+      return value > dmax ? none() : range(value, dmax);
+  }
+  return none();
+}
+
+IntervalSet IntervalSet::stepped(std::uint64_t start, std::uint64_t end, std::uint64_t step,
+                                 std::size_t cap) {
+  if (end < start) return none();
+  if (step <= 1) return range(start, end);
+  const std::uint64_t points = (end - start) / step + 1;
+  if (points > cap) {
+    IntervalSet s = range(start, end);
+    s.exact_ = false;  // over-approximation: the holes between steps are kept
+    return s;
+  }
+  IntervalSet s;
+  for (std::uint64_t k = 0; k < points; ++k) {
+    const std::uint64_t v = start + k * step;
+    s.intervals_.push_back({v, v});
+  }
+  return s;
+}
+
+void IntervalSet::insert(std::uint64_t lo, std::uint64_t hi) {
+  // Find the insertion window, merging every interval that overlaps or is
+  // adjacent to [lo, hi].
+  std::vector<Interval> out;
+  out.reserve(intervals_.size() + 1);
+  bool placed = false;
+  for (const auto& [a, b] : intervals_) {
+    const bool before = b < lo && lo - b > 1;   // strictly left, non-adjacent
+    const bool after = hi < a && a - hi > 1;    // strictly right, non-adjacent
+    if (before) {
+      out.push_back({a, b});
+    } else if (after) {
+      if (!placed) {
+        out.push_back({lo, hi});
+        placed = true;
+      }
+      out.push_back({a, b});
+    } else {
+      lo = std::min(lo, a);
+      hi = std::max(hi, b);
+    }
+  }
+  if (!placed) out.push_back({lo, hi});
+  intervals_ = std::move(out);
+}
+
+bool IntervalSet::contains(std::uint64_t v) const {
+  for (const auto& [a, b] : intervals_) {
+    if (v < a) return false;
+    if (v <= b) return true;
+  }
+  return false;
+}
+
+std::uint64_t IntervalSet::count() const {
+  std::uint64_t n = 0;
+  for (const auto& [a, b] : intervals_) {
+    const std::uint64_t span = b - a;
+    if (span == ~std::uint64_t{0} || n + span + 1 < n) return ~std::uint64_t{0};
+    n += span + 1;
+  }
+  return n;
+}
+
+std::uint64_t IntervalSet::value_at(std::uint64_t k) const {
+  for (const auto& [a, b] : intervals_) {
+    const std::uint64_t span = b - a;
+    if (k <= span) return a + k;
+    k -= span + 1;
+  }
+  return max();
+}
+
+void IntervalSet::union_with(const IntervalSet& other) {
+  exact_ = exact_ && other.exact_;
+  for (const auto& [a, b] : other.intervals_) insert(a, b);
+}
+
+void IntervalSet::intersect_with(const IntervalSet& other) {
+  exact_ = exact_ && other.exact_;
+  std::vector<Interval> out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    const auto& [a1, b1] = intervals_[i];
+    const auto& [a2, b2] = other.intervals_[j];
+    const std::uint64_t lo = std::max(a1, a2);
+    const std::uint64_t hi = std::min(b1, b2);
+    if (lo <= hi) out.push_back({lo, hi});
+    if (b1 < b2) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  intervals_ = std::move(out);
+}
+
+IntervalSet IntervalSet::complement(unsigned width) const {
+  const std::uint64_t dmax = domain_max(width);
+  IntervalSet out;
+  out.exact_ = exact_;
+  std::uint64_t next = 0;
+  bool open = true;  // [next, ...] still uncovered
+  for (const auto& [a, b] : intervals_) {
+    if (a > next) out.intervals_.push_back({next, a - 1});
+    if (b >= dmax) {
+      open = false;
+      break;
+    }
+    next = b + 1;
+  }
+  if (open && next <= dmax) out.intervals_.push_back({next, dmax});
+  return out;
+}
+
+bool IntervalSet::subset_of(const IntervalSet& other) const {
+  std::size_t j = 0;
+  for (const auto& [a, b] : intervals_) {
+    while (j < other.intervals_.size() && other.intervals_[j].second < a) ++j;
+    if (j >= other.intervals_.size()) return false;
+    if (other.intervals_[j].first > a || other.intervals_[j].second < b) return false;
+  }
+  return true;
+}
+
+// --- Cube --------------------------------------------------------------------
+
+bool Cube::meet(net::FieldId field, const IntervalSet& set) {
+  auto it = fields_.find(field);
+  if (it == fields_.end()) {
+    it = fields_.emplace(field, IntervalSet::full(net::field_width(field))).first;
+  }
+  it->second.intersect_with(set);
+  if (it->second.empty()) feasible_ = false;
+  return feasible_;
+}
+
+IntervalSet Cube::get(net::FieldId field) const {
+  const auto it = fields_.find(field);
+  if (it != fields_.end()) return it->second;
+  return IntervalSet::full(net::field_width(field));
+}
+
+std::map<net::FieldId, std::uint64_t> Cube::witness() const {
+  std::map<net::FieldId, std::uint64_t> out;
+  for (const auto& [field, set] : fields_) {
+    if (!set.empty()) out[field] = set.min();
+  }
+  return out;
+}
+
+// --- rule cover / shadow -----------------------------------------------------
+
+bool covers(const rmt::KeyMatch& a, const rmt::KeyMatch& b, rmt::MatchKind kind,
+            unsigned width) {
+  switch (kind) {
+    case rmt::MatchKind::kExact:
+      return a.value == b.value;
+    case rmt::MatchKind::kTernary:
+      // a matches a superset iff it cares about fewer bits, agreeing on
+      // the ones it does care about.
+      return (a.mask & ~b.mask) == 0 && ((a.value ^ b.value) & a.mask) == 0;
+    case rmt::MatchKind::kRange:
+      return a.value <= b.value && b.high <= a.high;
+    case rmt::MatchKind::kLpm: {
+      if (a.prefix_len > b.prefix_len || a.prefix_len > width) return false;
+      if (a.prefix_len == 0) return true;
+      const unsigned shift = width - a.prefix_len;
+      return shift >= 64 || ((a.value ^ b.value) >> shift) == 0;
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> shadowed_rules(
+    const std::vector<rmt::MatchSpec>& key, const std::vector<SymRule>& rules) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t j = 0; j < rules.size(); ++j) {
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (i == j) continue;
+      // `i` wins over `j` on any packet both match: strictly higher
+      // priority, or first-installed at equal priority.
+      const bool wins = rules[i].priority > rules[j].priority ||
+                        (rules[i].priority == rules[j].priority && i < j);
+      if (!wins || rules[i].keys.size() != key.size() || rules[j].keys.size() != key.size()) {
+        continue;
+      }
+      bool all = true;
+      for (std::size_t k = 0; all && k < key.size(); ++k) {
+        all = covers(rules[i].keys[k], rules[j].keys[k], key[k].kind,
+                     net::field_width(key[k].field));
+      }
+      if (all) {
+        out.push_back({i, j});
+        break;  // one shadower per shadowed rule
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ht::analysis::symx

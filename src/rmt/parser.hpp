@@ -47,6 +47,11 @@ class Parser {
 
   std::size_t state_count() const { return states_.size(); }
 
+  /// Read-only view of the parse graph, for static analysis (the symbolic
+  /// path oracle walks states/transitions without ever parsing a packet).
+  const std::unordered_map<std::string, ParseState>& states() const { return states_; }
+  const std::string& entry() const { return entry_; }
+
  private:
   /// Resolve state names to indices once; parse() then runs index-only.
   void finalize() const;

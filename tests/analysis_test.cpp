@@ -289,6 +289,80 @@ TEST(Analysis, FilterInsideRangeHoleIsHT202) {
 }
 
 // ---------------------------------------------------------------------------
+// HT204: shadowed rules (a filter that can never reject)
+
+TEST(Analysis, RedundantFilterIsHT204) {
+  // The second filter's pass set contains everything the first lets
+  // through: its reject rule is fully covered and can never hit.
+  ntapi::Task task("redundant");
+  task.add_query(ntapi::Query()
+                     .filter(FieldId::kTcpSport, htpr::Cmp::kGt, 100)
+                     .filter(FieldId::kTcpSport, htpr::Cmp::kGt, 50));
+  const auto compiled = Compiler().compile(task);  // warnings only
+  EXPECT_TRUE(has_code(compiled.analysis, "HT204"));
+  EXPECT_FALSE(compiled.analysis.has_errors());
+}
+
+TEST(Analysis, ContradictionIsNotHT204) {
+  // Contradictory filters are HT201's finding — the second filter rejects
+  // *everything* reaching it, the opposite of a shadowed (never-reject)
+  // rule.
+  ntapi::Task task("contra");
+  task.add_query(ntapi::Query()
+                     .filter(FieldId::kTcpSport, htpr::Cmp::kGt, 100)
+                     .filter(FieldId::kTcpSport, htpr::Cmp::kLt, 50));
+  const auto compiled = Compiler().compile(task);
+  EXPECT_TRUE(has_code(compiled.analysis, "HT201"));
+  EXPECT_FALSE(has_code(compiled.analysis, "HT204"));
+}
+
+// ---------------------------------------------------------------------------
+// HT301/HT302: symbolic path coverage
+
+TEST(Analysis, ParserConflictingFilterIsHT301) {
+  // Individually satisfiable filters, but the UDP parse path pins
+  // ipv4.proto = 17 — no packet reaches the match action. HT201 cannot
+  // see this (the filters don't contradict each other), the symbolic
+  // walk can.
+  ntapi::Task task("deadpath");
+  task.add_query(ntapi::Query()
+                     .filter(FieldId::kIpv4Proto, htpr::Cmp::kEq, 1)
+                     .filter(FieldId::kUdpDport, htpr::Cmp::kEq, 53));
+  const auto compiled = Compiler().compile(task);
+  EXPECT_TRUE(has_code(compiled.analysis, "HT301"));
+  EXPECT_FALSE(compiled.analysis.has_errors());
+}
+
+TEST(Analysis, HT301SuppressedWhenHT201Flagged) {
+  ntapi::Task task("contra2");
+  task.add_query(ntapi::Query()
+                     .filter(FieldId::kTcpSport, htpr::Cmp::kGt, 100)
+                     .filter(FieldId::kTcpSport, htpr::Cmp::kLt, 50));
+  const auto compiled = Compiler().compile(task);
+  EXPECT_TRUE(has_code(compiled.analysis, "HT201"));
+  EXPECT_FALSE(has_code(compiled.analysis, "HT301"));
+}
+
+TEST(Analysis, ExactKeyOutsideKeySpaceIsHT302) {
+  // Tampered artifact: an exact-key entry the filter chain makes
+  // unreachable (kIpv4Sip is capped at 100, the entry says 200).
+  ntapi::Task task("stale-key");
+  task.add_query(ntapi::Query()
+                     .filter(FieldId::kIpv4Sip, htpr::Cmp::kLe, 100)
+                     .map({FieldId::kIpv4Sip})
+                     .distinct());
+  auto compiled = Compiler().compile(task);
+  compiled.queries[0].exact_keys = {{50}, {200}};
+
+  analysis::Analyzer a;
+  a.add_pass(std::make_unique<analysis::SymxCoveragePass>());
+  const auto report = a.run({task, compiled, rmt::AsicConfig{}});
+  ASSERT_TRUE(has_code(report, "HT302"));
+  EXPECT_EQ(report.diagnostics.size(), 1u);  // entry {50} is reachable
+  EXPECT_EQ(report.diagnostics[0].severity, Severity::kWarning);
+}
+
+// ---------------------------------------------------------------------------
 // HT203: duplicate exact-match keys (compiler-artifact defect)
 
 TEST(Analysis, DuplicateExactKeysAreHT203) {
@@ -332,8 +406,30 @@ TEST(Analysis, ReportSortsAndCounts) {
   EXPECT_TRUE(r.has_errors());
 }
 
-TEST(Analysis, DefaultAnalyzerHasSixPasses) {
-  EXPECT_EQ(analysis::Analyzer::with_default_passes().pass_count(), 6u);
+TEST(Analysis, ReportSortsByPassIdFirst) {
+  // Byte-stable ordering: the emitting pass is the primary key, so a pass
+  // gaining a lexically-smaller code cannot reshuffle the whole report.
+  analysis::AnalysisReport r;
+  r.diagnostics.push_back({Severity::kWarning, "HT301", "query[0]", "late pass", "", 8});
+  r.diagnostics.push_back({Severity::kWarning, "HT204", "query[1]", "mid pass", "", 7});
+  r.diagnostics.push_back({Severity::kError, "HT101", "pipeline", "early pass", "", 1});
+  r.sort();
+  EXPECT_EQ(r.diagnostics[0].code, "HT101");
+  EXPECT_EQ(r.diagnostics[1].code, "HT204");
+  EXPECT_EQ(r.diagnostics[2].code, "HT301");
+}
+
+TEST(Analysis, RunStampsPassIds) {
+  ntapi::Task task("contra3");
+  task.add_query(ntapi::Query()
+                     .filter(FieldId::kTcpSport, htpr::Cmp::kGt, 100)
+                     .filter(FieldId::kTcpSport, htpr::Cmp::kLt, 50));
+  const auto compiled = Compiler().compile(task);
+  for (const auto& d : compiled.analysis.diagnostics) EXPECT_GT(d.pass_id, 0u);
+}
+
+TEST(Analysis, DefaultAnalyzerHasEightPasses) {
+  EXPECT_EQ(analysis::Analyzer::with_default_passes().pass_count(), 8u);
 }
 
 }  // namespace

@@ -1,0 +1,302 @@
+// Unit tests for the symbolic path oracle's building blocks: the
+// interval/bit-constraint solver, the 128-bit ternary key cubes, parser
+// path enumeration, the editor stream mirror, and rule shadow reasoning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/symx/model.hpp"
+#include "analysis/symx/oracle.hpp"
+#include "analysis/symx/solver.hpp"
+#include "apps/tasks.hpp"
+#include "net/headers.hpp"
+#include "ntapi/compiler.hpp"
+#include "ntapi/header_space.hpp"
+
+namespace ht {
+namespace {
+
+using analysis::symx::Cube;
+using analysis::symx::IntervalSet;
+using analysis::symx::SymRule;
+using net::FieldId;
+using ntapi::KeyBits;
+
+// ---------------------------------------------------------------------------
+// IntervalSet
+
+TEST(IntervalSet, FromCmpCoversEveryComparison) {
+  EXPECT_EQ(IntervalSet::from_cmp(htpr::Cmp::kEq, 5, 16).count(), 1u);
+  EXPECT_TRUE(IntervalSet::from_cmp(htpr::Cmp::kEq, 5, 16).contains(5));
+  EXPECT_FALSE(IntervalSet::from_cmp(htpr::Cmp::kNe, 5, 16).contains(5));
+  EXPECT_EQ(IntervalSet::from_cmp(htpr::Cmp::kNe, 5, 16).count(), 65535u);
+  EXPECT_EQ(IntervalSet::from_cmp(htpr::Cmp::kLt, 0, 16).count(), 0u);
+  EXPECT_EQ(IntervalSet::from_cmp(htpr::Cmp::kLe, 0, 16).count(), 1u);
+  EXPECT_EQ(IntervalSet::from_cmp(htpr::Cmp::kGt, 65535, 16).count(), 0u);
+  EXPECT_EQ(IntervalSet::from_cmp(htpr::Cmp::kGe, 65535, 16).count(), 1u);
+}
+
+TEST(IntervalSet, UnionMergesAdjacentIntervals) {
+  IntervalSet s = IntervalSet::range(0, 4);
+  s.union_with(IntervalSet::range(5, 9));  // adjacent: must merge
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.count(), 10u);
+  s.union_with(IntervalSet::range(20, 30));
+  EXPECT_EQ(s.intervals().size(), 2u);
+}
+
+TEST(IntervalSet, ComplementRoundTrips) {
+  IntervalSet s = IntervalSet::range(10, 20);
+  s.union_with(IntervalSet::range(40, 50));
+  const IntervalSet c = s.complement(16);
+  EXPECT_FALSE(c.contains(15));
+  EXPECT_TRUE(c.contains(9));
+  EXPECT_TRUE(c.contains(21));
+  EXPECT_TRUE(c.contains(65535));
+  IntervalSet back = c.complement(16);
+  EXPECT_EQ(back.count(), s.count());
+  EXPECT_TRUE(back.subset_of(s));
+  EXPECT_TRUE(s.subset_of(back));
+}
+
+TEST(IntervalSet, SteppedExactBelowCapWidensAbove) {
+  const IntervalSet small = IntervalSet::stepped(1000, 2000, 10);
+  EXPECT_TRUE(small.exact());
+  EXPECT_EQ(small.count(), 101u);
+  EXPECT_TRUE(small.contains(1990));
+  EXPECT_FALSE(small.contains(1995));  // in the hole between steps
+
+  const IntervalSet big = IntervalSet::stepped(0, 1'000'000, 2, 4096);
+  EXPECT_FALSE(big.exact());  // widened over-approximation
+  EXPECT_TRUE(big.contains(3));
+}
+
+TEST(IntervalSet, ValueAtIndexesAcrossGaps) {
+  IntervalSet s = IntervalSet::range(0, 2);
+  s.union_with(IntervalSet::range(10, 11));
+  EXPECT_EQ(s.value_at(0), 0u);
+  EXPECT_EQ(s.value_at(2), 2u);
+  EXPECT_EQ(s.value_at(3), 10u);
+  EXPECT_EQ(s.value_at(4), 11u);
+}
+
+TEST(IntervalSet, SubsetOf) {
+  const IntervalSet inner = IntervalSet::range(101, 65535);
+  const IntervalSet outer = IntervalSet::range(51, 65535);
+  EXPECT_TRUE(inner.subset_of(outer));
+  EXPECT_FALSE(outer.subset_of(inner));
+  EXPECT_TRUE(IntervalSet::none().subset_of(inner));
+}
+
+// ---------------------------------------------------------------------------
+// Cube
+
+TEST(Cube, MeetTracksFeasibility) {
+  Cube c;
+  EXPECT_TRUE(c.meet(FieldId::kTcpSport, IntervalSet::range(100, 200)));
+  EXPECT_TRUE(c.meet(FieldId::kTcpSport, IntervalSet::range(150, 300)));
+  EXPECT_EQ(c.get(FieldId::kTcpSport).min(), 150u);
+  EXPECT_EQ(c.witness()[FieldId::kTcpSport], 150u);
+  EXPECT_FALSE(c.meet(FieldId::kTcpSport, IntervalSet::range(400, 500)));
+  EXPECT_FALSE(c.feasible());
+}
+
+TEST(Cube, UnconstrainedFieldIsFullDomain) {
+  const Cube c;
+  EXPECT_FALSE(c.constrains(FieldId::kTcpDport));
+  EXPECT_EQ(c.get(FieldId::kTcpDport).count(), 65536u);
+}
+
+// ---------------------------------------------------------------------------
+// KeyBits: 128-bit ternary cubes (header-space edge cases)
+
+TEST(KeyBits, ZeroWidthFieldIsANoOp) {
+  KeyBits k;
+  k.set_bits(17, 0, 0xFFFF);
+  EXPECT_EQ(k.cared_count(), 0u);
+  EXPECT_TRUE(k.complement_empty());
+  EXPECT_EQ(k.get_mask(17, 8), 0u);
+}
+
+TEST(KeyBits, FieldSpanningTheWordBoundary) {
+  // 32 bits at offset 48: straddles the 64-bit word boundary.
+  KeyBits k;
+  const std::uint64_t v = 0xDEADBEEFull;
+  k.set_bits(48, 32, v);
+  EXPECT_EQ(k.get_bits(48, 32), v);
+  EXPECT_EQ(k.get_mask(48, 32), 0xFFFFFFFFull);
+  EXPECT_EQ(k.cared_count(), 32u);
+  // The low word holds bits 48..63, the high word bits 64..79.
+  EXPECT_EQ(k.value_words()[0] >> 48, v & 0xFFFF);
+  EXPECT_EQ(k.value_words()[1] & 0xFFFF, v >> 16);
+}
+
+TEST(KeyBits, FullWidth128BitIntersection) {
+  KeyBits a;
+  a.set_bits(0, 64, 0x0123456789ABCDEFull);
+  a.set_bits(64, 64, 0xFEDCBA9876543210ull);
+  EXPECT_TRUE(a.is_full());
+  EXPECT_FALSE(a.complement_empty());
+
+  KeyBits b = a;
+  const auto both = KeyBits::intersect(a, b);
+  ASSERT_TRUE(both.has_value());
+  EXPECT_TRUE(*both == a);
+
+  KeyBits c = a;
+  c.set_bits(127, 1, (a.get_bits(127, 1) ^ 1u));  // flip the top bit
+  EXPECT_FALSE(KeyBits::intersect(a, c).has_value());
+}
+
+TEST(KeyBits, IntersectRefinesPartialCubes) {
+  KeyBits a;  // cares about bits 0..15
+  a.set_bits(0, 16, 0x1234);
+  KeyBits b;  // cares about bits 60..75 (spans the boundary)
+  b.set_bits(60, 16, 0xABCD);
+  const auto meet = KeyBits::intersect(a, b);
+  ASSERT_TRUE(meet.has_value());
+  EXPECT_EQ(meet->get_bits(0, 16), 0x1234u);
+  EXPECT_EQ(meet->get_bits(60, 16), 0xABCDu);
+  EXPECT_EQ(meet->cared_count(), 32u);
+  EXPECT_TRUE(a.covers(*meet));
+  EXPECT_TRUE(b.covers(*meet));
+  EXPECT_FALSE(meet->covers(a));
+}
+
+// ---------------------------------------------------------------------------
+// covers / shadowed_rules
+
+TEST(SymxRules, TernaryAndLpmCover) {
+  using rmt::KeyMatch;
+  using rmt::MatchKind;
+  // Ternary: fewer cared bits, agreeing where cared.
+  EXPECT_TRUE(analysis::symx::covers({0x10, 0xF0, 0, 0}, {0x12, 0xFF, 0, 0},
+                                     MatchKind::kTernary, 8));
+  EXPECT_FALSE(analysis::symx::covers({0x12, 0xFF, 0, 0}, {0x10, 0xF0, 0, 0},
+                                      MatchKind::kTernary, 8));
+  // LPM: shorter agreeing prefix covers longer.
+  EXPECT_TRUE(analysis::symx::covers(rmt::lpm_match(0x0A000000, 8, 32),
+                                     rmt::lpm_match(0x0A010000, 16, 32), MatchKind::kLpm, 32));
+  EXPECT_FALSE(analysis::symx::covers(rmt::lpm_match(0x0B000000, 8, 32),
+                                      rmt::lpm_match(0x0A010000, 16, 32), MatchKind::kLpm, 32));
+  // Range containment.
+  EXPECT_TRUE(analysis::symx::covers({10, 0, 100, 0}, {20, 0, 30, 0}, MatchKind::kRange, 16));
+}
+
+TEST(SymxRules, ShadowedRuleDetected) {
+  const std::vector<rmt::MatchSpec> key{{FieldId::kIpv4Dip, rmt::MatchKind::kTernary}};
+  std::vector<SymRule> rules;
+  rules.push_back({{{0x0A000000, 0xFF000000, 0, 0}}, 10, "coarse"});
+  rules.push_back({{{0x0A000005, 0xFFFFFFFF, 0, 0}}, 5, "fine"});  // fully inside, lower prio
+  rules.push_back({{{0x0B000000, 0xFF000000, 0, 0}}, 5, "other"});
+  const auto shadows = analysis::symx::shadowed_rules(key, rules);
+  ASSERT_EQ(shadows.size(), 1u);
+  EXPECT_EQ(shadows[0].first, 0u);
+  EXPECT_EQ(shadows[0].second, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Parser path enumeration
+
+TEST(SymxParser, DefaultGraphEnumeratesAllL4Paths) {
+  const auto paths = analysis::symx::enumerate_parser_paths(rmt::Parser::default_graph());
+  bool tcp = false, udp = false, icmp = false;
+  for (const auto& p : paths) {
+    for (const auto h : p.headers) {
+      if (h == net::HeaderKind::kTcp) tcp = true;
+      if (h == net::HeaderKind::kUdp) udp = true;
+      if (h == net::HeaderKind::kIcmp) icmp = true;
+    }
+    EXPECT_TRUE(p.constraints.feasible());
+  }
+  EXPECT_TRUE(tcp);
+  EXPECT_TRUE(udp);
+  EXPECT_TRUE(icmp);
+  // The TCP path must pin the selects that lead to it.
+  for (const auto& p : paths) {
+    if (std::find(p.headers.begin(), p.headers.end(), net::HeaderKind::kTcp) ==
+        p.headers.end()) {
+      continue;
+    }
+    const auto w = p.constraints.witness();
+    EXPECT_EQ(w.at(FieldId::kIpv4Proto), net::ipproto::kTcp);
+    EXPECT_EQ(w.at(FieldId::kEthType), net::ethertype::kIpv4);
+  }
+  EXPECT_TRUE(
+      analysis::symx::unreachable_parser_states(rmt::Parser::default_graph()).empty());
+}
+
+TEST(SymxParser, UnreachableStateReported) {
+  rmt::Parser p;
+  p.add_state({"start", std::nullopt, std::nullopt, {}, "end"});
+  p.add_state({"end", std::nullopt, std::nullopt, {}, ""});
+  p.add_state({"orphan", std::nullopt, std::nullopt, {}, ""});
+  p.set_entry("start");
+  const auto dead = analysis::symx::unreachable_parser_states(p);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], "orphan");
+}
+
+// ---------------------------------------------------------------------------
+// EditStream: the egress editor mirror
+
+TEST(SymxEditStream, RangeAndListCursorsMirrorTheEditor) {
+  auto app = apps::ip_scan(0x0A000000, 4, 80, {0}, 1000, 2);
+  const auto compiled = ntapi::Compiler().compile(app.task);
+  ASSERT_FALSE(compiled.templates.empty());
+  analysis::symx::EditStream stream(compiled.templates[0]);
+  // The scan sweeps ipv4.dip over 4 addresses and wraps.
+  std::vector<std::uint64_t> dips;
+  for (int i = 0; i < 6; ++i) {
+    const auto step = stream.next();
+    for (const auto& [field, v] : step.values) {
+      if (field == FieldId::kIpv4Dip) dips.push_back(v);
+    }
+  }
+  ASSERT_EQ(dips.size(), 6u);
+  EXPECT_EQ(dips[0], 0x0A000000u);
+  EXPECT_EQ(dips[1], 0x0A000001u);
+  EXPECT_EQ(dips[4], dips[0]);  // wrapped
+}
+
+// ---------------------------------------------------------------------------
+// Oracle suite generation (static half; replay lives in
+// symx_conformance_test.cpp)
+
+TEST(SymxOracle, ThroughputSuiteHasInjectsAndCoverage) {
+  auto app = apps::throughput_test(1, 2, {0});
+  const rmt::AsicConfig asic;
+  const auto compiled = ntapi::Compiler(asic).compile(app.task);
+  analysis::symx::TaskModel model(app.task, compiled, asic);
+  analysis::symx::Oracle oracle(model);
+
+  EXPECT_FALSE(oracle.injects().empty());
+  const auto cov = oracle.coverage();
+  EXPECT_GT(cov.paths_feasible, 0u);
+  EXPECT_GT(cov.rules_total, 0u);
+
+  const auto json = oracle.suite_json("throughput");
+  EXPECT_NE(json.find("\"task\":\"throughput\""), std::string::npos);
+  EXPECT_NE(json.find("\"injects\""), std::string::npos);
+  EXPECT_NE(json.find("\"coverage\""), std::string::npos);
+}
+
+TEST(SymxOracle, InjectTotalsAreCumulative) {
+  auto app = apps::port_bandwidth();
+  const rmt::AsicConfig asic;
+  const auto compiled = ntapi::Compiler(asic).compile(app.task);
+  analysis::symx::TaskModel model(app.task, compiled, asic);
+  analysis::symx::Oracle oracle(model);
+  ASSERT_FALSE(oracle.injects().empty());
+  std::uint64_t prev = 0;
+  for (const auto& c : oracle.injects()) {
+    std::uint64_t total = 0;
+    for (const auto& t : c.totals) total += t.evaluated;
+    EXPECT_GE(total, prev);
+    prev = total;
+    EXPECT_FALSE(c.bytes.empty());
+  }
+}
+
+}  // namespace
+}  // namespace ht
