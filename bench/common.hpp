@@ -142,11 +142,12 @@ inline void row(const char* fmt, ...) {
 /// A tester with capture sinks attached to every front-panel port.
 struct Testbed {
   explicit Testbed(std::size_t ports = 4, double rate_gbps = 100.0,
-                   std::size_t recirc_channels = 1) {
+                   std::size_t recirc_channels = 1, bool fastpath = true) {
     TesterConfig cfg;
     cfg.asic.num_ports = ports;
     cfg.asic.port_rate_gbps = rate_gbps;
     cfg.asic.num_recirc_channels = recirc_channels;
+    cfg.fastpath = fastpath;
     tester = std::make_unique<HyperTester>(cfg);
     for (std::size_t i = 0; i < ports; ++i) {
       sinks.push_back(std::make_unique<dut::Capture>(tester->events(),

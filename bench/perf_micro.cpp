@@ -123,19 +123,27 @@ BENCHMARK(BM_RecirculationLoop);
 /// >= 2x (see DESIGN.md section 8).
 constexpr double kPreRefactorPktsPerSec = 730e3;
 
-/// End-to-end throughput of the Fig. 9(a) single-port workload: wall-clock
-/// packets/sec over a 2ms simulated window at 64B/100G, best of `reps`
-/// (the container's scheduler makes single runs noisy). Also surfaces the
-/// packet-pool and event-slab counters through sim::stats.
-void run_fig9_workload(ht::bench::BenchJson& json, int reps) {
-  using namespace ht;
-  using clock = std::chrono::steady_clock;
-  bench::headline("Fig. 9 single-port workload (64B, 100G, 2ms window)",
-                  "engine throughput vs. recorded pre-refactor baseline");
+/// Interpreted-walk packets/sec recorded in BENCH_perf.json before the
+/// task-compiled fast path landed (same machine, same workload). The fused
+/// path is gated on >= 2x this number; the fresh interpreted series is
+/// also re-measured every run so the two baselines stay distinguishable.
+constexpr double kPreFusionPktsPerSec = 1.53283e6;
+
+struct Fig9Series {
   double best_pps = 0.0;
   double best_wall = 0.0;
+};
+
+/// One fig9 throughput series: wall-clock packets/sec over a 2ms simulated
+/// window at 64B/100G, best of `reps` (the container's scheduler makes
+/// single runs noisy). `fastpath` selects the task-compiled fast path or
+/// the interpreted reference walk.
+Fig9Series run_fig9_series(ht::bench::BenchJson& json, int reps, bool fastpath) {
+  using namespace ht;
+  using clock = std::chrono::steady_clock;
+  Fig9Series out;
   for (int rep = 0; rep < reps; ++rep) {
-    bench::Testbed tb(2, 100.0);
+    bench::Testbed tb(2, 100.0, 1, fastpath);
     auto app = apps::throughput_test(0x02020202, 0x01010101, {1}, 64, 0);
     tb.tester->load(app.task);
     tb.tester->start();
@@ -144,15 +152,17 @@ void run_fig9_workload(ht::bench::BenchJson& json, int reps) {
     const double wall = std::chrono::duration<double>(clock::now() - t0).count();
     const auto pkts = tb.tester->asic().egress_packets();
     const double pps = static_cast<double>(pkts) / wall;
-    bench::row("  rep %d: egress_packets=%llu wall=%.3fs pkts/s=%.0f", rep,
-               static_cast<unsigned long long>(pkts), wall, pps);
-    if (pps > best_pps) {
-      best_pps = pps;
-      best_wall = wall;
+    bench::row("  [%s] rep %d: egress_packets=%llu wall=%.3fs pkts/s=%.0f",
+               fastpath ? "fused" : "interp", rep, static_cast<unsigned long long>(pkts), wall,
+               pps);
+    if (pps > out.best_pps) {
+      out.best_pps = pps;
+      out.best_wall = wall;
     }
-    if (rep + 1 == reps) {
+    if (!fastpath && rep + 1 == reps) {
       // The tester assembles the uniform reports from its registry-backed
-      // instrumentation; no per-bench stats plumbing.
+      // instrumentation; no per-bench stats plumbing. Reported for the
+      // interpreted series so the numbers stay comparable across PRs.
       const auto reports = tb.tester->alloc_cache_reports();
       for (const auto& r : reports) bench::row("  %s", sim::format_alloc_cache(r).c_str());
       json.add("fig9_packet_pool_hit_rate", reports[0].hit_rate(), "ratio", 0.0);
@@ -164,11 +174,32 @@ void run_fig9_workload(ht::bench::BenchJson& json, int reps) {
                0.0);
     }
   }
-  bench::row("  best: %.0f pkts/s (baseline %.0f, speedup %.2fx)", best_pps,
-             kPreRefactorPktsPerSec, best_pps / kPreRefactorPktsPerSec);
-  json.add("fig9_pkts_per_sec", best_pps, "pkts/s", best_wall);
+  return out;
+}
+
+/// End-to-end throughput of the Fig. 9(a) single-port workload, both
+/// paths: the interpreted reference walk (the recorded baseline series)
+/// and the task-compiled fast path, interleaved rep-by-rep.
+void run_fig9_workload(ht::bench::BenchJson& json, int reps) {
+  using namespace ht;
+  bench::headline("Fig. 9 single-port workload (64B, 100G, 2ms window)",
+                  "interpreted walk vs. task-compiled fast path");
+  const Fig9Series interp = run_fig9_series(json, reps, /*fastpath=*/false);
+  const Fig9Series fused = run_fig9_series(json, reps, /*fastpath=*/true);
+  bench::row("  interpreted best: %.0f pkts/s (prerefactor %.0f, %.2fx)", interp.best_pps,
+             kPreRefactorPktsPerSec, interp.best_pps / kPreRefactorPktsPerSec);
+  bench::row("  fused best:       %.0f pkts/s (%.2fx interp, %.2fx pre-fusion baseline)",
+             fused.best_pps, fused.best_pps / interp.best_pps,
+             fused.best_pps / kPreFusionPktsPerSec);
+  json.add("fig9_pkts_per_sec", interp.best_pps, "pkts/s", interp.best_wall);
   json.add("fig9_pkts_per_sec_prerefactor", kPreRefactorPktsPerSec, "pkts/s", 0.0);
-  json.add("fig9_speedup_vs_prerefactor", best_pps / kPreRefactorPktsPerSec, "ratio", 0.0);
+  json.add("fig9_speedup_vs_prerefactor", interp.best_pps / kPreRefactorPktsPerSec, "ratio",
+           0.0);
+  json.add("fig9_pkts_per_sec_fused", fused.best_pps, "pkts/s", fused.best_wall);
+  json.add("fig9_fused_speedup", fused.best_pps / interp.best_pps, "ratio", 0.0);
+  json.add("fig9_pkts_per_sec_prefusion", kPreFusionPktsPerSec, "pkts/s", 0.0);
+  json.add("fig9_fused_speedup_vs_prefusion", fused.best_pps / kPreFusionPktsPerSec, "ratio",
+           0.0);
 }
 
 }  // namespace
@@ -179,6 +210,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  run_fig9_workload(json, 3);
+  run_fig9_workload(json, 5);
   return json.write() ? 0 : 1;
 }

@@ -12,6 +12,7 @@ Analyzer Analyzer::with_default_passes() {
   a.add_pass(std::make_unique<DeadEntryPass>());
   a.add_pass(std::make_unique<ShadowedRulePass>());
   a.add_pass(std::make_unique<SymxCoveragePass>());
+  a.add_pass(std::make_unique<FusionPass>());
   return a;
 }
 

@@ -37,9 +37,10 @@ class Pass {
 
 class Analyzer {
  public:
-  /// The eight built-in passes: stage-fit, SALU discipline, parser
+  /// The nine built-in passes: stage-fit, SALU discipline, parser
   /// coverage, editor order, FIFO schema, dead/shadowed entries,
-  /// shadowed rules (symx), symbolic path coverage (symx).
+  /// shadowed rules (symx), symbolic path coverage (symx), fast-path
+  /// fusion.
   static Analyzer with_default_passes();
 
   Analyzer() = default;
@@ -119,6 +120,15 @@ class ShadowedRulePass : public Pass {
 class SymxCoveragePass : public Pass {
  public:
   std::string_view name() const override { return "symx-coverage"; }
+  void run(const AnalysisInput& in, AnalysisReport& out) const override;
+};
+
+/// HT205: a template that cannot run on the task-compiled fast path — one
+/// warning per blocking construct from the fusion plan (CompiledTask::
+/// fused). The template still runs correctly, interpreted.
+class FusionPass : public Pass {
+ public:
+  std::string_view name() const override { return "fastpath-fusion"; }
   void run(const AnalysisInput& in, AnalysisReport& out) const override;
 };
 

@@ -22,6 +22,8 @@
 //   HT203  duplicate entry in the exact-key-matching table (shadowed)
 //   HT204  rule shadowed: a filter no packet reaching it can fail (an
 //          earlier rule's key space fully covers it)
+//   HT205  template cannot run on the task-compiled fast path (one
+//          warning per blocking construct; falls back to interpreted)
 //   HT301  symbolic walk found zero feasible matching paths for a query
 //   HT302  exact-key table entry outside the enumerated key space
 //   HT303  parser state unreachable from the entry state

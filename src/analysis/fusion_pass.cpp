@@ -1,0 +1,23 @@
+// HT205: fast-path fusion report. The compiler's fusion planner
+// (rmt/fastpath/plan.cpp) already decided which templates can run on the
+// task-compiled fast path; this pass surfaces each blocker as a lint
+// warning so a user who expected line-rate replay learns *which construct*
+// keeps a template on the interpreted walk.
+#include "analysis/analyzer.hpp"
+
+namespace ht::analysis {
+
+void FusionPass::run(const AnalysisInput& in, AnalysisReport& out) const {
+  const auto& plan = in.compiled.fused;
+  for (const auto& tf : plan.templates) {
+    for (const auto& blocker : tf.blockers) {
+      out.diagnostics.push_back(
+          {Severity::kWarning, "HT205", "trigger[" + std::to_string(tf.template_id) + "]",
+           "cannot fuse the per-packet walk: " + blocker,
+           "the template runs on the interpreted path (correct but slower); "
+           "see ht_fastpath_fallback_tasks_total"});
+    }
+  }
+}
+
+}  // namespace ht::analysis

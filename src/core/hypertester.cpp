@@ -8,7 +8,7 @@
 namespace ht {
 
 HyperTester::HyperTester(TesterConfig cfg)
-    : asic_(ev_, cfg.asic), controller_(asic_) {
+    : asic_(ev_, cfg.asic), controller_(asic_), cfg_fastpath_(cfg.fastpath) {
   auto& m = asic_.metrics();
   controller_.register_metrics(m);
   // Event-slab instrumentation joins the registry as mirrors. The packet
@@ -129,6 +129,15 @@ void HyperTester::load(const ntapi::Task& task) {
   // assigned stages.
   asic_.ingress().register_metrics(asic_.metrics());
   asic_.egress().register_metrics(asic_.metrics());
+
+  // Task-compiled fast path: specialize the per-packet walk per template
+  // using the compiler's fusion plan. Templates the plan or binder could
+  // not prove safe stay on the interpreted path (HT205 names why).
+  if (cfg_fastpath_) {
+    fastpath_ = std::make_unique<rmt::fastpath::Engine>();
+    fastpath_->bind(asic_, *sender_, *receiver_, compiled_->fused);
+    asic_.set_fastpath(fastpath_.get());
+  }
 }
 
 void HyperTester::start() {

@@ -23,6 +23,7 @@
 #include "htps/sender.hpp"
 #include "ntapi/compiler.hpp"
 #include "rmt/asic.hpp"
+#include "rmt/fastpath/engine.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fault.hpp"
 #include "stateless/trigger_fifo.hpp"
@@ -32,6 +33,10 @@ namespace ht {
 
 struct TesterConfig {
   rmt::AsicConfig asic;
+  /// Run fusable templates on the task-compiled fast path (DESIGN.md §12).
+  /// Off = every packet takes the interpreted reference walk; results are
+  /// byte-identical either way (tests/fastpath_diff_test.cpp).
+  bool fastpath = true;
 };
 
 class HyperTester {
@@ -125,6 +130,8 @@ class HyperTester {
   switchcpu::Controller controller_;
   std::unique_ptr<htps::Sender> sender_;
   std::unique_ptr<htpr::Receiver> receiver_;
+  std::unique_ptr<rmt::fastpath::Engine> fastpath_;
+  bool cfg_fastpath_ = true;
   std::vector<std::unique_ptr<stateless::TriggerFifo>> fifos_;
   std::vector<ChaosLink> chaos_links_;
   std::optional<ntapi::CompiledTask> compiled_;

@@ -118,6 +118,7 @@ void Receiver::install() {
           }
           return false;
         });
+    tbl.set_hints({.role = rmt::TableHints::Role::kHtprReceived, .query_index = q});
     tbl.set_default("run_query",
                     [this, q](rmt::ActionContext& ctx) { query_action(q, ctx); });
   }
@@ -134,6 +135,9 @@ void Receiver::install() {
           return phv.get(net::FieldId::kMetaEgressPort) < front_ports &&
                  phv.get(net::FieldId::kMetaTemplateId) == tid;
         });
+    tbl.set_hints({.role = rmt::TableHints::Role::kHtprSent,
+                   .query_index = q,
+                   .template_id = tid});
     tbl.set_default("run_query",
                     [this, q](rmt::ActionContext& ctx) { query_action(q, ctx); });
   }
@@ -148,6 +152,7 @@ void Receiver::install() {
           return asic.is_recirc_port(
               static_cast<std::uint16_t>(phv.get(net::FieldId::kMetaIngressPort)));
         });
+    tbl.set_hints({.role = rmt::TableHints::Role::kHtprMaintenance});
     tbl.set_default("maintain", [this](rmt::ActionContext& ctx) {
       for (auto& s : stores_) {
         if (s) s->maintenance_pass(ctx);
@@ -177,71 +182,8 @@ void Receiver::install() {
 }
 
 void Receiver::query_action(std::size_t qid, rmt::ActionContext& ctx) {
-  auto& cfg = queries_[qid];
-  evaluated_->execute(qid, [](std::uint64_t& c) { return ++c; });
-
-  // Integrity gate: runs before any operator, so a bit-flipped or
-  // out-of-window packet never reaches the counter store.
-  const auto& integ = cfg.integrity;
-  if (integ.verify_checksums && ctx.phv.packet && !net::verify_checksums(*ctx.phv.packet)) {
-    chk_fail_->execute(qid, [](std::uint64_t& c) { return ++c; });
-    return;
-  }
-  if (integ.window_field) {
-    const std::uint64_t v = ctx.phv.get(*integ.window_field);
-    if (v < integ.window_lo || v > integ.window_hi) {
-      out_of_window_->execute(qid, [](std::uint64_t& c) { return ++c; });
-      return;
-    }
-  }
-
-  std::uint64_t value = 1;  // default: count packets
-  std::uint64_t result = 0;
-  for (const auto& op : cfg.ops) {
-    if (const auto* filter = std::get_if<FilterOp>(&op)) {
-      const std::uint64_t lhs = filter->on_result ? result : ctx.phv.get(filter->field);
-      if (!compare(filter->cmp, lhs, filter->value)) return;  // packet drops out
-    } else if (const auto* map = std::get_if<MapOp>(&op)) {
-      value = map->value_field ? ctx.phv.get(*map->value_field) : 1;
-      if (map->state_index_field && ctx.registers.contains(map->state_register)) {
-        auto& reg = ctx.registers.get(map->state_register);
-        const std::uint64_t sent =
-            reg.read(ctx.phv.get(*map->state_index_field) & (reg.size() - 1));
-        value = ctx.now - sent;
-      } else if (map->minus_field) {
-        const unsigned w = std::min(net::field_width(*map->value_field),
-                                    net::field_width(*map->minus_field));
-        const std::uint64_t mask = net::low_mask(w);
-        value = (value - ctx.phv.get(*map->minus_field)) & mask;
-      }
-    } else if (std::holds_alternative<ReduceOp>(op)) {
-      if (stores_[qid]) {
-        result = stores_[qid]->update(ctx, value);
-      } else {
-        result = totals_->execute(qid, [&](std::uint64_t& c) {
-          c += value;
-          return c;
-        });
-      }
-    } else if (std::holds_alternative<DistinctOp>(op)) {
-      if (stores_[qid]) result = stores_[qid]->update(ctx, 1);
-    }
-  }
-
-  matched_->execute(qid, [](std::uint64_t& c) { return ++c; });
-  if constexpr (telemetry::kEnabled) {
-    if (latency_hist_[qid] != nullptr && ctx.phv.packet) {
-      const std::uint64_t t0 = ctx.phv.packet->meta().ingress_tstamp_ns;
-      if (ctx.now >= t0) latency_hist_[qid]->record(ctx.now - t0);
-    }
-  }
-  for (const auto& extract : cfg.triggers) {
-    if (extract.fifo == nullptr) continue;
-    std::vector<std::uint64_t> record;
-    record.reserve(extract.lanes.size());
-    for (const auto f : extract.lanes) record.push_back(ctx.phv.get(f));
-    extract.fifo->enqueue(record);
-  }
+  PhvQueryCtx a{{ctx}};
+  query_core(qid, a);
 }
 
 CounterStore* Receiver::store(std::size_t qid) { return stores_.at(qid).get(); }

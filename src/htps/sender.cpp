@@ -3,6 +3,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "rmt/action_adapters.hpp"
+
 namespace ht::htps {
 
 Sender::Sender(rmt::SwitchAsic& asic) : asic_(asic) {
@@ -135,6 +137,7 @@ void Sender::install() {
         const auto iport = static_cast<std::uint16_t>(phv.get(net::FieldId::kMetaIngressPort));
         return iport == cpu_port || asic.is_recirc_port(iport);
       });
+  sender_tbl.set_hints({.role = rmt::TableHints::Role::kHtpsSender});
   for (std::uint32_t t = 0; t < n; ++t) {
     sender_tbl.add_entry({{rmt::KeyMatch{.value = t}},
                           0,
@@ -150,6 +153,7 @@ void Sender::install() {
         return phv.get(net::FieldId::kMetaEgressPort) < front_ports &&
                phv.packet->meta().is_template;
       });
+  editor_tbl.set_hints({.role = rmt::TableHints::Role::kHtpsEditor});
   for (std::uint32_t t = 0; t < n; ++t) {
     editor_tbl.add_entry({{rmt::KeyMatch{.value = t}},
                           0,
@@ -225,145 +229,13 @@ bool Sender::done(std::uint32_t tid) const {
 }
 
 void Sender::ingress_action(std::uint32_t tid, rmt::ActionContext& ctx) {
-  auto& phv = ctx.phv;
-  auto& cfg = templates_[tid];
-  const auto iport = static_cast<std::uint16_t>(phv.get(net::FieldId::kMetaIngressPort));
-
-  // Accelerator: the first pass (from the CPU port) just enters the loop.
-  if (iport == rmt::SwitchAsic::kCpuPort) {
-    phv.intrinsic().dest = rmt::Destination::kUnicast;
-    phv.intrinsic().ucast_port = recirc_port_of(tid);
-    return;
-  }
-
-  // Acceleration phase: double the template back into the loop until it
-  // holds the target number of copies (copies = count + 1), saturating the
-  // recirculation bandwidth at ~100Gbps (§5.1 "amplifying template
-  // packets").
-  const std::uint64_t target = loop_targets_[tid];
-  bool accelerating = false;
-  loop_count_->execute(tid, [&](std::uint64_t& count) -> std::uint64_t {
-    if (count + 1 < target) {
-      ++count;
-      accelerating = true;
-    }
-    return count;
-  });
-  if (accelerating) {
-    phv.intrinsic().dest = rmt::Destination::kMulticast;
-    phv.intrinsic().mcast_group = static_cast<std::uint16_t>(kAccelGroupBase + tid);
-    return;
-  }
-
-  bool fire = false;
-  if (cfg.mode == TemplateConfig::Mode::kTimer) {
-    if (cfg.fire_limit == 0 || fires_->read(tid) < cfg.fire_limit) {
-      const std::uint64_t interval = intervals_->read(tid);
-      // The replicator timer: fire when now - last_departure >= interval.
-      std::uint64_t prev_tx = 0;
-      fire = last_tx_->execute(tid, [&](std::uint64_t& last) -> std::uint64_t {
-               if (ctx.now - last >= interval) {
-                 prev_tx = last;
-                 last = ctx.now;
-                 return 1;
-               }
-               return 0;
-             }) != 0;
-      if constexpr (telemetry::kEnabled) {
-        // Skip the very first fire (prev_tx == 0 is "never fired", not a
-        // real departure time): no gap exists yet.
-        if (fire && prev_tx != 0 && fire_gap_hist_[tid] != nullptr) {
-          const std::uint64_t gap = ctx.now - prev_tx;
-          fire_gap_hist_[tid]->record(gap);
-          timer_err_hist_[tid]->record(gap >= interval ? gap - interval : interval - gap);
-        }
-      }
-      if (fire && cfg.interval_dist) {
-        intervals_->write(tid,
-                          cfg.interval_dist->sample(static_cast<std::uint32_t>(ctx.rng.next_u64())));
-      }
-    }
-  } else {
-    // Stateless connection: fire once per pending trigger record.
-    auto record = cfg.trigger_fifo->dequeue();
-    if (record) {
-      phv.packet->meta().bridged.assign(*record);
-      fire = true;
-    }
-  }
-
-  if (fire) {
-    fires_->execute(tid, [](std::uint64_t& f) { return ++f; });
-    phv.intrinsic().dest = rmt::Destination::kMulticast;
-    phv.intrinsic().mcast_group = static_cast<std::uint16_t>(kMcastGroupBase + tid);
-  } else {
-    phv.intrinsic().dest = rmt::Destination::kUnicast;
-    phv.intrinsic().ucast_port = recirc_port_of(tid);
-  }
+  rmt::PhvActionCtx a{ctx};
+  ingress_core(tid, a);
 }
 
 void Sender::egress_action(std::uint32_t tid, rmt::ActionContext& ctx) {
-  auto& phv = ctx.phv;
-  auto& cfg = templates_[tid];
-
-  const std::uint64_t pktid = pktid_->execute(tid, [](std::uint64_t& v) { return v++; });
-  phv.set(net::FieldId::kMetaPacketId, pktid);
-
-  for (std::size_t j = 0; j < cfg.edits.size(); ++j) {
-    const EditOp& op = cfg.edits[j];
-    switch (op.kind) {
-      case EditOp::Kind::kList: {
-        const std::uint64_t mod = op.values.size();
-        const std::uint64_t idx = edit_state_[tid][j]->execute(0, [&](std::uint64_t& cur) {
-          const std::uint64_t out = cur;
-          cur = (cur + 1) % mod;
-          return out;
-        });
-        phv.set(op.field, op.values[idx]);
-        break;
-      }
-      case EditOp::Kind::kRange: {
-        const std::uint64_t out = edit_state_[tid][j]->execute(0, [&](std::uint64_t& cur) {
-          const std::uint64_t v = cur;
-          cur += op.step;
-          if (cur > op.end) cur = op.start;
-          return v;
-        });
-        phv.set(op.field, out);
-        break;
-      }
-      case EditOp::Kind::kRandom: {
-        const auto r = static_cast<std::uint32_t>(ctx.rng.next_u64());
-        phv.set(net::FieldId::kMetaRng, r);
-        phv.set(op.field, op.distribution.sample(r));
-        break;
-      }
-      case EditOp::Kind::kFromTrigger: {
-        const auto& bridged = phv.packet->meta().bridged;
-        if (op.trigger_lane < bridged.size()) {
-          const auto base = static_cast<std::int64_t>(bridged[op.trigger_lane]);
-          phv.set(op.field, static_cast<std::uint64_t>(base + op.trigger_offset));
-        }
-        break;
-      }
-      case EditOp::Kind::kFromMetadata: {
-        // The pipeline timestamp is written at egress time; other metadata
-        // comes from the PHV. Values truncate to the field width.
-        const std::uint64_t v = op.meta_source == net::FieldId::kMetaEgressTstamp
-                                    ? ctx.now
-                                    : phv.get(op.meta_source);
-        phv.set(op.field, v);
-        break;
-      }
-      case EditOp::Kind::kRecordTimestamp: {
-        auto& reg = ctx.registers.get(op.state_register);
-        reg.write(phv.get(op.field) & (reg.size() - 1), ctx.now);
-        break;
-      }
-    }
-  }
-  // The replica leaving the switch is a real test packet now.
-  phv.packet->meta().is_template = false;
+  rmt::PhvActionCtx a{ctx};
+  egress_core(tid, a);
 }
 
 }  // namespace ht::htps

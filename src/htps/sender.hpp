@@ -119,6 +119,20 @@ class Sender {
   /// The recirculation channel carrying template `tid`.
   std::uint16_t recirc_port_of(std::uint32_t tid) const;
 
+  /// Loop-fill target computed at install (accelerator capacity share).
+  std::uint64_t loop_target(std::uint32_t tid) const { return loop_targets_.at(tid); }
+
+  /// Shared action cores. The accelerator/replicator and editor semantics
+  /// are written once as templates over a context concept
+  /// (get/set/now/rng/registers/meta/unicast/multicast) and instantiated
+  /// twice: with rmt::PhvActionCtx by the interpreted table actions and
+  /// with fastpath::FastCtx by the task-compiled path — one body, two
+  /// execution engines, semantic equality by construction.
+  template <class Ctx>
+  void ingress_core(std::uint32_t tid, Ctx& ctx);
+  template <class Ctx>
+  void egress_core(std::uint32_t tid, Ctx& ctx);
+
  private:
   void ingress_action(std::uint32_t tid, rmt::ActionContext& ctx);
   void egress_action(std::uint32_t tid, rmt::ActionContext& ctx);
@@ -147,5 +161,148 @@ class Sender {
   std::vector<telemetry::Histogram*> fire_gap_hist_;
   std::vector<telemetry::Histogram*> timer_err_hist_;
 };
+
+// ---------------------------------------------------------------------------
+// Shared action cores. Any behavior change here must keep the two
+// instantiations equivalent — tests/fastpath_diff_test.cpp replays every
+// conformance suite through both paths and asserts byte-identical results.
+
+template <class Ctx>
+void Sender::ingress_core(std::uint32_t tid, Ctx& ctx) {
+  auto& cfg = templates_[tid];
+  const auto iport = static_cast<std::uint16_t>(ctx.get(net::FieldId::kMetaIngressPort));
+
+  // Accelerator: the first pass (from the CPU port) just enters the loop.
+  if (iport == rmt::SwitchAsic::kCpuPort) {
+    ctx.unicast(recirc_port_of(tid));
+    return;
+  }
+
+  // Acceleration phase: double the template back into the loop until it
+  // holds the target number of copies (copies = count + 1), saturating the
+  // recirculation bandwidth at ~100Gbps (§5.1 "amplifying template
+  // packets").
+  const std::uint64_t target = loop_targets_[tid];
+  bool accelerating = false;
+  loop_count_->execute(tid, [&](std::uint64_t& count) -> std::uint64_t {
+    if (count + 1 < target) {
+      ++count;
+      accelerating = true;
+    }
+    return count;
+  });
+  if (accelerating) {
+    ctx.multicast(static_cast<std::uint16_t>(kAccelGroupBase + tid));
+    return;
+  }
+
+  bool fire = false;
+  if (cfg.mode == TemplateConfig::Mode::kTimer) {
+    if (cfg.fire_limit == 0 || fires_->read(tid) < cfg.fire_limit) {
+      const std::uint64_t interval = intervals_->read(tid);
+      // The replicator timer: fire when now - last_departure >= interval.
+      std::uint64_t prev_tx = 0;
+      fire = last_tx_->execute(tid, [&](std::uint64_t& last) -> std::uint64_t {
+               if (ctx.now() - last >= interval) {
+                 prev_tx = last;
+                 last = ctx.now();
+                 return 1;
+               }
+               return 0;
+             }) != 0;
+      if constexpr (telemetry::kEnabled) {
+        // Skip the very first fire (prev_tx == 0 is "never fired", not a
+        // real departure time): no gap exists yet.
+        if (fire && prev_tx != 0 && fire_gap_hist_[tid] != nullptr) {
+          const std::uint64_t gap = ctx.now() - prev_tx;
+          fire_gap_hist_[tid]->record(gap);
+          timer_err_hist_[tid]->record(gap >= interval ? gap - interval : interval - gap);
+        }
+      }
+      if (fire && cfg.interval_dist) {
+        intervals_->write(
+            tid, cfg.interval_dist->sample(static_cast<std::uint32_t>(ctx.rng().next_u64())));
+      }
+    }
+  } else {
+    // Stateless connection: fire once per pending trigger record.
+    auto record = cfg.trigger_fifo->dequeue();
+    if (record) {
+      ctx.meta().bridged.assign(*record);
+      fire = true;
+    }
+  }
+
+  if (fire) {
+    fires_->execute(tid, [](std::uint64_t& f) { return ++f; });
+    ctx.multicast(static_cast<std::uint16_t>(kMcastGroupBase + tid));
+  } else {
+    ctx.unicast(recirc_port_of(tid));
+  }
+}
+
+template <class Ctx>
+void Sender::egress_core(std::uint32_t tid, Ctx& ctx) {
+  auto& cfg = templates_[tid];
+
+  const std::uint64_t pktid = pktid_->execute(tid, [](std::uint64_t& v) { return v++; });
+  ctx.set(net::FieldId::kMetaPacketId, pktid);
+
+  for (std::size_t j = 0; j < cfg.edits.size(); ++j) {
+    const EditOp& op = cfg.edits[j];
+    switch (op.kind) {
+      case EditOp::Kind::kList: {
+        const std::uint64_t mod = op.values.size();
+        const std::uint64_t idx = edit_state_[tid][j]->execute(0, [&](std::uint64_t& cur) {
+          const std::uint64_t out = cur;
+          cur = (cur + 1) % mod;
+          return out;
+        });
+        ctx.set(op.field, op.values[idx]);
+        break;
+      }
+      case EditOp::Kind::kRange: {
+        const std::uint64_t out = edit_state_[tid][j]->execute(0, [&](std::uint64_t& cur) {
+          const std::uint64_t v = cur;
+          cur += op.step;
+          if (cur > op.end) cur = op.start;
+          return v;
+        });
+        ctx.set(op.field, out);
+        break;
+      }
+      case EditOp::Kind::kRandom: {
+        const auto r = static_cast<std::uint32_t>(ctx.rng().next_u64());
+        ctx.set(net::FieldId::kMetaRng, r);
+        ctx.set(op.field, op.distribution.sample(r));
+        break;
+      }
+      case EditOp::Kind::kFromTrigger: {
+        const auto& bridged = ctx.meta().bridged;
+        if (op.trigger_lane < bridged.size()) {
+          const auto base = static_cast<std::int64_t>(bridged[op.trigger_lane]);
+          ctx.set(op.field, static_cast<std::uint64_t>(base + op.trigger_offset));
+        }
+        break;
+      }
+      case EditOp::Kind::kFromMetadata: {
+        // The pipeline timestamp is written at egress time; other metadata
+        // comes from the PHV. Values truncate to the field width.
+        const std::uint64_t v = op.meta_source == net::FieldId::kMetaEgressTstamp
+                                    ? ctx.now()
+                                    : ctx.get(op.meta_source);
+        ctx.set(op.field, v);
+        break;
+      }
+      case EditOp::Kind::kRecordTimestamp: {
+        auto& reg = ctx.registers().get(op.state_register);
+        reg.write(ctx.get(op.field) & (reg.size() - 1), ctx.now());
+        break;
+      }
+    }
+  }
+  // The replica leaving the switch is a real test packet now.
+  ctx.meta().is_template = false;
+}
 
 }  // namespace ht::htps

@@ -302,6 +302,14 @@ CompiledTask Compiler::lower(const Task& task) const {
   // ---- P4 program -----------------------------------------------------------
   out.p4_source = generate_p4(task, out);
   out.p4_loc = count_p4_loc(out.p4_source);
+
+  // ---- fast-path fusion plan ------------------------------------------------
+  // Decided at compile time so the HT205 lint pass can report blockers and
+  // HyperTester::load() can bind the fused engine without re-analysis.
+  std::vector<htpr::QueryConfig> qcfgs;
+  qcfgs.reserve(out.queries.size());
+  for (const auto& cq : out.queries) qcfgs.push_back(cq.config);
+  out.fused = rmt::fastpath::analyze(out.templates, qcfgs);
   return out;
 }
 

@@ -24,6 +24,7 @@
 #include "htpr/receiver.hpp"
 #include "ntapi/task.hpp"
 #include "ntapi/validation.hpp"
+#include "rmt/fastpath/plan.hpp"
 
 namespace ht::ntapi {
 
@@ -70,6 +71,10 @@ struct CompiledTask {
   /// Chaos profile carried through from the task (ntapi::Task::set_chaos);
   /// applied by the runtime when the task starts.
   std::optional<ChaosSpec> chaos;
+  /// Per-template fast-path fusion verdicts (rmt/fastpath/plan.hpp).
+  /// Consumed by the HT205 lint pass and by HyperTester::load() when it
+  /// binds the fused engine; unfusable templates run interpreted.
+  rmt::fastpath::FusedPlan fused;
 
   /// Task-level span annotations: names the trace process after the task
   /// and drops one instant per installed trigger/query/FIFO wiring on the

@@ -1,0 +1,48 @@
+// Action-context adapters for the shared action cores.
+//
+// HTPS/HTPR action bodies are written once as member templates over a
+// context concept (get/set/now/rng/registers/meta/unicast/multicast...)
+// and instantiated twice: with PhvActionCtx for the interpreted
+// match-action walk (backed by a real ActionContext + Phv) and with
+// fastpath::FastCtx for the task-compiled path (backed by raw packet
+// bytes + a slot table). Keeping one body guarantees the two paths agree
+// by construction; the differential test then checks the adapters.
+#pragma once
+
+#include <cstdint>
+
+#include "net/fields.hpp"
+#include "net/headers.hpp"
+#include "rmt/phv.hpp"
+#include "rmt/table.hpp"
+
+namespace ht::rmt {
+
+/// Interpreted-path adapter: forwards every operation to the PHV and the
+/// surrounding ActionContext. Zero state of its own — safe to construct
+/// per table application.
+struct PhvActionCtx {
+  ActionContext& c;
+
+  std::uint64_t get(net::FieldId id) const { return c.phv.get(id); }
+  void set(net::FieldId id, std::uint64_t v) const { c.phv.set(id, v); }
+  sim::TimeNs now() const { return c.now; }
+  sim::Rng& rng() const { return c.rng; }
+  RegisterFile& registers() const { return c.registers; }
+  net::PacketMeta& meta() const { return c.phv.packet->meta(); }
+  bool has_packet() const { return static_cast<bool>(c.phv.packet); }
+
+  /// Integrity gate (HTPR): checksum the real packet bytes as parsed.
+  bool verify_checksums() const { return net::verify_checksums(*c.phv.packet); }
+
+  void unicast(std::uint16_t port) const {
+    c.phv.intrinsic().dest = Destination::kUnicast;
+    c.phv.intrinsic().ucast_port = port;
+  }
+  void multicast(std::uint16_t group) const {
+    c.phv.intrinsic().dest = Destination::kMulticast;
+    c.phv.intrinsic().mcast_group = group;
+  }
+};
+
+}  // namespace ht::rmt

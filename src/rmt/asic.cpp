@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "net/headers.hpp"
+#include "rmt/fastpath_hooks.hpp"
 
 namespace ht::rmt {
 
@@ -159,6 +160,15 @@ void SwitchAsic::run_ingress(net::PacketPtr pkt) {
                       telemetry::TraceRecorder::kTrackIngress);
     }
   }
+  if (fastpath_ != nullptr) {
+    IntrinsicMeta im;
+    if (fastpath_->try_ingress(pkt, im)) {
+      // Fused pass: no Phv was built, so `pkt` is the only live reference
+      // and the traffic manager may recycle it as the last replica.
+      to_traffic_manager(std::move(pkt), im);
+      return;
+    }
+  }
   Phv phv = parser_.parse(pkt);
   ActionContext ctx = make_ctx(phv);
   ingress_.apply(ctx);
@@ -192,7 +202,9 @@ void SwitchAsic::to_traffic_manager(net::PacketPtr pkt, IntrinsicMeta im) {
         // two singleton groups, or a plain single-member group): no
         // batch bookkeeping, no vector.
         const McastMember& m = members.front();
-        auto copy = net::make_packet(*pkt);  // pooled replica; engine writes one copy per member
+        // When the ingress pass kept no other reference (fused fast path),
+        // the sole member can reuse the original buffer instead of copying.
+        auto copy = pkt.use_count() == 1 ? std::move(pkt) : net::make_packet(*pkt);
         copy->meta().replica_index = m.rid;
         const double d =
             ingress + TimingModel::jittered(rng_, mean, cfg_.timing.mcast_jitter_sigma_ns);
@@ -215,8 +227,13 @@ void SwitchAsic::to_traffic_manager(net::PacketPtr pkt, IntrinsicMeta im) {
       auto& reps = mcast_scratch_;
       reps.clear();
       reps.reserve(members.size());
-      for (const McastMember& m : members) {
-        auto copy = net::make_packet(*pkt);
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        const McastMember& m = members[k];
+        // The last member can reuse the original buffer when no other
+        // reference is alive (fused ingress) — the jitter draw order stays
+        // exactly per-member-in-member-order either way.
+        const bool reuse = k + 1 == members.size() && pkt.use_count() == 1;
+        auto copy = reuse ? std::move(pkt) : net::make_packet(*pkt);
         copy->meta().replica_index = m.rid;
         const double d =
             ingress + TimingModel::jittered(rng_, mean, cfg_.timing.mcast_jitter_sigma_ns);
@@ -256,6 +273,10 @@ void SwitchAsic::to_traffic_manager(net::PacketPtr pkt, IntrinsicMeta im) {
 }
 
 void SwitchAsic::run_egress(net::PacketPtr pkt, std::uint16_t eport, std::uint16_t rid) {
+  if (fastpath_ != nullptr && fastpath_->try_egress(pkt, eport, rid, ev_.now())) {
+    finish_egress(std::move(pkt), eport);
+    return;
+  }
   Phv phv = parser_.parse(pkt);
   phv.intrinsic().rid = rid;
   phv.set(net::FieldId::kMetaEgressPort, eport);
@@ -266,6 +287,10 @@ void SwitchAsic::run_egress(net::PacketPtr pkt, std::uint16_t eport, std::uint16
   // The deparser's checksum engine only matters for packets that leave the
   // box; recirculating templates skip it (their headers are untouched).
   if (eport < ports_.size()) net::fix_checksums(*pkt);
+  finish_egress(std::move(pkt), eport);
+}
+
+void SwitchAsic::finish_egress(net::PacketPtr pkt, std::uint16_t eport) {
   egress_packets_->inc();
   const auto delay = static_cast<sim::TimeNs>(std::llround(cfg_.timing.egress_latency_ns));
   if constexpr (telemetry::kEnabled) {
@@ -274,11 +299,37 @@ void SwitchAsic::run_egress(net::PacketPtr pkt, std::uint16_t eport, std::uint16
                       telemetry::TraceRecorder::kTrackEgress);
     }
   }
-  ev_.schedule_in(delay,
-                  [this, pkt = std::move(pkt), eport]() mutable { emit(std::move(pkt), eport); });
+  // The emission time is a constant offset, so the emit runs inline with an
+  // explicit `now` instead of through its own scheduled event — every
+  // computed timestamp (egress_tstamp, wire serialization, recirc arrival)
+  // is identical, one event per replica cheaper.
+  emit(std::move(pkt), eport, ev_.now() + delay);
 }
 
 void SwitchAsic::run_egress_batch(EgressBatch batch) {
+  // Every replica in a tick group is a clone of one template packet, so
+  // either the whole batch is fused or none of it is: probe the first
+  // replica and hold the rest to the same verdict.
+  if (fastpath_ != nullptr && !batch.empty() &&
+      fastpath_->try_egress(batch.front().pkt, batch.front().port, batch.front().rid,
+                            ev_.now())) {
+    for (std::size_t i = 1; i < batch.size(); ++i) {
+      if (!fastpath_->try_egress(batch[i].pkt, batch[i].port, batch[i].rid, ev_.now())) {
+        throw std::logic_error("SwitchAsic: mixed fused/interpreted egress batch");
+      }
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) egress_packets_->inc();
+    const auto fdelay = static_cast<sim::TimeNs>(std::llround(cfg_.timing.egress_latency_ns));
+    if constexpr (telemetry::kEnabled) {
+      if (trace_.enabled()) {
+        trace_.complete("egress", ev_.now(), static_cast<std::uint64_t>(fdelay),
+                        telemetry::TraceRecorder::kTrackEgress);
+      }
+    }
+    const sim::TimeNs fat = ev_.now() + fdelay;
+    for (EgressReplica& r : batch) emit(std::move(r.pkt), r.port, fat);
+    return;
+  }
   // Phase-batched egress for same-tick replicas. Parse and deparse touch
   // only per-packet state, so batching them is invisible; the pipeline walk
   // itself stays packet-outer (see Pipeline::apply_batch) so shared state
@@ -319,19 +370,22 @@ void SwitchAsic::run_egress_batch(EgressBatch batch) {
                       telemetry::TraceRecorder::kTrackEgress);
     }
   }
-  ev_.schedule_in(delay, [this, batch = std::move(batch)]() mutable {
-    for (EgressReplica& r : batch) emit(std::move(r.pkt), r.port);
-  });
+  const sim::TimeNs at = ev_.now() + delay;
+  for (EgressReplica& r : batch) emit(std::move(r.pkt), r.port, at);
 }
 
-void SwitchAsic::emit(net::PacketPtr pkt, std::uint16_t eport) {
+void SwitchAsic::emit(net::PacketPtr pkt, std::uint16_t eport, sim::TimeNs now_ns) {
   if (eport == kCpuPort) {
-    if (cpu_punt_) cpu_punt_(std::move(pkt));
+    // The CPU punt hands off to software that reads the event clock, so it
+    // keeps its own event at the emission time instead of running early.
+    ev_.schedule_at(now_ns, [this, pkt = std::move(pkt)]() mutable {
+      if (cpu_punt_) cpu_punt_(std::move(pkt));
+    });
     return;
   }
   if (is_recirc_port(eport)) {
     RecircChannel& ch = recirc_[eport - kRecircPortBase];
-    const double now = static_cast<double>(ev_.now());
+    const double now = static_cast<double>(now_ns);
     const double start = std::max(now, ch.busy_until);
     const double ser = cfg_.timing.recirc_serialization_ns(pkt->size());
     ch.busy_until = start + ser;
@@ -342,7 +396,7 @@ void SwitchAsic::emit(net::PacketPtr pkt, std::uint16_t eport) {
                                                 cfg_.timing.recirc_jitter_sigma_ns);
     if constexpr (telemetry::kEnabled) {
       if (trace_.enabled() && arrive >= now) {
-        trace_.complete("recirc", ev_.now(),
+        trace_.complete("recirc", now_ns,
                         static_cast<std::uint64_t>(std::llround(arrive - now)),
                         telemetry::TraceRecorder::kTrackRecirc);
       }
@@ -361,8 +415,8 @@ void SwitchAsic::emit(net::PacketPtr pkt, std::uint16_t eport) {
     return;
   }
   pkt->meta().egress_port = eport;
-  pkt->meta().egress_tstamp_ns = ev_.now();
-  ports_[eport]->send(std::move(pkt));
+  pkt->meta().egress_tstamp_ns = now_ns;
+  ports_[eport]->send_at(now_ns, std::move(pkt));
 }
 
 }  // namespace ht::rmt

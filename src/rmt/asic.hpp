@@ -34,6 +34,8 @@
 
 namespace ht::rmt {
 
+class FastPathHooks;
+
 struct AsicConfig {
   std::size_t num_ports = 32;
   double port_rate_gbps = 100.0;
@@ -81,6 +83,19 @@ class SwitchAsic {
 
   /// Drain all state installed by a previous task (pipelines, groups).
   void reset_program();
+
+  /// Task-compiled fast path (src/rmt/fastpath/). When set, every pipeline
+  /// pass is first offered to the hook; a false return runs the interpreted
+  /// reference walk. Event scheduling, device counters, and trace spans
+  /// stay in this class either way, so the fused path cannot perturb the
+  /// deterministic event structure. Pass nullptr to detach.
+  void set_fastpath(FastPathHooks* hooks) { fastpath_ = hooks; }
+  FastPathHooks* fastpath() const { return fastpath_; }
+
+  /// Build an ActionContext around `phv` at the current simulation time.
+  /// Public for the fast-path engine, which drives interpreted table
+  /// actions (e.g. the store-maintenance pass) from outside the pipelines.
+  ActionContext make_ctx(Phv& phv);
 
   /// Fault-injection hook (sim/fault.hpp layer): called on every packet
   /// entering ingress; returning true drops it before the parser, counted
@@ -143,8 +158,13 @@ class SwitchAsic {
   /// Egress for all replicas that share one TM arrival tick: one event in,
   /// one batched pipeline walk, one emit event out.
   void run_egress_batch(EgressBatch batch);
-  void emit(net::PacketPtr pkt, std::uint16_t eport);
-  ActionContext make_ctx(Phv& phv);
+  /// Shared egress tail (counter + trace + emission) used by both the
+  /// interpreted and fused egress passes. Emission runs inline with
+  /// `now_ns` = pass time + egress latency: the constant offset makes the
+  /// scheduled-event hop redundant, so emit computes the same wire/recirc
+  /// timestamps one event earlier (the CPU punt keeps its event).
+  void finish_egress(net::PacketPtr pkt, std::uint16_t eport);
+  void emit(net::PacketPtr pkt, std::uint16_t eport, sim::TimeNs now_ns);
 
   struct RecircChannel {
     double busy_until = 0.0;
@@ -173,6 +193,7 @@ class SwitchAsic {
   /// allocates nothing in steady state (singleton tick groups — the common
   /// case — never touch a heap-backed batch at all).
   std::vector<PendingReplica> mcast_scratch_;
+  FastPathHooks* fastpath_ = nullptr;
   std::function<void(net::PacketPtr)> cpu_punt_;
   std::function<bool(const net::Packet&)> ingress_fault_;
 

@@ -1,0 +1,36 @@
+// Fast-path dispatch interface.
+//
+// The switch model (SwitchAsic) stays ignorant of how fused programs are
+// built; it only asks "can you run this packet's pipeline pass?" and falls
+// back to the interpreted walk on a false return. The concrete hook —
+// fastpath::Engine — lives in src/rmt/fastpath/ and is bound per loaded
+// task by HyperTester. Event structure (scheduling, counters, trace spans)
+// stays in SwitchAsic either way, so the fused path cannot perturb the
+// deterministic event order.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "rmt/phv.hpp"
+#include "sim/time.hpp"
+
+namespace ht::rmt {
+
+class FastPathHooks {
+ public:
+  virtual ~FastPathHooks() = default;
+
+  /// Run the ingress pipeline pass for `pkt` and fill `out` with the
+  /// traffic-manager decision. Returns false when this packet class is not
+  /// fused (caller must run the interpreted parse/apply/deparse pass).
+  virtual bool try_ingress(const net::PacketPtr& pkt, IntrinsicMeta& out) = 0;
+
+  /// Run the egress pipeline pass (editor + sent queries + deparse +
+  /// checksum fix) for `pkt` leaving `egress_port` as replica `rid`.
+  /// Returns false when not fused.
+  virtual bool try_egress(const net::PacketPtr& pkt, std::uint16_t egress_port,
+                          std::uint16_t rid, sim::TimeNs now) = 0;
+};
+
+}  // namespace ht::rmt

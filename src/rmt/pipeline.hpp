@@ -28,6 +28,28 @@ struct PipelineNode {
   int stage = -1;  ///< physical stage assigned by place()
 };
 
+/// One step of a task-compiled (fused) pipeline program: the match outcome
+/// was resolved at install time (the key is an install-time constant for
+/// the specialized packet class), so executing the step is bookkeeping on
+/// the original table plus a straight call into the fused action body.
+/// A null body is a pure counting step (gate passes, nothing to execute).
+template <class Ctx>
+struct FusedStep {
+  MatchActionTable* table = nullptr;
+  bool hit = false;  ///< precomputed match outcome to book on `table`
+  std::function<void(Ctx&)> body;
+};
+
+/// A fused pipeline program: the whole per-packet walk for one packet
+/// class, flattened to a step list at install time by the fast-path binder
+/// (src/rmt/fastpath/). Steps appear in original table order; tables whose
+/// gate is statically false for the class are absent entirely (matching
+/// the interpreted walk, which books nothing for gated-off tables).
+template <class Ctx>
+struct FusedProgram {
+  std::vector<FusedStep<Ctx>> steps;
+};
+
 class Pipeline {
  public:
   explicit Pipeline(std::string name, int max_stages = 12) : name_(std::move(name)),
@@ -49,6 +71,26 @@ class Pipeline {
   /// digests, rng draws) complete before packet i+1 starts, so the batch is
   /// observationally identical to one event per packet.
   void apply_batch(std::span<ActionContext> ctxs);
+
+  /// Run a task-compiled program (built at install time by the fast-path
+  /// binder) instead of the interpreted walk: per-table hit/miss booking
+  /// plus straight-line fused bodies, no gateway evaluation and no key
+  /// packing/lookup. Counter-equivalent to apply() on the packet class the
+  /// program was specialized for; the differential test
+  /// (tests/fastpath_diff_test.cpp) enforces this byte-for-byte.
+  template <class Ctx>
+  void apply_fused(const FusedProgram<Ctx>& prog, Ctx& ctx) const {
+    for (const auto& step : prog.steps) {
+      step.table->count_apply(step.hit);
+      if (step.body) step.body(ctx);
+    }
+  }
+
+  /// Install-time introspection for the fast-path binder: the ordered node
+  /// list (tables + gates + stages). Mutating table entries through this
+  /// view after binding would desynchronize fused programs — binding
+  /// happens once per load, after installation is complete.
+  const std::vector<PipelineNode>& nodes() const { return nodes_; }
 
   /// Assign logical tables to physical stages (each table gets its own
   /// stage; dependent chains longer than max_stages are infeasible).

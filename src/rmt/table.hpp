@@ -59,6 +59,27 @@ struct TableEntry {
   ActionFn action;
 };
 
+/// Install-time metadata describing what a table *is*, so the task-compiled
+/// fast path (src/rmt/fastpath/) can re-derive its semantics without
+/// interpreting the gate/action closures. Components that install tables
+/// (HTPS sender, HTPR receiver) stamp their role; a table without hints is
+/// opaque and forces the owning task onto the interpreted path.
+struct TableHints {
+  enum class Role : std::uint8_t {
+    kNone,             ///< unknown/custom — unfusable
+    kHtpsSender,       ///< accelerator+replicator (ingress, keyed by template id)
+    kHtpsEditor,       ///< editor (egress, keyed by template id, front ports)
+    kHtprReceived,     ///< received-traffic query (ingress, front ports)
+    kHtprSent,         ///< sent-traffic query (egress, one template id)
+    kHtprMaintenance,  ///< cuckoo-move pass (ingress, recirculating packets)
+  };
+  Role role = Role::kNone;
+  /// kHtprReceived / kHtprSent: the owning query index.
+  std::size_t query_index = 0;
+  /// kHtprSent: the monitored template id.
+  std::uint32_t template_id = 0;
+};
+
 class MatchActionTable {
  public:
   MatchActionTable(std::string name, std::vector<MatchSpec> key, std::size_t size_hint = 1024);
@@ -84,6 +105,15 @@ class MatchActionTable {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
 
+  /// Fast-path mirror of apply()'s hit/miss accounting: the fused per-task
+  /// apply resolved the match at install time, but the counters are
+  /// observable (mirrored into the metrics registry), so every fused pass
+  /// must book the outcome it precomputed.
+  void count_apply(bool hit) const { hit ? ++hits_ : ++misses_; }
+
+  void set_hints(TableHints hints) { hints_ = hints; }
+  const TableHints& hints() const { return hints_; }
+
   /// Structural resource estimate for Table 7-style accounting.
   ResourceUsage estimate_resources() const;
 
@@ -99,6 +129,7 @@ class MatchActionTable {
   std::vector<TableEntry> entries_;
   std::unordered_map<std::string, std::size_t> exact_index_;
   std::optional<TableEntry> default_entry_;
+  TableHints hints_;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
 };

@@ -4,7 +4,9 @@
 
 namespace ht::sim {
 
-void Port::send(net::PacketPtr pkt) {
+void Port::send(net::PacketPtr pkt) { send_at(ev_.now(), std::move(pkt)); }
+
+void Port::send_at(TimeNs now_ns, net::PacketPtr pkt) {
   if (peer_ == nullptr) {
     ++dropped_no_peer_;
     return;
@@ -13,7 +15,7 @@ void Port::send(net::PacketPtr pkt) {
     ++dropped_queue_full_;
     return;
   }
-  const double now = static_cast<double>(ev_.now());
+  const double now = static_cast<double>(now_ns);
   const double start = std::max(now, busy_until_);
   const double tx_time = serialization_ns(pkt->line_size(), rate_gbps_);
   busy_until_ = start + tx_time;

@@ -43,6 +43,10 @@ class Port {
   /// serialization of everything queued before it. When the egress queue
   /// is full the packet is tail-dropped, as a real MAC queue would.
   void send(net::PacketPtr pkt);
+  /// send() with an explicit enqueue time >= the event clock: the switch
+  /// egress tail emits packets a constant latency after the (fused) pass
+  /// without paying a scheduled event for the offset.
+  void send_at(TimeNs now_ns, net::PacketPtr pkt);
 
   void set_tx_queue_capacity(std::size_t cap) { tx_queue_capacity_ = cap; }
   std::uint64_t dropped_queue_full() const { return dropped_queue_full_; }

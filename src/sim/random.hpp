@@ -5,6 +5,7 @@
 // are reproducible and tests can assert exact statistics.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 
@@ -23,9 +24,29 @@ class Rng {
   std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi) {
     return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
   }
-  double uniform01() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+  /// Uniform in [0, 1): the top 53 bits of one engine draw, scaled. One
+  /// engine step per call, no distribution-object overhead — this is the
+  /// innermost call of every stochastic hot path (MAC jitter, chaos).
+  double uniform01() { return static_cast<double>(engine_() >> 11) * 0x1.0p-53; }
+  /// Marsaglia polar with the spare value cached across calls: the
+  /// rejection loop and the log/sqrt pair are paid once per *two* draws.
+  /// (std::normal_distribution computes the same pair but a fresh
+  /// distribution object per call would discard the spare.)
   double gaussian(double mean, double stddev) {
-    return std::normal_distribution<double>(mean, stddev)(engine_);
+    if (has_spare_) {
+      has_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform01() - 1.0;
+      v = 2.0 * uniform01() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * f;
+    has_spare_ = true;
+    return mean + stddev * u * f;
   }
   double exponential(double rate) {
     return std::exponential_distribution<double>(rate)(engine_);
@@ -36,6 +57,8 @@ class Rng {
 
  private:
   std::mt19937_64 engine_;
+  double spare_ = 0.0;
+  bool has_spare_ = false;
 };
 
 }  // namespace ht::sim

@@ -428,8 +428,8 @@ TEST(Analysis, RunStampsPassIds) {
   for (const auto& d : compiled.analysis.diagnostics) EXPECT_GT(d.pass_id, 0u);
 }
 
-TEST(Analysis, DefaultAnalyzerHasEightPasses) {
-  EXPECT_EQ(analysis::Analyzer::with_default_passes().pass_count(), 8u);
+TEST(Analysis, DefaultAnalyzerHasNinePasses) {
+  EXPECT_EQ(analysis::Analyzer::with_default_passes().pass_count(), 9u);
 }
 
 }  // namespace
