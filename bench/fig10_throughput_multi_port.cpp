@@ -3,12 +3,21 @@
 //  (a) HyperTester: adding 100G ports keeps every port at line rate
 //      (400Gbps with the testbed's four ports).
 //  (b) MoonGen on eight 10G ports: ~10Gbps per core, 80Gbps with 8 cores.
+//  (c) Sharded engine: the same eight-tester 100G workload executed on
+//      1/2/4/8 worker shards (or the single count given via --shards N).
+//      Simulated results are byte-identical across shard counts; only
+//      wall-clock throughput changes. `--json <path>` records the
+//      fig10_pkts_per_sec_shards{N} + fig10_scaling_efficiency series.
 #include "apps/tasks.hpp"
 #include "baseline/moongen.hpp"
 #include "common.hpp"
+#include "sharded.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ht;
+
+  bench::BenchJson json("fig10_throughput_multi_port", bench::take_json_path(argc, argv));
+  const std::size_t shards_arg = bench::take_shards(argc, argv);
 
   bench::headline("Figure 10(a): HyperTester multi-port (100G each, 64B)",
                   "line rate as ports are added; 400Gbps with 4 ports");
@@ -33,5 +42,29 @@ int main() {
   for (std::size_t cores = 1; cores <= 8; ++cores) {
     bench::row("%8zu %14.1f", cores, mg.throughput_gbps(64, cores, 8, 10.0));
   }
-  return 0;
+
+  bench::headline("Figure 10(c): sharded engine (8 testers x 100G, 64B, 2ms window)",
+                  "wall-clock scaling of the shard-per-worker engine");
+  bench::row("%8s %12s %14s %12s %10s", "shards", "packets", "pkts/s (wall)", "wall (s)",
+             "speedup");
+  std::vector<std::size_t> counts;
+  if (shards_arg > 0) {
+    counts.push_back(shards_arg);
+  } else {
+    counts = {1, 2, 4, 8};
+  }
+  double base_pps = 0.0;
+  for (const std::size_t nshards : counts) {
+    const bench::ShardedRun r = bench::run_sharded_throughput(nshards);
+    if (base_pps == 0.0) base_pps = r.pkts_per_sec;
+    bench::row("%8zu %12llu %14.0f %12.3f %9.2fx", nshards,
+               static_cast<unsigned long long>(r.packets), r.pkts_per_sec, r.wall_s,
+               r.pkts_per_sec / base_pps);
+    json.add("fig10_pkts_per_sec_shards" + std::to_string(nshards), r.pkts_per_sec, "pkts/s",
+             r.wall_s);
+    if (nshards == 8 && counts.front() == 1) {
+      json.add("fig10_scaling_efficiency", r.pkts_per_sec / (8.0 * base_pps), "ratio", 0.0);
+    }
+  }
+  return json.write() ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include "net/packet_builder.hpp"
 #include "net/packet_pool.hpp"
 #include "rmt/asic.hpp"
+#include "sharded.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
 
@@ -202,6 +203,35 @@ void run_fig9_workload(ht::bench::BenchJson& json, int reps) {
            0.0);
 }
 
+/// Wall-clock scaling of the shard-per-worker engine on the fig10(c)
+/// workload (bench/sharded.hpp): eight independent 100G testers over
+/// {1,2,4,8} shards, best of `reps`. Simulated results are byte-identical
+/// across the sweep (tests/determinism_test.cpp); this records how much
+/// wall-clock the worker threads buy on this machine.
+void run_fig10_scaling(ht::bench::BenchJson& json, int reps) {
+  using namespace ht;
+  bench::headline("Fig. 10(c) sharded scaling (8 testers x 100G, 64B, 2ms window)",
+                  "shard-per-worker engine; byte-identical results across shard counts");
+  double pps1 = 0.0;
+  for (const std::size_t nshards : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}}) {
+    bench::ShardedRun best;
+    for (int rep = 0; rep < reps; ++rep) {
+      const bench::ShardedRun r = bench::run_sharded_throughput(nshards);
+      if (r.pkts_per_sec > best.pkts_per_sec) best = r;
+    }
+    if (nshards == 1) pps1 = best.pkts_per_sec;
+    bench::row("  shards=%zu: packets=%llu wall=%.3fs pkts/s=%.0f (%.2fx)", nshards,
+               static_cast<unsigned long long>(best.packets), best.wall_s, best.pkts_per_sec,
+               best.pkts_per_sec / pps1);
+    json.add("fig10_pkts_per_sec_shards" + std::to_string(nshards), best.pkts_per_sec, "pkts/s",
+             best.wall_s);
+    if (nshards == 8) {
+      json.add("fig10_scaling_efficiency", best.pkts_per_sec / (8.0 * pps1), "ratio", 0.0);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -211,5 +241,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   run_fig9_workload(json, 5);
+  run_fig10_scaling(json, 2);
   return json.write() ? 0 : 1;
 }

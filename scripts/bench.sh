@@ -12,8 +12,13 @@
 #   BENCH_fig9_lossy.json  the same 100G sweep through a chaos link with
 #                    1% Bernoulli loss: delivered goodput + drop counters
 #                    (DESIGN.md sec. 9) + the final run's telemetry block
+#   BENCH_fig10.json fig10_throughput_multi_port: per-port line-rate table
+#                    plus the sharded-engine wall-clock scaling sweep
+#                    (fig10_pkts_per_sec_shards{1,2,4,8} and
+#                    fig10_scaling_efficiency; DESIGN.md sec. 13). Pass
+#                    `--shards N` through to measure a single shard count.
 #
-#   scripts/bench.sh [build-dir]
+#   scripts/bench.sh [build-dir] [--shards N]
 #
 # The build dir must already be configured+built (default: build). Output
 # files land in the repo root. Wall-clock numbers depend on machine load;
@@ -22,7 +27,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build}"
+BUILD_DIR="build"
+SHARDS_ARGS=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --shards) SHARDS_ARGS="--shards $2"; shift 2 ;;
+    *) BUILD_DIR="$1"; shift ;;
+  esac
+done
 
 if [ ! -x "$BUILD_DIR/bench/perf_micro" ]; then
   echo "bench.sh: $BUILD_DIR/bench/perf_micro not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
@@ -32,6 +44,8 @@ fi
 "$BUILD_DIR/bench/perf_micro" --json BENCH_perf.json
 "$BUILD_DIR/bench/fig9_throughput_single_port" --json BENCH_fig9.json
 "$BUILD_DIR/bench/fig9_throughput_single_port" --loss 0.01 --json BENCH_fig9_lossy.json
+# shellcheck disable=SC2086 -- SHARDS_ARGS is deliberately word-split
+"$BUILD_DIR/bench/fig10_throughput_multi_port" $SHARDS_ARGS --json BENCH_fig10.json
 
 # The fig9 sidecars must carry the registry dump (always present; with
 # -DHT_TELEMETRY=OFF the histograms section is simply empty).
@@ -40,4 +54,4 @@ for f in BENCH_fig9.json BENCH_fig9_lossy.json; do
 done
 
 echo
-echo "wrote BENCH_perf.json BENCH_fig9.json BENCH_fig9_lossy.json"
+echo "wrote BENCH_perf.json BENCH_fig9.json BENCH_fig9_lossy.json BENCH_fig10.json"

@@ -1,0 +1,39 @@
+#include "core/cluster.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace ht {
+
+TesterCluster::TesterCluster(ClusterConfig cfg) : group_(cfg.shards, cfg.seed) {}
+
+HyperTester& TesterCluster::add_tester(TesterConfig cfg, std::size_t shard) {
+  if (shard >= group_.size()) {
+    throw std::out_of_range("TesterCluster::add_tester: shard index out of range");
+  }
+  // Construction allocates on the calling thread; bind the target shard's
+  // pool so anything created here is already shard-local.
+  net::PoolBinding bind(&group_.shard(shard).pool());
+  testers_.push_back(std::make_unique<HyperTester>(cfg, group_.shard(shard)));
+  placement_.push_back(shard);
+  return *testers_.back();
+}
+
+telemetry::Report TesterCluster::telemetry_report() const {
+  std::vector<telemetry::RegistrySection> sections;
+  sections.reserve(testers_.size());
+  for (std::size_t i = 0; i < testers_.size(); ++i) {
+    sections.push_back({&testers_[i]->metrics(),
+                        {{"tester", "t" + std::to_string(i)}}});
+  }
+  return telemetry::make_report(sections);
+}
+
+std::vector<sim::AllocCacheReport> TesterCluster::alloc_cache_reports() const {
+  const sim::EventQueue::SlabStats slab = group_.aggregate_slab_stats();
+  const net::PacketPool::Stats pool = group_.aggregate_pool_stats();
+  return {{"packet-pool", pool.hits, pool.misses, pool.high_water},
+          {"event-slab", slab.hits, slab.misses, slab.high_water}};
+}
+
+}  // namespace ht

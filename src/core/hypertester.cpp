@@ -8,31 +8,52 @@
 namespace ht {
 
 HyperTester::HyperTester(TesterConfig cfg)
-    : asic_(ev_, cfg.asic), controller_(asic_), cfg_fastpath_(cfg.fastpath) {
+    : owned_group_(std::make_unique<sim::ShardGroup>(cfg.shards == 0 ? 1 : cfg.shards,
+                                                     cfg.seed)),
+      home_(&owned_group_->shard(0)),
+      ev_(home_->ev()),
+      asic_(ev_, cfg.asic),
+      controller_(asic_),
+      cfg_fastpath_(cfg.fastpath) {
   auto& m = asic_.metrics();
   controller_.register_metrics(m);
-  // Event-slab instrumentation joins the registry as mirrors. The packet
-  // pool deliberately does NOT: it is process-global, so its hit/miss
-  // numbers depend on how many testers ran before this one — which would
-  // break the byte-identical-dumps determinism contract (DESIGN.md §10).
-  // Pool stats stay reachable via alloc_cache_reports().
-  m.mirror_counter("ht_sim_event_slab_hits_total",
-                   [this] { return ev_.slab_stats().hits; },
-                   {.help = "event nodes served from the slab freelist"});
-  m.mirror_counter("ht_sim_event_slab_misses_total",
-                   [this] { return ev_.slab_stats().misses; },
-                   {.help = "event nodes carved fresh from a chunk"});
-  m.mirror_counter("ht_sim_event_heap_closures_total",
-                   [this] { return ev_.slab_stats().heap_closures; },
-                   {.help = "event callables too big for inline storage"});
-  m.mirror_gauge("ht_sim_event_slab_high_water",
-                 [this] { return static_cast<std::int64_t>(ev_.slab_stats().high_water); },
-                 {.help = "max events simultaneously pending"});
+  // Event-slab instrumentation joins the registry as mirrors — but only in
+  // pure legacy mode (a standalone tester on a 1-shard group). With more
+  // shards the slab numbers depend on how events split across queues, and
+  // mirroring them would break the byte-identical-exports contract across
+  // shard counts (DESIGN.md §13); the packet pool is excluded for the
+  // analogous reason (its legacy incarnation was process-global, so its
+  // numbers depended on how many testers ran before this one). Both stay
+  // reachable via alloc_cache_reports().
+  if (owned_group_->size() == 1) {
+    m.mirror_counter("ht_sim_event_slab_hits_total",
+                     [this] { return ev_.slab_stats().hits; },
+                     {.help = "event nodes served from the slab freelist"});
+    m.mirror_counter("ht_sim_event_slab_misses_total",
+                     [this] { return ev_.slab_stats().misses; },
+                     {.help = "event nodes carved fresh from a chunk"});
+    m.mirror_counter("ht_sim_event_heap_closures_total",
+                     [this] { return ev_.slab_stats().heap_closures; },
+                     {.help = "event callables too big for inline storage"});
+    m.mirror_gauge("ht_sim_event_slab_high_water",
+                   [this] { return static_cast<std::int64_t>(ev_.slab_stats().high_water); },
+                   {.help = "max events simultaneously pending"});
+  }
+}
+
+HyperTester::HyperTester(TesterConfig cfg, sim::Shard& shard)
+    : home_(&shard),
+      ev_(shard.ev()),
+      asic_(ev_, cfg.asic),
+      controller_(asic_),
+      cfg_fastpath_(cfg.fastpath) {
+  // No slab mirrors for placed testers: see the standalone ctor.
+  controller_.register_metrics(asic_.metrics());
 }
 
 void HyperTester::run_for(sim::TimeNs duration) {
   const sim::TimeNs start = ev_.now();
-  ev_.run_until(start + duration);
+  home_->group().run_until(start + duration);
   if constexpr (telemetry::kEnabled) {
     if (asic_.trace().enabled()) {
       asic_.trace().complete("run_for", start, ev_.now() - start,
@@ -42,14 +63,21 @@ void HyperTester::run_for(sim::TimeNs duration) {
 }
 
 std::vector<sim::AllocCacheReport> HyperTester::alloc_cache_reports() const {
-  const auto& slab = ev_.slab_stats();
-  const auto& pool = net::default_packet_pool().stats();
+  // Whole-engine view: slab and packet-pool stats summed across every
+  // shard of the driving group (one shard = the legacy single numbers).
+  const sim::ShardGroup& g = home_->group();
+  const sim::EventQueue::SlabStats slab = g.aggregate_slab_stats();
+  const net::PacketPool::Stats pool = g.aggregate_pool_stats();
   return {{"packet-pool", pool.hits, pool.misses, pool.high_water},
           {"event-slab", slab.hits, slab.misses, slab.high_water}};
 }
 
 void HyperTester::load(const ntapi::Task& task) {
   if (compiled_) throw std::logic_error("HyperTester: a task is already loaded");
+  // Everything load() allocates — template packets above all — must live
+  // in the home shard's pool so later releases on the shard's worker
+  // thread stay shard-local.
+  net::PoolBinding bind(&home_->pool());
   ntapi::Compiler compiler(asic_.config());
   compiled_ = compiler.compile(task);
   if constexpr (telemetry::kEnabled) {
@@ -142,6 +170,7 @@ void HyperTester::load(const ntapi::Task& task) {
 
 void HyperTester::start() {
   if (!sender_) throw std::logic_error("HyperTester: no task loaded");
+  net::PoolBinding bind(&home_->pool());
   apply_chaos();
   sender_->start();
 }
@@ -251,7 +280,7 @@ std::optional<sim::FailureReport> HyperTester::run_with_retry(
   std::uint64_t last = progress();
   while (ev_.now() < deadline) {
     const sim::TimeNs slice = std::min<sim::TimeNs>(policy.timeout_ns, deadline - ev_.now());
-    ev_.run_until(ev_.now() + slice);
+    home_->group().run_until(ev_.now() + slice);
     const std::uint64_t current = progress();
     if (current != last) {
       last = current;
@@ -276,7 +305,7 @@ std::optional<sim::FailureReport> HyperTester::run_with_retry(
     // wait, in which case the next slice sees progress and resets retry.
     const sim::TimeNs wait =
         std::min<sim::TimeNs>(policy.backoff(retry - 1), deadline - ev_.now());
-    if (wait > 0) ev_.run_until(ev_.now() + wait);
+    if (wait > 0) home_->group().run_until(ev_.now() + wait);
     const std::uint64_t after_backoff = progress();
     if (after_backoff != last) {
       last = after_backoff;

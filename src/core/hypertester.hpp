@@ -26,6 +26,7 @@
 #include "rmt/fastpath/engine.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fault.hpp"
+#include "sim/shard.hpp"
 #include "stateless/trigger_fifo.hpp"
 #include "switchcpu/controller.hpp"
 
@@ -37,14 +38,34 @@ struct TesterConfig {
   /// Off = every packet takes the interpreted reference walk; results are
   /// byte-identical either way (tests/fastpath_diff_test.cpp).
   bool fastpath = true;
+  /// Shards of the internal ShardGroup a standalone tester creates
+  /// (DESIGN.md §13). The tester itself always lives on shard 0; the
+  /// remaining shards are parallel domains for devices under test, wired
+  /// through shard_group().connect(). 1 (default) = the exact legacy
+  /// single-queue engine, inline on the calling thread. Ignored when the
+  /// tester is placed into an existing group (TesterCluster).
+  std::size_t shards = 1;
+  /// Run seed fanned out (splitmix64) into per-shard RNG streams.
+  std::uint64_t seed = sim::ShardGroup::kDefaultSeed;
 };
 
 class HyperTester {
  public:
   explicit HyperTester(TesterConfig cfg = {});
+  /// Place the tester on a shard of an existing ShardGroup (used by
+  /// TesterCluster, core/cluster.hpp). All of the tester's components run
+  /// on that shard's queue and allocate from that shard's packet pool;
+  /// cfg.shards/cfg.seed are ignored (the group decides both).
+  HyperTester(TesterConfig cfg, sim::Shard& shard);
 
   // --- infrastructure access -------------------------------------------------
   sim::EventQueue& events() { return ev_; }
+  /// The shard this tester's components execute on.
+  sim::Shard& home_shard() { return *home_; }
+  /// The engine driving this tester: its own internal group (standalone)
+  /// or the cluster's (placed). run_for/run_with_retry advance it.
+  sim::ShardGroup& shard_group() { return home_->group(); }
+  const sim::ShardGroup& shard_group() const { return home_->group(); }
   rmt::SwitchAsic& asic() { return asic_; }
   switchcpu::Controller& controller() { return controller_; }
   htps::Sender& sender() { return *sender_; }
@@ -125,7 +146,11 @@ class HyperTester {
  private:
   void apply_chaos();
 
-  sim::EventQueue ev_;
+  /// Present only for standalone testers; declared first so it outlives
+  /// every component still holding pool-backed packets at destruction.
+  std::unique_ptr<sim::ShardGroup> owned_group_;
+  sim::Shard* home_;       ///< the shard all of this tester's events run on
+  sim::EventQueue& ev_;    ///< home_->ev(), the queue components bind to
   rmt::SwitchAsic asic_;
   switchcpu::Controller controller_;
   std::unique_ptr<htps::Sender> sender_;

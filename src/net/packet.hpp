@@ -160,6 +160,12 @@ class Packet {
   std::size_t wire_size() const { return data_.size() + 4; }            ///< frame + FCS
   std::size_t line_size() const { return data_.size() + kWireOverhead; }  ///< incl. IPG
 
+  /// The pool this packet's storage returns to when the last reference
+  /// drops (nullptr for plain heap packets). The cross-shard handoff path
+  /// uses this to decide between stealing and copying: a packet may only
+  /// be freed on the thread owning its home pool.
+  PacketPool* home_pool() const { return pool_; }
+
  private:
   friend class PacketPtr;
   friend class PacketPool;
@@ -195,6 +201,23 @@ class PacketPtr {
 
   /// Adopt a heap packet with no outstanding references (refcount becomes 1).
   static PacketPtr adopt(Packet* p) { return PacketPtr(p); }
+
+  /// Release ownership of this handle's reference WITHOUT dropping the
+  /// refcount: the raw pointer carries the reference until re-wrapped
+  /// with adopt_detached(). This is how a packet reference crosses a
+  /// LinkMailbox (sim/mailbox.hpp), whose ring slots must be plain data.
+  Packet* detach() {
+    Packet* p = p_;
+    p_ = nullptr;
+    return p;
+  }
+  /// Re-wrap a reference previously released with detach(). The refcount
+  /// is NOT incremented — the pointer already owns one reference.
+  static PacketPtr adopt_detached(Packet* p) {
+    PacketPtr out;
+    out.p_ = p;
+    return out;
+  }
 
   Packet* get() const { return p_; }
   Packet& operator*() const { return *p_; }

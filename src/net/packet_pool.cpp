@@ -57,6 +57,18 @@ PacketPool& default_packet_pool() {
   return *pool;
 }
 
+namespace {
+thread_local PacketPool* tls_bound_pool = nullptr;
+}  // namespace
+
+PacketPool& current_packet_pool() {
+  return tls_bound_pool != nullptr ? *tls_bound_pool : default_packet_pool();
+}
+
+PoolBinding::PoolBinding(PacketPool* pool) : prev_(tls_bound_pool) { tls_bound_pool = pool; }
+
+PoolBinding::~PoolBinding() { tls_bound_pool = prev_; }
+
 void PacketPtr::dispose(Packet* p) {
   if (p->pool_ != nullptr) {
     p->pool_->recycle(p);
@@ -66,17 +78,17 @@ void PacketPtr::dispose(Packet* p) {
 }
 
 PacketPtr make_packet(std::size_t size, std::uint8_t fill) {
-  return default_packet_pool().acquire(size, fill);
+  return current_packet_pool().acquire(size, fill);
 }
 
 PacketPtr make_packet(const Packet& proto) {
-  return default_packet_pool().acquire_copy(proto);
+  return current_packet_pool().acquire_copy(proto);
 }
 
 PacketPtr make_packet(Packet&& proto) {
   // Copy rather than steal the buffer: adopting `proto`'s vector would
   // discard the pooled capacity we are trying to keep hot.
-  return default_packet_pool().acquire_copy(proto);
+  return current_packet_pool().acquire_copy(proto);
 }
 
 }  // namespace ht::net

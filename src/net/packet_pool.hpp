@@ -55,9 +55,31 @@ class PacketPool {
   Stats stats_;
 };
 
-/// Process-wide pool backing make_packet(). Intentionally leaked (never
-/// destroyed) so packets held in static-storage containers at exit never
-/// see a dangling home pool; the OS reclaims the memory.
+/// Process-wide pool backing make_packet() when no thread binding is
+/// active. Intentionally leaked (never destroyed) so packets held in
+/// static-storage containers at exit never see a dangling home pool; the
+/// OS reclaims the memory.
 PacketPool& default_packet_pool();
+
+/// The pool make_packet() allocates from on the calling thread: the
+/// thread-bound pool when a PoolBinding is active, else the process-wide
+/// default. The sharded engine (sim/shard.hpp) binds each shard's private
+/// pool around the shard's event execution, so every allocation a
+/// component makes while its shard runs is shard-local — no cross-thread
+/// freelist sharing, no atomic refcounts needed.
+PacketPool& current_packet_pool();
+
+/// RAII thread binding for current_packet_pool(). Nestable; restores the
+/// previous binding on destruction. Binding nullptr restores the default.
+class PoolBinding {
+ public:
+  explicit PoolBinding(PacketPool* pool);
+  ~PoolBinding();
+  PoolBinding(const PoolBinding&) = delete;
+  PoolBinding& operator=(const PoolBinding&) = delete;
+
+ private:
+  PacketPool* prev_;
+};
 
 }  // namespace ht::net

@@ -1,6 +1,7 @@
 #include "sim/fault.hpp"
 
 #include <cstdio>
+#include <stdexcept>
 
 #include "sim/port.hpp"
 
@@ -10,6 +11,14 @@ FaultInjector::FaultInjector(EventQueue& ev, FaultConfig cfg)
     : ev_(ev), cfg_(cfg), rng_(cfg.seed) {}
 
 void FaultInjector::attach(Port& src) {
+  if (src.cross_shard()) {
+    // A wire hook runs on the SOURCE shard at delivery time, but a
+    // cross-shard packet has already left through the link mailbox by
+    // then — chaos on such a link would silently never fire. Keep faulty
+    // links within one shard (DESIGN.md §13).
+    throw std::logic_error(
+        "sim::FaultInjector: chaos cannot attach to a cross-shard link direction");
+  }
   arm_flaps();
   src.wire_hook = [this](net::PacketPtr pkt, Port& dst) { process(std::move(pkt), dst); };
 }

@@ -1,0 +1,35 @@
+#include "sim/mailbox.hpp"
+
+#include <bit>
+
+namespace ht::sim {
+
+LinkMailbox::LinkMailbox(std::size_t capacity) {
+  if (capacity < 2) capacity = 2;
+  ring_.resize(std::bit_ceil(capacity));
+  mask_ = ring_.size() - 1;
+}
+
+LinkMailbox::~LinkMailbox() {
+  // Release any references still buffered (teardown mid-epoch).
+  drain([](net::PacketPtr, TimeNs) {});
+}
+
+void LinkMailbox::push(net::PacketPtr pkt, TimeNs arrival) {
+  ++stats_.pushed;
+  const std::size_t tail = tail_.load(std::memory_order_relaxed);
+  const std::size_t head = head_.load(std::memory_order_acquire);
+  if (tail - head <= mask_) {
+    Handoff& h = ring_[tail & mask_];
+    h.pkt = pkt.detach();
+    h.arrival = arrival;
+    tail_.store(tail + 1, std::memory_order_release);
+    return;
+  }
+  // Ring full: spill (counted, never dropped) so delivery — and therefore
+  // every simulation result — is independent of the ring capacity.
+  ++stats_.backpressure;
+  spill_.push_back(Handoff{pkt.detach(), arrival});
+}
+
+}  // namespace ht::sim

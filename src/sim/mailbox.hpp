@@ -1,0 +1,107 @@
+// LinkMailbox: the single cross-shard edge of the sharded engine.
+//
+// When a link's two ports live on different shards (DESIGN.md §13), the
+// serialized packets cannot be delivered through a locally scheduled
+// event — the destination shard's clock may already be past the arrival
+// time within the current epoch. Instead the source port stamps each
+// packet with its future arrival time (TX start + serialization +
+// propagation, computed identically to the intra-shard path) and pushes
+// it here at send time; the ShardGroup drains every mailbox at the epoch
+// barrier, in link order, and schedules the deliveries on the
+// destination shard's queue. Conservative lookahead (epoch length <=
+// min link serialization + propagation) guarantees every stamped
+// arrival is at or after the barrier time, so causality never breaks.
+//
+// Concurrency contract: exactly one producer (the source shard's worker,
+// during an epoch) and one consumer (the barrier thread, between
+// epochs). The fixed ring carries the steady-state flow lock-free;
+// pushes beyond the ring capacity spill to an unbounded vector and are
+// counted as backpressure — never dropped, so results stay independent
+// of the ring size. FIFO order is preserved across the spill (ring
+// entries drain first, spill entries after; within one epoch every push
+// after the first spill also spills).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace ht::sim {
+
+class LinkMailbox {
+ public:
+  /// One cross-shard packet: ownership of a single reference travels
+  /// through the ring as a raw pointer (PacketPtr::detach/adopt_detached).
+  struct Handoff {
+    net::Packet* pkt = nullptr;
+    TimeNs arrival = 0;
+  };
+
+  struct Stats {
+    std::uint64_t pushed = 0;        ///< total packets handed off
+    std::uint64_t backpressure = 0;  ///< pushes that overflowed to the spill list
+    std::uint64_t high_water = 0;    ///< max handoffs buffered at a barrier
+  };
+
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit LinkMailbox(std::size_t capacity = 1024);
+  ~LinkMailbox();
+  LinkMailbox(const LinkMailbox&) = delete;
+  LinkMailbox& operator=(const LinkMailbox&) = delete;
+
+  /// Producer side: hand one packet reference to the mailbox, stamped
+  /// with its absolute arrival time at the far port.
+  void push(net::PacketPtr pkt, TimeNs arrival);
+
+  /// Consumer side (epoch barrier only): pop everything in FIFO push
+  /// order. `fn(net::PacketPtr, TimeNs arrival)` receives ownership.
+  template <typename Fn>
+  std::size_t drain(Fn&& fn) {
+    std::size_t n = 0;
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t buffered = (tail - head) + spill_.size();
+    if (buffered > stats_.high_water) stats_.high_water = buffered;
+    while (head != tail) {
+      Handoff& h = ring_[head & mask_];
+      fn(net::PacketPtr::adopt_detached(h.pkt), h.arrival);
+      h.pkt = nullptr;
+      ++head;
+      ++n;
+    }
+    head_.store(head, std::memory_order_release);
+    for (Handoff& h : spill_) {
+      fn(net::PacketPtr::adopt_detached(h.pkt), h.arrival);
+      h.pkt = nullptr;
+      ++n;
+    }
+    spill_.clear();
+    return n;
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) == tail_.load(std::memory_order_acquire) &&
+           spill_.empty();
+  }
+  std::size_t capacity() const { return mask_ + 1; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<Handoff> ring_;
+  std::size_t mask_ = 0;
+  /// Consumer cursor; producer reads it (acquire) to detect a full ring.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  /// Producer cursor; consumer reads it (acquire) to see published slots.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  /// Overflow entries, in push order after the ring filled. Touched by
+  /// the producer during an epoch and the consumer at the barrier; the
+  /// barrier's synchronization separates the two phases.
+  std::vector<Handoff> spill_;
+  Stats stats_;
+};
+
+}  // namespace ht::sim

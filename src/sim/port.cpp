@@ -1,8 +1,20 @@
 #include "sim/port.hpp"
 
+#include <stdexcept>
+
 #include "net/headers.hpp"
+#include "sim/mailbox.hpp"
 
 namespace ht::sim {
+
+void Port::set_remote_out(LinkMailbox* mailbox) {
+  if (mailbox != nullptr && wire_hook) {
+    throw std::logic_error(
+        "sim::Port: chaos wire_hook is not supported on a cross-shard link "
+        "(place the fault injector's link within one shard)");
+  }
+  remote_out_ = mailbox;
+}
 
 void Port::send(net::PacketPtr pkt) { send_at(ev_.now(), std::move(pkt)); }
 
@@ -39,8 +51,21 @@ void Port::send_at(TimeNs now_ns, net::PacketPtr pkt) {
                        telemetry::TraceRecorder::kTrackPortBase + id_);
     }
   }
-  Port* peer = peer_;
   const std::uint64_t line_bytes = pkt->line_size();
+  if (remote_out_ != nullptr) {
+    // Cross-shard wire: the packet leaves through the link mailbox NOW, at
+    // send time, stamped with the same arrival the local path computes —
+    // waiting for the serialization-complete event could be too late, as
+    // the destination shard's clock may pass `arrive` within this epoch.
+    // A local event still retires the TX bookkeeping at the same instant.
+    remote_out_->push(std::move(pkt), arrive);
+    ev_.schedule_at(arrive, [this, line_bytes] {
+      --tx_in_flight_;
+      tx_completed_line_bytes_ += line_bytes;
+    });
+    return;
+  }
+  Port* peer = peer_;
   ev_.schedule_at(arrive, [this, peer, line_bytes, pkt = std::move(pkt)]() mutable {
     --tx_in_flight_;
     tx_completed_line_bytes_ += line_bytes;

@@ -20,6 +20,8 @@
 
 namespace ht::sim {
 
+class LinkMailbox;
+
 class Port {
  public:
   Port(EventQueue& ev, std::uint16_t id, double rate_gbps)
@@ -64,6 +66,16 @@ class Port {
   /// them. Unset (the default) is a transparent wire.
   std::function<void(net::PacketPtr, Port& dst)> wire_hook;
 
+  /// Cross-shard wiring (sim/shard.hpp): when set, serialized packets are
+  /// pushed into the link mailbox at send time — stamped with the exact
+  /// arrival the intra-shard path would compute — instead of being
+  /// delivered through a local event; the ShardGroup's epoch barrier
+  /// schedules the delivery on the destination shard. Incompatible with
+  /// wire_hook (throws): a chaos hook would have to run on the wrong
+  /// shard at delivery time.
+  void set_remote_out(LinkMailbox* mailbox);
+  bool cross_shard() const { return remote_out_ != nullptr; }
+
   /// MAC FCS verification: when enabled, deliver() drops frames whose
   /// checksums no longer verify (bit-flip corruption on the wire) and
   /// counts them — corruption is observable, never silently consumed.
@@ -97,6 +109,7 @@ class Port {
   double rate_gbps_;
   Port* peer_ = nullptr;
   TimeNs propagation_ns_ = 0;
+  LinkMailbox* remote_out_ = nullptr;
 
   double busy_until_ = 0.0;  ///< fractional ns; next TX can start here
   std::size_t tx_in_flight_ = 0;

@@ -15,6 +15,37 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedull) : engine_(seed) {}
 
+  /// One step of the splitmix64 sequence starting at `state` (Steele et
+  /// al., "Fast splittable pseudorandom number generators"). Advances
+  /// `state` and returns a fully mixed 64-bit output. Used as the seed
+  /// fanout below and available to callers that need a cheap stateless
+  /// mix (hash of an id, derived stream keys).
+  static std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e9b5ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Seed for stream `stream` of run seed `run_seed`: the (stream+1)-th
+  /// splitmix64 output of the run seed. This is how per-shard (and
+  /// per-tester) Rng streams are derived from one run seed. splitmix64's
+  /// full-avalanche finalizer decorrelates the streams: unlike the naive
+  /// `run_seed + stream` seeding, two derived seeds never feed the
+  /// mt19937_64 initializer with near-identical values, so neighbouring
+  /// shards do not start in correlated engine states.
+  static std::uint64_t stream_seed(std::uint64_t run_seed, std::uint64_t stream) {
+    std::uint64_t state = run_seed;
+    std::uint64_t out = splitmix64(state);
+    for (std::uint64_t i = 0; i < stream; ++i) out = splitmix64(state);
+    return out;
+  }
+
+  /// An Rng on the derived stream: `Rng::for_stream(seed, shard_id)`.
+  static Rng for_stream(std::uint64_t run_seed, std::uint64_t stream) {
+    return Rng(stream_seed(run_seed, stream));
+  }
+
   std::uint64_t next_u64() { return engine_(); }
   /// Uniform in [0, bound) — bound must be > 0.
   std::uint64_t uniform(std::uint64_t bound) {

@@ -1,0 +1,213 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ht::sim {
+
+Shard::~Shard() {
+  if (pool_->stats().live != 0) {
+    // Packets are still checked out (e.g. held by a sink that outlives the
+    // group). Leak the pool so their eventual release never sees a dangling
+    // home pool — same contract as net::default_packet_pool.
+    (void)pool_.release();
+  }
+}
+
+ShardGroup::ShardGroup(std::size_t shards, std::uint64_t run_seed) : run_seed_(run_seed) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(*this, i, run_seed_));
+  }
+}
+
+ShardGroup::~ShardGroup() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ShardGroup::connect(Port& a, std::size_t shard_a, Port& b, std::size_t shard_b,
+                         TimeNs propagation_ns) {
+  if (shard_a >= shards_.size() || shard_b >= shards_.size()) {
+    throw std::out_of_range("sim::ShardGroup::connect: shard index out of range");
+  }
+  a.connect(&b, propagation_ns);
+  b.connect(&a, propagation_ns);
+  if (shard_a == shard_b) return;  // intra-shard wire: plain local link
+
+  if (a.wire_hook || b.wire_hook) {
+    throw std::logic_error(
+        "sim::ShardGroup::connect: chaos wire_hook is not supported on a "
+        "cross-shard link");
+  }
+  const auto add_dir = [this, propagation_ns](Port& src, Port& dst, Shard& dst_shard) {
+    auto dir = std::make_unique<CrossDir>();
+    dir->dst_port = &dst;
+    dir->dst_shard = &dst_shard;
+    src.set_remote_out(&dir->mailbox);
+    // Conservative per-direction lookahead: any packet sent at time t
+    // arrives at >= t + floor(min serialization) + propagation, where the
+    // minimum serialization is an empty frame's wire overhead at the
+    // source line rate. floor() (not round) keeps the bound sound against
+    // the llround in Port::send_at.
+    const double min_ser = serialization_ns(net::Packet::kWireOverhead, src.rate_gbps());
+    const TimeNs dir_lookahead =
+        propagation_ns + std::max<TimeNs>(1, static_cast<TimeNs>(min_ser));
+    lookahead_ = lookahead_ == 0 ? dir_lookahead : std::min(lookahead_, dir_lookahead);
+    links_.push_back(std::move(dir));
+  };
+  add_dir(a, b, *shards_[shard_b]);
+  add_dir(b, a, *shards_[shard_a]);
+}
+
+std::uint64_t ShardGroup::run_until(TimeNs deadline) {
+  if (shards_.size() == 1) {
+    // Single shard: the legacy engine, inline on the calling thread — no
+    // epochs, no barrier, no worker threads.
+    net::PoolBinding bind(&shards_[0]->pool());
+    const std::uint64_t n = shards_[0]->ev().run_until(deadline);
+    epoch_now_ = std::max(epoch_now_, deadline);
+    return n;
+  }
+  ensure_workers();
+  std::uint64_t executed = 0;
+  for (;;) {
+    TimeNs target = deadline;
+    if (!links_.empty() && epoch_now_ < deadline) {
+      target = std::min(deadline, epoch_now_ + lookahead_);
+    }
+    executed += run_shards_until(target);
+    epoch_now_ = std::max(epoch_now_, target);
+    ++stats_.epochs;
+    // Barrier: workers are parked, so the drain below — including packet
+    // transfers that touch both shards' pools — is race-free by phase
+    // separation (the condvar round-trip orders it against epoch work).
+    const std::size_t due = drain_mailboxes(deadline);
+    // Handoffs stamped at or before the deadline still need event time on
+    // their destination shard; rerun until the edge is quiet. Each rerun's
+    // sends arrive at least 1 ns later, so this terminates.
+    if (epoch_now_ >= deadline && due == 0) break;
+  }
+  return executed;
+}
+
+std::uint64_t ShardGroup::total_executed() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->ev().executed();
+  return n;
+}
+
+ShardGroup::SyncStats ShardGroup::sync_stats() const {
+  SyncStats out = stats_;
+  for (const auto& dir : links_) out.backpressure += dir->mailbox.stats().backpressure;
+  return out;
+}
+
+EventQueue::SlabStats ShardGroup::aggregate_slab_stats() const {
+  EventQueue::SlabStats out;
+  for (const auto& s : shards_) {
+    const EventQueue::SlabStats& ss = s->ev().slab_stats();
+    out.hits += ss.hits;
+    out.misses += ss.misses;
+    out.live += ss.live;
+    out.high_water += ss.high_water;
+    out.heap_closures += ss.heap_closures;
+  }
+  return out;
+}
+
+net::PacketPool::Stats ShardGroup::aggregate_pool_stats() const {
+  net::PacketPool::Stats out;
+  for (const auto& s : shards_) {
+    const net::PacketPool::Stats& ps = s->pool().stats();
+    out.hits += ps.hits;
+    out.misses += ps.misses;
+    out.released += ps.released;
+    out.live += ps.live;
+    out.high_water += ps.high_water;
+  }
+  return out;
+}
+
+void ShardGroup::ensure_workers() {
+  if (!workers_.empty()) return;
+  workers_.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+std::uint64_t ShardGroup::run_shards_until(TimeNs target) {
+  std::unique_lock<std::mutex> lk(mu_);
+  target_ = target;
+  pending_workers_ = shards_.size();
+  epoch_executed_ = 0;
+  ++generation_;
+  cv_work_.notify_all();
+  cv_done_.wait(lk, [this] { return pending_workers_ == 0; });
+  return epoch_executed_;
+}
+
+void ShardGroup::worker_main(std::size_t shard_idx) {
+  // Every allocation made while this shard executes — template replicas,
+  // DUT responses, fastpath clones — lands in the shard's private pool.
+  net::PoolBinding bind(&shards_[shard_idx]->pool());
+  std::uint64_t seen = 0;
+  for (;;) {
+    TimeNs target = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      target = target_;
+    }
+    const std::uint64_t n = shards_[shard_idx]->ev().run_until(target);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      epoch_executed_ += n;
+      if (--pending_workers_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+std::size_t ShardGroup::drain_mailboxes(TimeNs deadline) {
+  std::size_t due = 0;
+  for (const auto& dir : links_) {
+    Port* dst = dir->dst_port;
+    Shard* dst_shard = dir->dst_shard;
+    dir->mailbox.drain([&](net::PacketPtr pkt, TimeNs arrival) {
+      ++stats_.handoffs;
+      if (arrival <= deadline) ++due;
+      net::PacketPtr local = transfer(std::move(pkt), dst_shard->pool());
+      dst_shard->ev().schedule_at(arrival, [dst, p = std::move(local)]() mutable {
+        dst->deliver(std::move(p));
+      });
+    });
+  }
+  return due;
+}
+
+net::PacketPtr ShardGroup::transfer(net::PacketPtr pkt, net::PacketPool& dst_pool) {
+  // Steal (move the storage itself across) only when this is the sole
+  // reference AND a later release on the destination shard's thread is
+  // safe: the storage already belongs to the destination pool, or to no
+  // pool at all (plain heap delete is thread-safe). Otherwise copy into
+  // the destination pool and release the source reference here, at the
+  // barrier, where the source pool is quiescent.
+  if (pkt.use_count() == 1 &&
+      (pkt->home_pool() == &dst_pool || pkt->home_pool() == nullptr)) {
+    ++stats_.handoffs_stolen;
+    return pkt;
+  }
+  ++stats_.handoffs_copied;
+  return dst_pool.acquire_copy(*pkt);
+}
+
+}  // namespace ht::sim

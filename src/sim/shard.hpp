@@ -1,0 +1,193 @@
+// Sharded simulation engine: shard-per-worker discrete-event execution
+// with conservative link-lookahead synchronization (DESIGN.md §13).
+//
+// A Shard is one self-contained simulation domain: its own EventQueue
+// (timer wheel + event slab), its own Rng stream (splitmix64 fanout of
+// the group's run seed), and its own PacketPool. Components constructed
+// against a shard's queue — a whole HyperTester, a DUT endpoint — share
+// NOTHING mutable with components on other shards; the only cross-shard
+// edges are links (sim::Port wire paths), which hand packets over
+// through per-link SPSC mailboxes (sim/mailbox.hpp).
+//
+// The ShardGroup runs its shards on std::thread workers in epochs of
+// conservative lookahead L = min over cross-shard link directions of
+// (propagation + minimum serialization time). Any packet sent during the
+// epoch [T, T+L) arrives at >= T+L, so within an epoch every shard can
+// execute independently; at the epoch barrier the group drains all
+// mailboxes in fixed link order and schedules the deliveries on the
+// destination queues. That drain order — and the per-shard (time, seq)
+// order inside each queue — makes results byte-identical run-to-run AND
+// across worker interleavings.
+//
+// Determinism contract (pinned by tests/determinism_test.cpp): for a
+// fixed component placement and run seed, all observable results —
+// counters, store fingerprints, replica bytes, arrival timestamps,
+// Prometheus text — are byte-identical across shard counts {1, 2, 4, 8}
+// and across repeated runs. The contract holds because (a) arrival
+// timestamps are computed identically on the intra-shard and mailbox
+// paths, (b) per-link FIFO order is preserved, and (c) components placed
+// together share no state, so their same-timestamp interleaving is
+// unobservable. Randomness consumed by components is keyed to the
+// component (each ASIC/controller/injector owns its Rng), never to the
+// shard, so co-residency does not change any stream.
+//
+// A group of size 1 runs inline on the calling thread with no epochs, no
+// barrier, and no worker threads — exactly the legacy single-queue
+// engine.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/packet_pool.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/port.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace ht::sim {
+
+class ShardGroup;
+
+/// One simulation domain: event queue + RNG stream + packet pool.
+class Shard {
+ public:
+  Shard(ShardGroup& group, std::size_t id, std::uint64_t run_seed)
+      : group_(group),
+        id_(id),
+        rng_(Rng::for_stream(run_seed, id)),
+        pool_(std::make_unique<net::PacketPool>()) {}
+  ~Shard();
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  std::size_t id() const { return id_; }
+  ShardGroup& group() { return group_; }
+  EventQueue& ev() { return ev_; }
+  const EventQueue& ev() const { return ev_; }
+  /// Shard-local randomness, decorrelated from every other shard's stream
+  /// via the splitmix64 seed fanout (sim::Rng::for_stream). Components
+  /// that must stay placement-invariant own their Rng instead.
+  Rng& rng() { return rng_; }
+  net::PacketPool& pool() { return *pool_; }
+  const net::PacketPool& pool() const { return *pool_; }
+
+ private:
+  ShardGroup& group_;
+  std::size_t id_;
+  EventQueue ev_;
+  Rng rng_;
+  /// Leaked at destruction if packets are still checked out (same
+  /// philosophy as net::default_packet_pool: a late release must never
+  /// see a dangling home pool).
+  std::unique_ptr<net::PacketPool> pool_;
+};
+
+/// Scheduler for a fixed set of shards; owns the cross-shard links.
+class ShardGroup {
+ public:
+  static constexpr std::uint64_t kDefaultSeed = 0x5eed5eed5eed5eedull;
+  /// Propagation assumed for a cross-shard link when the caller gives
+  /// none: ~100 m of fiber. Generous lookahead keeps epochs long; a
+  /// same-rack 0 ns cable still works, it just synchronizes more often.
+  static constexpr TimeNs kDefaultCrossPropagationNs = 500;
+
+  explicit ShardGroup(std::size_t shards, std::uint64_t run_seed = kDefaultSeed);
+  ~ShardGroup();
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  std::size_t size() const { return shards_.size(); }
+  Shard& shard(std::size_t i) { return *shards_[i]; }
+  const Shard& shard(std::size_t i) const { return *shards_[i]; }
+
+  /// Wire two ports full duplex, like Port::connect on both ends. When
+  /// the ports live on different shards the wire becomes a cross-shard
+  /// edge: each direction gets an SPSC mailbox, and the link's
+  /// propagation + minimum serialization time joins the conservative
+  /// lookahead (the epoch length). Chaos wire hooks are not supported on
+  /// cross-shard links (the injector would run on the source shard at
+  /// delivery time, violating lookahead) — connect throws if one is
+  /// already attached, and FaultInjector::attach refuses the reverse
+  /// order.
+  void connect(Port& a, std::size_t shard_a, Port& b, std::size_t shard_b,
+               TimeNs propagation_ns = kDefaultCrossPropagationNs);
+
+  /// Conservative lookahead: the epoch length while cross-shard links
+  /// exist (min over link directions of propagation + min serialization,
+  /// never below 1 ns). Groups with no cross-shard links run a single
+  /// epoch per run_until call.
+  TimeNs lookahead() const { return lookahead_; }
+
+  /// The group epoch clock: every shard's queue has run to at least this
+  /// time. With size() == 1 this tracks the queue's own clock.
+  TimeNs now() const { return epoch_now_; }
+
+  /// Advance every shard to `deadline` (epoch loop + mailbox barriers).
+  /// Returns the number of events executed across all shards. With
+  /// size() == 1, exactly EventQueue::run_until on the calling thread.
+  /// Multi-shard groups must be driven through this call only — do not
+  /// advance an individual shard's queue directly.
+  std::uint64_t run_until(TimeNs deadline);
+
+  /// Sum of events executed across all shards since construction.
+  std::uint64_t total_executed() const;
+
+  struct SyncStats {
+    std::uint64_t epochs = 0;            ///< barrier rounds completed
+    std::uint64_t handoffs = 0;          ///< packets that crossed a shard boundary
+    std::uint64_t handoffs_stolen = 0;   ///< moved without a copy (sole ref, compatible pool)
+    std::uint64_t handoffs_copied = 0;   ///< copied into the destination shard's pool
+    std::uint64_t backpressure = 0;      ///< mailbox ring overflows (spilled, not lost)
+  };
+  SyncStats sync_stats() const;
+
+  /// Aggregates across every shard, for HyperTester::alloc_cache_reports:
+  /// counters are summed; high_water is the sum of per-shard peaks (an
+  /// upper bound on the true simultaneous peak).
+  EventQueue::SlabStats aggregate_slab_stats() const;
+  net::PacketPool::Stats aggregate_pool_stats() const;
+
+ private:
+  /// One direction of a cross-shard link.
+  struct CrossDir {
+    LinkMailbox mailbox;
+    Port* dst_port = nullptr;
+    Shard* dst_shard = nullptr;
+  };
+
+  void ensure_workers();
+  void worker_main(std::size_t shard_idx);
+  /// Run every shard to `target` on the workers; returns events executed.
+  std::uint64_t run_shards_until(TimeNs target);
+  /// Drain all mailboxes in link order; returns the number of handoffs
+  /// whose arrival is <= `deadline` (i.e. that still need event time).
+  std::size_t drain_mailboxes(TimeNs deadline);
+  net::PacketPtr transfer(net::PacketPtr pkt, net::PacketPool& dst_pool);
+
+  std::uint64_t run_seed_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<CrossDir>> links_;
+  TimeNs lookahead_ = 0;
+  TimeNs epoch_now_ = 0;
+  SyncStats stats_;
+
+  // --- worker pool (only started for size() > 1) -------------------------
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  TimeNs target_ = 0;
+  std::size_t pending_workers_ = 0;
+  std::uint64_t epoch_executed_ = 0;  ///< accumulated under mu_
+  bool stop_ = false;
+};
+
+}  // namespace ht::sim

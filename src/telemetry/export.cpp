@@ -11,12 +11,41 @@ namespace {
 
 using EntryPtr = const MetricsRegistry::Entry*;
 
-std::vector<EntryPtr> sorted_entries(const MetricsRegistry& reg) {
-  std::vector<EntryPtr> out;
-  out.reserve(reg.size());
-  reg.for_each([&out](const MetricsRegistry::Entry& e) { out.push_back(&e); });
-  std::sort(out.begin(), out.end(),
-            [](EntryPtr a, EntryPtr b) { return a->full_name < b->full_name; });
+/// An entry plus the sample name to export it under (the registry's own
+/// full_name, or that name with a section's extra labels spliced in).
+struct NamedEntry {
+  std::string full;
+  EntryPtr e;
+};
+
+std::string splice_labels(const MetricsRegistry::Entry& e, const std::vector<Label>& labels) {
+  if (labels.empty()) return e.full_name;
+  std::string extra;
+  for (const Label& l : labels) {
+    if (!extra.empty()) extra += ',';
+    extra += l.key;
+    extra += "=\"";
+    extra += l.value;
+    extra += '"';
+  }
+  if (!e.full_name.empty() && e.full_name.back() == '}') {
+    std::string out = e.full_name;
+    out.insert(out.size() - 1, "," + extra);
+    return out;
+  }
+  return e.full_name + "{" + extra + "}";
+}
+
+std::vector<NamedEntry> collect(const std::vector<RegistrySection>& sections) {
+  std::vector<NamedEntry> out;
+  for (const RegistrySection& s : sections) {
+    if (s.registry == nullptr) continue;
+    s.registry->for_each([&](const MetricsRegistry::Entry& e) {
+      out.push_back({splice_labels(e, s.labels), &e});
+    });
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const NamedEntry& a, const NamedEntry& b) { return a.full < b.full; });
   return out;
 }
 
@@ -37,47 +66,44 @@ std::string num(double v) {
   return buf;
 }
 
-}  // namespace
-
-std::string to_prometheus(const MetricsRegistry& reg) {
+std::string emit_prometheus(const std::vector<NamedEntry>& entries) {
   std::ostringstream os;
-  const auto entries = sorted_entries(reg);
   const std::string* last_typed = nullptr;
-  for (const EntryPtr e : entries) {
+  for (const NamedEntry& ne : entries) {
+    const MetricsRegistry::Entry& e = *ne.e;
     // HELP/TYPE once per base name (label variants share them).
-    if (last_typed == nullptr || *last_typed != e->name) {
-      if (!e->help.empty()) os << "# HELP " << e->name << ' ' << e->help << '\n';
-      os << "# TYPE " << e->name << ' ';
-      switch (e->kind) {
+    if (last_typed == nullptr || *last_typed != e.name) {
+      if (!e.help.empty()) os << "# HELP " << e.name << ' ' << e.help << '\n';
+      os << "# TYPE " << e.name << ' ';
+      switch (e.kind) {
         case MetricsRegistry::Kind::kCounter: os << "counter"; break;
         case MetricsRegistry::Kind::kGauge: os << "gauge"; break;
         case MetricsRegistry::Kind::kHistogram: os << "summary"; break;
       }
       os << '\n';
-      last_typed = &e->name;
+      last_typed = &e.name;
     }
-    switch (e->kind) {
+    switch (e.kind) {
       case MetricsRegistry::Kind::kCounter:
-        os << e->full_name << ' ' << e->counter_value() << '\n';
+        os << ne.full << ' ' << e.counter_value() << '\n';
         break;
       case MetricsRegistry::Kind::kGauge:
-        os << e->full_name << ' ' << e->gauge_value() << '\n';
+        os << ne.full << ' ' << e.gauge_value() << '\n';
         break;
       case MetricsRegistry::Kind::kHistogram: {
-        const Histogram& h = *e->histogram;
+        const Histogram& h = *e.histogram;
         // Splice the quantile label into any existing label set.
-        const bool labeled = e->full_name.back() == '}';
-        const std::string base =
-            labeled ? e->full_name.substr(0, e->full_name.size() - 1) : e->name;
+        const bool labeled = ne.full.back() == '}';
+        const std::string base = labeled ? ne.full.substr(0, ne.full.size() - 1) : e.name;
         const char* sep = labeled ? "," : "{";
         for (std::size_t i = 0; i < std::size(kQuantiles); ++i) {
           os << base << sep << "quantile=\"" << num(kQuantiles[i]) << "\"} "
              << h.quantile(kQuantiles[i]) << '\n';
         }
-        os << e->name << "_sum" << (labeled ? e->full_name.substr(e->name.size()) : "") << ' '
+        os << e.name << "_sum" << (labeled ? ne.full.substr(e.name.size()) : "") << ' '
            << h.sum() << '\n';
-        os << e->name << "_count" << (labeled ? e->full_name.substr(e->name.size()) : "")
-           << ' ' << h.count() << '\n';
+        os << e.name << "_count" << (labeled ? ne.full.substr(e.name.size()) : "") << ' '
+           << h.count() << '\n';
         break;
       }
     }
@@ -85,8 +111,7 @@ std::string to_prometheus(const MetricsRegistry& reg) {
   return os.str();
 }
 
-std::string to_json(const MetricsRegistry& reg, int indent) {
-  const auto entries = sorted_entries(reg);
+std::string emit_json(const std::vector<NamedEntry>& entries, int indent) {
   const std::string nl = indent > 0 ? "\n" : "";
   const std::string pad1 = indent > 0 ? std::string(static_cast<std::size_t>(indent), ' ') : "";
   const std::string pad2 = pad1 + pad1;
@@ -95,19 +120,19 @@ std::string to_json(const MetricsRegistry& reg, int indent) {
   const auto emit_section = [&](MetricsRegistry::Kind kind, const char* title, bool last) {
     os << pad1 << '"' << title << "\":{" << nl;
     bool first = true;
-    for (const EntryPtr e : entries) {
-      if (e->kind != kind) continue;
+    for (const NamedEntry& ne : entries) {
+      const MetricsRegistry::Entry& e = *ne.e;
+      if (e.kind != kind) continue;
       if (!first) os << ',' << nl;
       first = false;
-      os << pad2 << '"' << json_escape(e->full_name) << "\":";
+      os << pad2 << '"' << json_escape(ne.full) << "\":";
       switch (kind) {
-        case MetricsRegistry::Kind::kCounter: os << e->counter_value(); break;
-        case MetricsRegistry::Kind::kGauge: os << e->gauge_value(); break;
+        case MetricsRegistry::Kind::kCounter: os << e.counter_value(); break;
+        case MetricsRegistry::Kind::kGauge: os << e.gauge_value(); break;
         case MetricsRegistry::Kind::kHistogram: {
-          const Histogram& h = *e->histogram;
-          os << "{\"count\":" << h.count() << ",\"sum\":" << h.sum()
-             << ",\"min\":" << h.min() << ",\"max\":" << h.max()
-             << ",\"mean\":" << num(h.mean());
+          const Histogram& h = *e.histogram;
+          os << "{\"count\":" << h.count() << ",\"sum\":" << h.sum() << ",\"min\":" << h.min()
+             << ",\"max\":" << h.max() << ",\"mean\":" << num(h.mean());
           for (std::size_t i = 0; i < std::size(kQuantiles); ++i) {
             os << ",\"" << kQuantileNames[i] << "\":" << h.quantile(kQuantiles[i]);
           }
@@ -125,6 +150,24 @@ std::string to_json(const MetricsRegistry& reg, int indent) {
   emit_section(MetricsRegistry::Kind::kHistogram, "histograms", true);
   os << '}';
   return os.str();
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsRegistry& reg) {
+  return emit_prometheus(collect({{&reg, {}}}));
+}
+
+std::string to_json(const MetricsRegistry& reg, int indent) {
+  return emit_json(collect({{&reg, {}}}), indent);
+}
+
+std::string to_prometheus(const std::vector<RegistrySection>& sections) {
+  return emit_prometheus(collect(sections));
+}
+
+std::string to_json(const std::vector<RegistrySection>& sections, int indent) {
+  return emit_json(collect(sections), indent);
 }
 
 }  // namespace ht::telemetry

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "telemetry/metrics.hpp"
 
@@ -28,6 +29,25 @@ std::string to_prometheus(const MetricsRegistry& reg);
 /// Compact JSON dump. `indent` > 0 pretty-prints with that many spaces.
 std::string to_json(const MetricsRegistry& reg, int indent = 0);
 
+/// One registry in a merged multi-registry export, with extra labels
+/// spliced into every sample name (appended inside an existing `{...}`
+/// set, or added as a fresh one). TesterCluster exports each tester's
+/// registry under `tester="tN"` this way; with N identical testers the
+/// merged text differs from N concatenated single exports only by the
+/// spliced label, and is byte-stable for a deterministic run.
+struct RegistrySection {
+  const MetricsRegistry* registry = nullptr;
+  std::vector<Label> labels;
+};
+
+/// Merged Prometheus exposition text: all sections' entries, sorted by
+/// their label-spliced sample names. A single unlabeled section is
+/// byte-identical to to_prometheus(reg).
+std::string to_prometheus(const std::vector<RegistrySection>& sections);
+
+/// Merged JSON dump; keys are the label-spliced sample names.
+std::string to_json(const std::vector<RegistrySection>& sections, int indent = 0);
+
 /// Snapshot of one registry in both formats — the return type of
 /// HyperTester::telemetry_report().
 struct Report {
@@ -37,6 +57,10 @@ struct Report {
 
 inline Report make_report(const MetricsRegistry& reg) {
   return Report{to_json(reg), to_prometheus(reg)};
+}
+
+inline Report make_report(const std::vector<RegistrySection>& sections) {
+  return Report{to_json(sections), to_prometheus(sections)};
 }
 
 }  // namespace ht::telemetry

@@ -5,17 +5,29 @@
 // running the same scenario produce bit-identical event counts, register
 // state, and per-port counters. These tests pin that contract so future
 // storage or scheduling changes cannot silently reorder events.
+//
+// The sharded suite (ShardedGoldenRun, DESIGN.md §13) extends the same
+// contract across the parallel engine: every symx catalog task, run as a
+// two-tester cluster, must produce byte-identical counters, store
+// fingerprints, replica byte streams with arrival timestamps, and merged
+// Prometheus text for shard counts {1, 2, 4, 8} — shards=1 being the
+// legacy single-queue golden.
 #include <gtest/gtest.h>
 
 #include <array>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/tasks.hpp"
+#include "core/cluster.hpp"
 #include "core/hypertester.hpp"
 #include "dut/capture.hpp"
 #include "net/packet_pool.hpp"
+#include "testutil.hpp"
 
 namespace ht {
 namespace {
@@ -93,6 +105,151 @@ TEST(GoldenRun, IdenticalResultsForFixedSeed) {
   // The scenario must actually exercise the hot path to prove anything.
   EXPECT_GT(a.egress_packets, 10000u);
   EXPECT_GT(a.registers.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded golden runs: shard-count invariance over the full symx catalog.
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<std::string, ntapi::Task>> shard_catalog() {
+  using namespace apps;
+  std::vector<std::pair<std::string, ntapi::Task>> out;
+  out.emplace_back("throughput", throughput_test(1, 2, {0}).task);
+  out.emplace_back("delay", delay_test(1, 2, {0}, {1}, 2000).task);
+  out.emplace_back("delay_state", delay_test_state_based(1, 2, {0}, {1}, 2000).task);
+  out.emplace_back("ip_scan", ip_scan(0x0A000000, 16, 80, {0}).task);
+  out.emplace_back("syn_flood", syn_flood(1, 80, {0, 1}).task);
+  out.emplace_back("web", web_test(1, 80, 0x01010001, 4, {0}, 2000, 2).task);
+  out.emplace_back("udp_flood", udp_flood(1, 53, {0}).task);
+  out.emplace_back("dns_amp", dns_amplification(1, 0x08080800, 8, {0}).task);
+  out.emplace_back("loss", loss_test(1, 2, {0}, {1}, 16, 1000).task);
+  out.emplace_back("port_bw", port_bandwidth().task);
+  out.emplace_back("ping_sweep", ping_sweep(0x0A000000, 8, {0}).task);
+  return out;
+}
+
+struct ShardReplica {
+  sim::TimeNs at = 0;
+  std::vector<std::uint8_t> bytes;
+  bool operator==(const ShardReplica&) const = default;
+};
+
+/// Everything observable about one finished cluster run.
+struct ShardRunResult {
+  std::vector<std::uint64_t> counters;  ///< flattened per-tester counter set
+  std::vector<std::map<std::uint64_t, std::uint64_t>> store_fingerprints;
+  std::vector<std::vector<ShardReplica>> per_sink;
+  std::string prometheus;  ///< merged cluster export (tester="tN" labels)
+  bool sends_traffic = false;  ///< task has templates (receive-only tasks don't)
+  bool operator==(const ShardRunResult&) const = default;
+};
+
+/// Two testers, each wired to two sinks. Testers go on shards 2t % n and
+/// their sinks on (2t+1) % n, so every shard count above 1 pushes all
+/// replica traffic through cross-shard link mailboxes.
+ShardRunResult run_sharded_catalog_task(const ntapi::Task& task, std::size_t nshards) {
+  constexpr std::size_t kTesters = 2;
+  constexpr std::size_t kSinkPorts = 2;
+  TesterCluster cluster({.shards = nshards, .seed = 0xd1ce});
+  std::vector<std::unique_ptr<test::PortSink>> sinks;
+  for (std::size_t t = 0; t < kTesters; ++t) {
+    const std::size_t tester_shard = (2 * t) % nshards;
+    const std::size_t sink_shard = (2 * t + 1) % nshards;
+    TesterConfig cfg;
+    cfg.asic.num_ports = 4;
+    cfg.asic.seed = 1 + t;  // decorrelate the two testers' jitter draws
+    HyperTester& tester = cluster.add_tester(cfg, tester_shard);
+    for (std::size_t p = 0; p < kSinkPorts; ++p) {
+      sinks.push_back(std::make_unique<test::PortSink>(
+          cluster.shards().shard(sink_shard).ev(),
+          static_cast<std::uint16_t>(1000 + kSinkPorts * t + p), cfg.asic.port_rate_gbps));
+      cluster.shards().connect(tester.asic().port(static_cast<std::uint16_t>(p)), tester_shard,
+                               sinks.back()->port, sink_shard, /*propagation_ns=*/500);
+    }
+    tester.load(task);
+    tester.start();
+  }
+  cluster.run_for(sim::us(120));
+
+  ShardRunResult r;
+  for (std::size_t t = 0; t < kTesters; ++t) {
+    HyperTester& tester = cluster.tester(t);
+    const auto& compiled = tester.compiled();
+    for (std::size_t q = 0; q < compiled.queries.size(); ++q) {
+      r.counters.push_back(tester.receiver().evaluated(q));
+      r.counters.push_back(tester.receiver().matched(q));
+      r.counters.push_back(tester.receiver().keyless_total(q));
+      r.counters.push_back(tester.receiver().out_of_window(q));
+      if (const auto* store = tester.receiver().store(q)) {
+        r.counters.push_back(tester.query_distinct(ntapi::QueryHandle{q}));
+        r.store_fingerprints.push_back(store->dump_fingerprints());
+      } else {
+        r.counters.push_back(0);
+        r.store_fingerprints.emplace_back();
+      }
+    }
+    for (std::size_t tr = 0; tr < compiled.templates.size(); ++tr) {
+      r.counters.push_back(tester.trigger_fires(ntapi::TriggerHandle{tr}));
+    }
+    r.sends_traffic = r.sends_traffic || !compiled.templates.empty();
+    r.counters.push_back(tester.asic().ingress_packets());
+    r.counters.push_back(tester.asic().egress_packets());
+    r.counters.push_back(tester.asic().dropped_packets());
+    r.counters.push_back(tester.asic().recirculations());
+    r.counters.push_back(tester.asic().replicas_created());
+    for (std::size_t p = 0; p < tester.asic().port_count(); ++p) {
+      const auto& port = tester.asic().port(static_cast<std::uint16_t>(p));
+      r.counters.push_back(port.tx_packets());
+      r.counters.push_back(port.tx_bytes());
+      r.counters.push_back(port.rx_packets());
+      r.counters.push_back(port.rx_bytes());
+      r.counters.push_back(port.dropped_no_peer());
+    }
+  }
+  for (const auto& sink : sinks) {
+    std::vector<ShardReplica> recs;
+    for (std::size_t i = 0; i < sink->packets.size(); ++i) {
+      const auto bytes = sink->packets[i]->bytes();
+      recs.push_back({sink->arrival_times[i], {bytes.begin(), bytes.end()}});
+    }
+    r.per_sink.push_back(std::move(recs));
+  }
+  r.prometheus = cluster.telemetry_report().prometheus;
+  return r;
+}
+
+TEST(ShardedGoldenRun, CatalogByteIdenticalAcrossShardCounts) {
+  for (const auto& [name, task] : shard_catalog()) {
+    SCOPED_TRACE(name);
+    const ShardRunResult golden = run_sharded_catalog_task(task, 1);
+    // A sending workload must actually cross the engine to prove anything
+    // (receive-only tasks like port_bw legitimately emit no replicas).
+    std::size_t golden_replicas = 0;
+    for (const auto& recs : golden.per_sink) golden_replicas += recs.size();
+    if (golden.sends_traffic) EXPECT_GT(golden_replicas, 0u);
+
+    for (const std::size_t nshards : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      SCOPED_TRACE("shards=" + std::to_string(nshards));
+      const ShardRunResult sharded = run_sharded_catalog_task(task, nshards);
+      EXPECT_EQ(golden.counters, sharded.counters);
+      EXPECT_EQ(golden.store_fingerprints, sharded.store_fingerprints);
+      ASSERT_EQ(golden.per_sink.size(), sharded.per_sink.size());
+      for (std::size_t s = 0; s < golden.per_sink.size(); ++s) {
+        EXPECT_EQ(golden.per_sink[s], sharded.per_sink[s]) << "sink " << s;
+      }
+      EXPECT_EQ(golden.prometheus, sharded.prometheus);
+      EXPECT_EQ(golden, sharded);
+    }
+  }
+}
+
+/// Repeated sharded runs (same shard count) must also be bit-identical:
+/// worker interleaving is not allowed to leak into results.
+TEST(ShardedGoldenRun, RepeatedShardedRunsAreIdentical) {
+  const auto task = apps::syn_flood(1, 80, {0, 1}).task;
+  const ShardRunResult a = run_sharded_catalog_task(task, 4);
+  const ShardRunResult b = run_sharded_catalog_task(task, 4);
+  EXPECT_EQ(a, b);
 }
 
 TEST(PacketPool, ReusesReleasedPackets) {

@@ -1,0 +1,227 @@
+// Sharded-engine unit tests (DESIGN.md §13): the per-link SPSC mailbox
+// (FIFO across the ring/spill boundary, counted backpressure, epoch-edge
+// arrivals), the splitmix64 per-shard seed fanout, and the ShardGroup
+// scheduler itself — cross-shard delivery must be timestamp-identical to
+// a co-placed link, handoffs must steal or copy correctly, and the worker
+// pool must execute every shard's events exactly once.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/packet_pool.hpp"
+#include "sim/fault.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/random.hpp"
+#include "sim/shard.hpp"
+
+namespace ht {
+namespace {
+
+TEST(LinkMailbox, DrainsInFifoPushOrder) {
+  sim::LinkMailbox box(8);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    auto pkt = net::make_packet(16, static_cast<std::uint8_t>(i));
+    pkt->meta().replica_index = i;
+    box.push(std::move(pkt), 100 + i);
+  }
+  std::vector<std::uint32_t> order;
+  std::vector<sim::TimeNs> arrivals;
+  const std::size_t n = box.drain([&](net::PacketPtr pkt, sim::TimeNs at) {
+    order.push_back(pkt->meta().replica_index);
+    arrivals.push_back(at);
+  });
+  EXPECT_EQ(n, 6u);
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(arrivals, (std::vector<sim::TimeNs>{100, 101, 102, 103, 104, 105}));
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(LinkMailbox, FullRingSpillsWithoutLossAndKeepsFifo) {
+  sim::LinkMailbox box(4);  // ring capacity 4 (bit_ceil)
+  ASSERT_EQ(box.capacity(), 4u);
+  constexpr std::uint32_t kTotal = 20;
+  for (std::uint32_t i = 0; i < kTotal; ++i) {
+    auto pkt = net::make_packet(16);
+    pkt->meta().replica_index = i;
+    box.push(std::move(pkt), i);
+  }
+  EXPECT_EQ(box.stats().pushed, kTotal);
+  EXPECT_EQ(box.stats().backpressure, kTotal - 4u);  // everything past the ring
+
+  std::vector<std::uint32_t> order;
+  const std::size_t n = box.drain(
+      [&](net::PacketPtr pkt, sim::TimeNs) { order.push_back(pkt->meta().replica_index); });
+  EXPECT_EQ(n, kTotal);
+  ASSERT_EQ(order.size(), kTotal);
+  for (std::uint32_t i = 0; i < kTotal; ++i) EXPECT_EQ(order[i], i);  // FIFO preserved
+  EXPECT_EQ(box.stats().high_water, kTotal);
+  EXPECT_TRUE(box.empty());
+
+  // The ring is fully reusable after a drain.
+  box.push(net::make_packet(16), 7);
+  EXPECT_EQ(box.stats().backpressure, kTotal - 4u);  // no new overflow
+  box.drain([](net::PacketPtr, sim::TimeNs) {});
+}
+
+TEST(LinkMailbox, DestructionReleasesBufferedPackets) {
+  net::PacketPool pool;
+  {
+    sim::LinkMailbox box(4);
+    for (int i = 0; i < 6; ++i) box.push(pool.acquire(32), 10);
+    EXPECT_EQ(pool.stats().live, 6u);
+  }  // dtor drains: all six references released back to the pool
+  EXPECT_EQ(pool.stats().live, 0u);
+}
+
+TEST(SplitMix64, MatchesReferenceVector) {
+  // First three outputs of Vigna's reference splitmix64.c for state 0
+  // (verified against a standalone build of the reference code). Pinned
+  // so the mixing constants can never drift silently.
+  std::uint64_t state = 0;
+  EXPECT_EQ(sim::Rng::splitmix64(state), 0xb2b24a15d311bdffull);
+  EXPECT_EQ(sim::Rng::splitmix64(state), 0xed8c5342ab0cfeb2ull);
+  EXPECT_EQ(sim::Rng::splitmix64(state), 0x39597e830bc21ad8ull);
+}
+
+TEST(SplitMix64, StreamSeedsAreDecorrelatedAndReproducible) {
+  const std::uint64_t run_seed = 42;
+  // Reproducible: the fanout is a pure function of (run_seed, stream).
+  EXPECT_EQ(sim::Rng::stream_seed(run_seed, 3), sim::Rng::stream_seed(run_seed, 3));
+  // Distinct per stream and per run seed — adjacent streams must not be
+  // the near-identical states a naive `seed + shard_id` would produce.
+  for (std::uint64_t s = 0; s < 16; ++s) {
+    for (std::uint64_t t = s + 1; t < 16; ++t) {
+      EXPECT_NE(sim::Rng::stream_seed(run_seed, s), sim::Rng::stream_seed(run_seed, t));
+    }
+    EXPECT_NE(sim::Rng::stream_seed(run_seed, s), sim::Rng::stream_seed(run_seed + 1, s));
+  }
+  // The derived generators produce unrelated draws.
+  sim::Rng a = sim::Rng::for_stream(run_seed, 0);
+  sim::Rng b = sim::Rng::for_stream(run_seed, 1);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+/// Two ports wired across shards must observe byte-identical timestamps
+/// to the same ports co-placed on one shard.
+TEST(ShardGroup, CrossShardDeliveryMatchesCoPlacedTimestamps) {
+  constexpr double kRate = 100.0;
+  constexpr sim::TimeNs kProp = 500;
+  const auto run = [&](std::size_t nshards, std::size_t shard_b) {
+    sim::ShardGroup group(nshards, /*run_seed=*/7);
+    sim::Port a(group.shard(0).ev(), 1, kRate);
+    sim::Port b(group.shard(shard_b).ev(), 2, kRate);
+    group.connect(a, 0, b, shard_b, kProp);
+    std::vector<sim::TimeNs> arrivals;
+    b.on_receive = [&](net::PacketPtr pkt) {
+      arrivals.push_back(pkt->meta().ingress_tstamp_ns);
+    };
+    // Three sends at staggered times, queued behind each other.
+    for (int i = 0; i < 3; ++i) {
+      group.shard(0).ev().schedule_at(static_cast<sim::TimeNs>(i), [&a] {
+        a.send(net::make_packet(64));
+      });
+    }
+    group.run_until(sim::us(10));
+    return arrivals;
+  };
+  const std::vector<sim::TimeNs> co_placed = run(1, 0);
+  const std::vector<sim::TimeNs> cross = run(2, 1);
+  ASSERT_EQ(co_placed.size(), 3u);
+  EXPECT_EQ(co_placed, cross);
+}
+
+/// A handoff arriving exactly at the run_until deadline must still be
+/// delivered within that call (the final-epoch edge).
+TEST(ShardGroup, EpochEdgeArrivalDeliveredAtDeadline) {
+  sim::ShardGroup group(2, 7);
+  sim::Port a(group.shard(0).ev(), 1, 100.0);
+  sim::Port b(group.shard(1).ev(), 2, 100.0);
+  group.connect(a, 0, b, 1, 500);
+  std::vector<sim::TimeNs> arrivals;
+  b.on_receive = [&](net::PacketPtr pkt) { arrivals.push_back(pkt->meta().ingress_tstamp_ns); };
+  group.shard(0).ev().schedule_at(0, [&a] { a.send(net::make_packet(64)); });
+  // 64B frame -> 88B line -> 7.04ns serialization, llround -> 7; +500 prop.
+  const sim::TimeNs kArrival = 507;
+  group.run_until(kArrival);  // deadline == the exact arrival instant
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], kArrival);
+  EXPECT_EQ(group.sync_stats().handoffs, 1u);
+}
+
+TEST(ShardGroup, HandoffStealsCompatibleStorageAndCopiesTheRest) {
+  sim::ShardGroup group(2, 7);
+  sim::Port a(group.shard(0).ev(), 1, 100.0);
+  sim::Port b(group.shard(1).ev(), 2, 100.0);
+  group.connect(a, 0, b, 1, 500);
+  b.on_receive = [](net::PacketPtr) {};
+
+  // Packet whose home pool IS the destination shard's pool: stolen.
+  {
+    net::PoolBinding bind(&group.shard(1).pool());
+    auto pkt = net::make_packet(64);
+    group.shard(0).ev().schedule_at(0, [&a, pkt = std::move(pkt)]() mutable {
+      a.send(std::move(pkt));
+    });
+  }
+  // Packet from the wrong (default) pool: copied into shard 1's pool.
+  group.shard(0).ev().schedule_at(1000, [&a] { a.send(net::make_packet(64)); });
+
+  group.run_until(sim::us(10));
+  const auto stats = group.sync_stats();
+  EXPECT_EQ(stats.handoffs, 2u);
+  EXPECT_EQ(stats.handoffs_stolen, 1u);
+  EXPECT_EQ(stats.handoffs_copied, 1u);
+  EXPECT_GE(stats.epochs, 2u);
+}
+
+TEST(ShardGroup, WorkersExecuteEveryShardAndAggregateStats) {
+  constexpr std::size_t kShards = 4;
+  sim::ShardGroup group(kShards, 7);
+  std::vector<std::uint64_t> counts(kShards, 0);  // each touched by one shard only
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (int i = 0; i < 100; ++i) {
+      group.shard(s).ev().schedule_at(static_cast<sim::TimeNs>(10 * i),
+                                      [&counts, s] { ++counts[s]; });
+    }
+  }
+  EXPECT_EQ(group.run_until(sim::us(2)), 400u);
+  for (std::size_t s = 0; s < kShards; ++s) EXPECT_EQ(counts[s], 100u) << "shard " << s;
+  EXPECT_EQ(group.total_executed(), 400u);
+  EXPECT_EQ(group.now(), sim::us(2));
+  // No cross-shard links: the whole run is a single epoch, no handoffs.
+  const auto stats = group.sync_stats();
+  EXPECT_EQ(stats.handoffs, 0u);
+  const auto slab = group.aggregate_slab_stats();
+  EXPECT_EQ(slab.hits + slab.misses, 400u);
+}
+
+TEST(ShardGroup, SingleShardRunsInlineAsLegacyEngine) {
+  sim::ShardGroup group(1, 7);
+  std::uint64_t count = 0;
+  group.shard(0).ev().schedule_at(10, [&count] { ++count; });
+  EXPECT_EQ(group.run_until(100), 1u);
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(group.shard(0).ev().now(), 100u);
+  EXPECT_EQ(group.now(), 100u);
+}
+
+TEST(ShardGroup, ChaosWireHookRejectedOnCrossShardLink) {
+  sim::ShardGroup group(2, 7);
+  sim::Port a(group.shard(0).ev(), 1, 100.0);
+  sim::Port b(group.shard(1).ev(), 2, 100.0);
+  a.wire_hook = [](net::PacketPtr, sim::Port&) {};
+  EXPECT_THROW(group.connect(a, 0, b, 1), std::logic_error);
+
+  sim::Port c(group.shard(0).ev(), 3, 100.0);
+  sim::Port d(group.shard(1).ev(), 4, 100.0);
+  group.connect(c, 0, d, 1);
+  EXPECT_TRUE(c.cross_shard());
+  sim::FaultInjector injector(group.shard(0).ev(), sim::FaultConfig{});
+  EXPECT_THROW(injector.attach(c), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ht
