@@ -54,6 +54,22 @@ inline double take_loss_rate(int& argc, char** argv) {
   return rate;
 }
 
+/// Pull a boolean flag (e.g. `--crash`) out of argv (same contract as
+/// take_json_path). Returns true when the flag was present.
+inline bool take_flag(int& argc, char** argv, const char* flag) {
+  bool present = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      present = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return present;
+}
+
 /// Machine-readable sidecar for a bench binary: one entry per reported
 /// series, written as a flat JSON document (see scripts/bench.sh). Values
 /// are numbers; `wall_s` is the wall-clock cost of producing the value so

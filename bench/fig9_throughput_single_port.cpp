@@ -9,11 +9,21 @@
 // (Bernoulli loss, fixed seed) and reports delivered goodput plus the
 // aggregated drop report — the degraded-conditions variant written by
 // scripts/bench.sh as BENCH_fig9_lossy.json.
+//
+// With `--crash` the sweep runs under the Supervisor (DESIGN.md §14): the
+// tester process is killed at 50% of the measurement, the supervisor
+// restores from the newest attested snapshot and finishes the run. The
+// sidecar (BENCH_fig9_crash.json) reports delivered packets, result
+// completeness vs an uninterrupted supervised run (1.0 = byte-identical
+// recovery), recovery counts, and the supervision wall-clock overhead.
 #include <chrono>
+#include <memory>
+#include <vector>
 
 #include "apps/tasks.hpp"
 #include "baseline/moongen.hpp"
 #include "common.hpp"
+#include "core/supervisor.hpp"
 #include "sim/stats.hpp"
 #include "telemetry/export.hpp"
 
@@ -66,6 +76,71 @@ double hypertester_gbps(double port_rate, std::size_t pkt_len, ht::bench::BenchJ
   return r.tx_gbps;
 }
 
+// --- `--crash` variant: the sweep under supervised run lifecycle ------------
+
+constexpr ht::sim::TimeNs kCrashRunNs = ht::sim::ms(2);
+constexpr ht::sim::TimeNs kCrashAtNs = ht::sim::ms(1);  // t = 50%
+
+/// Deterministic supervised testbed: one tester on shard 0, count-only
+/// capture sinks on shard 1 (the spare placement variant swaps them, as in
+/// examples/failover_run). Same workload as the plain sweep.
+ht::Testbed build_supervised(std::size_t pkt_len, std::size_t variant) {
+  using namespace ht;
+  Testbed tb;
+  tb.cluster = std::make_unique<TesterCluster>(ClusterConfig{.shards = 2, .seed = 0xf19});
+  const std::size_t tester_shard = variant == 0 ? 0 : 1;
+  const std::size_t sink_shard = 1 - tester_shard;
+  TesterConfig cfg;
+  cfg.asic.num_ports = 2;
+  cfg.asic.port_rate_gbps = 100.0;
+  cfg.asic.seed = 1;
+  HyperTester& tester = tb.cluster->add_tester(cfg, tester_shard);
+  auto sinks = std::make_shared<std::vector<std::unique_ptr<dut::Capture>>>();
+  for (std::size_t p = 0; p < 2; ++p) {
+    sinks->push_back(std::make_unique<dut::Capture>(
+        tb.cluster->shards().shard(sink_shard).ev(), static_cast<std::uint16_t>(1000 + p),
+        cfg.asic.port_rate_gbps));
+    sinks->back()->set_count_only(true);
+    tb.cluster->shards().connect(tester.asic().port(static_cast<std::uint16_t>(p)), tester_shard,
+                                 sinks->back()->port(), sink_shard, /*propagation_ns=*/500);
+  }
+  auto app = apps::throughput_test(0x02020202, 0x01010101, {1}, pkt_len, 0);
+  tester.load(app.task);
+  tester.start();
+  tb.keepalive = sinks;
+  return tb;
+}
+
+struct CrashRunResult {
+  std::uint64_t delivered = 0;   ///< packets captured by the sinks
+  std::uint64_t recoveries = 0;
+  std::uint64_t snapshots = 0;
+  std::uint64_t digest = 0;      ///< final cluster state fingerprint
+};
+
+CrashRunResult supervised_run(std::size_t pkt_len, bool with_crash) {
+  ht::SupervisorConfig cfg;
+  cfg.heartbeat_ns = ht::sim::us(50);
+  cfg.miss_threshold = 3;
+  cfg.snapshot_interval_ns = ht::sim::us(250);
+  cfg.policy = ht::SupervisorConfig::Policy::kRestore;
+  if (with_crash) {
+    cfg.plan.events.push_back({ht::sim::CrashKind::kTesterCrash, kCrashAtNs, 0, /*tester=*/0});
+  }
+  ht::Supervisor sup(cfg, [pkt_len](std::size_t variant) {
+    return build_supervised(pkt_len, variant);
+  });
+  const ht::RecoveryReport& report = sup.run(kCrashRunNs);
+  CrashRunResult r;
+  r.recoveries = report.recoveries;
+  r.snapshots = report.snapshots;
+  auto sinks = std::static_pointer_cast<std::vector<std::unique_ptr<ht::dut::Capture>>>(
+      sup.testbed().keepalive);
+  for (const auto& s : *sinks) r.delivered += s->counted();
+  r.digest = sup.testbed().cluster->state_digest();
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -73,7 +148,42 @@ int main(int argc, char** argv) {
   using clock = std::chrono::steady_clock;
   const std::string json_path = bench::take_json_path(argc, argv);
   const double loss = bench::take_loss_rate(argc, argv);
+  const bool crash = bench::take_flag(argc, argv, "--crash");
   const std::size_t sizes[] = {64, 128, 256, 512, 1024, 1500};
+
+  if (crash) {
+    bench::BenchJson json("fig9_crash", json_path);
+    bench::headline("Figure 9 (crash variant): supervised run, tester killed at 50%",
+                    "restore from attested snapshot; completeness 1.0 = recovered run "
+                    "byte-identical to uninterrupted");
+    bench::row("%8s %12s %14s %12s %10s %10s", "size(B)", "delivered", "completeness",
+               "recoveries", "snaps", "wall(s)");
+    bool all_identical = true;
+    for (const auto s : {std::size_t{64}, std::size_t{512}, std::size_t{1500}}) {
+      const CrashRunResult clean = supervised_run(s, /*with_crash=*/false);
+      const auto t0 = clock::now();
+      const CrashRunResult recovered = supervised_run(s, /*with_crash=*/true);
+      const double wall = std::chrono::duration<double>(clock::now() - t0).count();
+      const double completeness =
+          clean.delivered > 0 ? static_cast<double>(recovered.delivered) /
+                                    static_cast<double>(clean.delivered)
+                              : 0.0;
+      all_identical = all_identical && recovered.digest == clean.digest;
+      bench::row("%8zu %12llu %14.4f %12llu %10llu %10.2f", s,
+                 static_cast<unsigned long long>(recovered.delivered), completeness,
+                 static_cast<unsigned long long>(recovered.recoveries),
+                 static_cast<unsigned long long>(recovered.snapshots), wall);
+      json.add("ht_crash_delivered_" + std::to_string(s) + "B",
+               static_cast<double>(recovered.delivered), "packets", wall);
+      json.add("ht_crash_completeness_" + std::to_string(s) + "B", completeness, "ratio", 0.0);
+      json.add("ht_crash_recoveries_" + std::to_string(s) + "B",
+               static_cast<double>(recovered.recoveries), "count", 0.0);
+    }
+    std::printf("\nfinal-state digests %s across all sizes\n",
+                all_identical ? "byte-identical" : "DIVERGED");
+    json.add("ht_crash_state_identical", all_identical ? 1.0 : 0.0, "bool", 0.0);
+    return json.write() && all_identical ? 0 : 1;
+  }
 
   if (loss > 0.0) {
     bench::BenchJson json("fig9_lossy", json_path);

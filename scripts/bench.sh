@@ -12,6 +12,13 @@
 #   BENCH_fig9_lossy.json  the same 100G sweep through a chaos link with
 #                    1% Bernoulli loss: delivered goodput + drop counters
 #                    (DESIGN.md sec. 9) + the final run's telemetry block
+#   BENCH_fig9_crash.json  the sweep under the supervised run lifecycle
+#                    (DESIGN.md sec. 14): tester killed at 50%, restored
+#                    from the newest attested snapshot. Reports delivered
+#                    packets, result completeness vs an uninterrupted
+#                    supervised run (must be 1.0), and recovery counts;
+#                    the binary exits nonzero if the recovered final state
+#                    is not byte-identical to the clean run's
 #   BENCH_fig10.json fig10_throughput_multi_port: per-port line-rate table
 #                    plus the sharded-engine wall-clock scaling sweep
 #                    (fig10_pkts_per_sec_shards{1,2,4,8} and
@@ -44,6 +51,7 @@ fi
 "$BUILD_DIR/bench/perf_micro" --json BENCH_perf.json
 "$BUILD_DIR/bench/fig9_throughput_single_port" --json BENCH_fig9.json
 "$BUILD_DIR/bench/fig9_throughput_single_port" --loss 0.01 --json BENCH_fig9_lossy.json
+"$BUILD_DIR/bench/fig9_throughput_single_port" --crash --json BENCH_fig9_crash.json
 # shellcheck disable=SC2086 -- SHARDS_ARGS is deliberately word-split
 "$BUILD_DIR/bench/fig10_throughput_multi_port" $SHARDS_ARGS --json BENCH_fig10.json
 
@@ -54,4 +62,4 @@ for f in BENCH_fig9.json BENCH_fig9_lossy.json; do
 done
 
 echo
-echo "wrote BENCH_perf.json BENCH_fig9.json BENCH_fig9_lossy.json BENCH_fig10.json"
+echo "wrote BENCH_perf.json BENCH_fig9.json BENCH_fig9_lossy.json BENCH_fig9_crash.json BENCH_fig10.json"

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/snapshot.hpp"
+
 namespace ht {
 
 TesterCluster::TesterCluster(ClusterConfig cfg) : group_(cfg.shards, cfg.seed) {}
@@ -27,6 +29,19 @@ telemetry::Report TesterCluster::telemetry_report() const {
                         {{"tester", "t" + std::to_string(i)}}});
   }
   return telemetry::make_report(sections);
+}
+
+void TesterCluster::write_state(sim::SnapshotWriter& w) {
+  group_.write_state(w);
+  for (std::size_t i = 0; i < testers_.size(); ++i) {
+    testers_[i]->write_state(w, "t" + std::to_string(i));
+  }
+}
+
+std::uint64_t TesterCluster::state_digest() {
+  sim::SnapshotWriter w;
+  write_state(w);
+  return w.digest();
 }
 
 std::vector<sim::AllocCacheReport> TesterCluster::alloc_cache_reports() const {

@@ -68,6 +68,13 @@ class TesterCluster {
   /// tester's alloc_cache_reports() yields, since they share the group).
   std::vector<sim::AllocCacheReport> alloc_cache_reports() const;
 
+  /// Full cluster state image: the engine section followed by one section
+  /// group per tester ("t0.*", "t1.*", ... in tester order). Supervisor
+  /// snapshot/restore/attestation is built on these bytes (DESIGN.md §14).
+  void write_state(sim::SnapshotWriter& w);
+  /// One-number FNV-1a fingerprint of write_state output.
+  std::uint64_t state_digest();
+
  private:
   /// Declared before the testers so packets they still hold at
   /// destruction release into live shard pools.

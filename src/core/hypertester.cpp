@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "net/packet_pool.hpp"
+#include "sim/snapshot.hpp"
+#include "telemetry/export.hpp"
 
 namespace ht {
 
@@ -39,6 +41,7 @@ HyperTester::HyperTester(TesterConfig cfg)
                    [this] { return static_cast<std::int64_t>(ev_.slab_stats().high_water); },
                    {.help = "max events simultaneously pending"});
   }
+  register_lifecycle_metrics();
 }
 
 HyperTester::HyperTester(TesterConfig cfg, sim::Shard& shard)
@@ -49,6 +52,20 @@ HyperTester::HyperTester(TesterConfig cfg, sim::Shard& shard)
       cfg_fastpath_(cfg.fastpath) {
   // No slab mirrors for placed testers: see the standalone ctor.
   controller_.register_metrics(asic_.metrics());
+  register_lifecycle_metrics();
+}
+
+void HyperTester::register_lifecycle_metrics() {
+  auto& m = asic_.metrics();
+  m.mirror_counter("ht_run_retries_total", [this] { return run_retries_; },
+                   {.help = "stalled run slices retried with backoff"});
+  m.mirror_counter("ht_run_failures_total", [this] { return run_failures_; },
+                   {.help = "supervised runs that gave up (FailureReport emitted)"});
+  m.mirror_counter("ht_crash_events_total", [this] { return crash_events_; },
+                   {.help = "process-level faults applied to this tester"});
+  m.mirror_gauge("ht_tester_crashed",
+                 [this] { return static_cast<std::int64_t>(crashed_ ? 1 : 0); },
+                 {.help = "1 while the tester is crashed (all ports admin-down)"});
 }
 
 void HyperTester::run_for(sim::TimeNs duration) {
@@ -297,10 +314,13 @@ std::optional<sim::FailureReport> HyperTester::run_with_retry(
       report.attempts = attempts;
       report.counters_before = std::move(counters_before);
       report.counters_after = drop_report();
+      ++run_failures_;
+      failure_log_.push_back(report);
       return report;
     }
     ++retry;
     ++attempts;
+    ++run_retries_;
     // Backoff still advances sim time: a flap window can end while we
     // wait, in which case the next slice sees progress and resets retry.
     const sim::TimeNs wait =
@@ -338,6 +358,209 @@ std::uint64_t HyperTester::query_value(ntapi::QueryHandle q,
   const auto type = compiled_->queries[q.index].config.store.eviction_digest_type;
   const auto it = evicted_.find(type);
   return store->total_for_key(key, it == evicted_.end() ? empty_evictions_ : it->second);
+}
+
+// --- run lifecycle: crash faults + snapshots (DESIGN.md §14) ---------------
+
+void HyperTester::set_ports_admin(bool up, bool include_recirc) {
+  for (std::size_t p = 0; p < asic_.port_count(); ++p) {
+    asic_.port(static_cast<std::uint16_t>(p)).set_admin_up(up);
+  }
+  // On a crash, recirculation goes down too: a dead tester must stop its
+  // own packet loops, not just its front-panel traffic. A stall keeps the
+  // loops alive — they are how recirculation-driven templates resume.
+  if (include_recirc) asic_.set_recirc_admin(up);
+}
+
+void HyperTester::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++crash_events_;
+  set_ports_admin(false);
+}
+
+void HyperTester::reboot_switch() {
+  crash();
+  // Volatile-state loss: every register array — HTPS schedules, HTPR
+  // aggregates, trigger FIFOs — reads zero afterwards, like SRAM after a
+  // power cycle. CPU DRAM (evicted_) survives; it lives off-switch.
+  auto& regs = asic_.registers();
+  for (const auto& name : regs.names()) regs.get(name).fill(0);
+}
+
+void HyperTester::partition_controller(sim::TimeNs duration) {
+  ++crash_events_;
+  controller_.set_rpc_loss(1.0, 0xdeadu);
+  ev_.schedule_in(duration, [this] { controller_.set_rpc_loss(0.0, 0xdeadu); });
+}
+
+void HyperTester::stall(sim::TimeNs duration) {
+  ++crash_events_;
+  set_ports_admin(false, /*include_recirc=*/false);
+  ev_.schedule_in(duration, [this] {
+    if (!crashed_) set_ports_admin(true, /*include_recirc=*/false);
+  });
+}
+
+void HyperTester::apply_crash_plan(const sim::CrashPlan& plan, std::size_t self_index) {
+  for (const sim::CrashEvent& e : plan.events) {
+    if (e.tester != self_index) continue;
+    const sim::TimeNs d = e.duration_ns;
+    switch (e.kind) {
+      case sim::CrashKind::kTesterCrash:
+        ev_.schedule_at(e.at_ns, [this] { crash(); });
+        break;
+      case sim::CrashKind::kSwitchReboot:
+        ev_.schedule_at(e.at_ns, [this] { reboot_switch(); });
+        break;
+      case sim::CrashKind::kControllerPartition:
+        ev_.schedule_at(e.at_ns, [this, d] { partition_controller(d); });
+        break;
+      case sim::CrashKind::kShardStall:
+        ev_.schedule_at(e.at_ns, [this, d] { stall(d); });
+        break;
+    }
+  }
+}
+
+void HyperTester::write_state(sim::SnapshotWriter& w, const std::string& label) {
+  const rmt::AsicConfig& cfg = asic_.config();
+  w.begin_section(label + ".meta");
+  w.str(compiled_ ? compiled_->name : "");
+  w.u64(cfg.num_ports);
+  w.u64(cfg.seed);
+  w.u8(cfg_fastpath_ ? 1 : 0);
+  w.u8(crashed_ ? 1 : 0);
+
+  // Every register array, cell-exact, in sorted name order: this one
+  // section covers all HTPS schedules, HTPR aggregates, FIFO contents, and
+  // counter-store SRAM — registers are the only mutable data-plane state.
+  w.begin_section(label + ".registers");
+  auto& regs = asic_.registers();
+  const std::vector<std::string> names = regs.names();
+  w.u64(names.size());
+  for (const std::string& name : names) {
+    const rmt::RegisterArray& a = regs.get(name);
+    w.str(name);
+    w.u32(a.bit_width());
+    w.u64(a.salu_executions());
+    std::vector<std::uint64_t> cells(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) cells[i] = a.read(i);
+    w.u64_vec(cells);
+  }
+
+  w.begin_section(label + ".ports");
+  const auto write_port = [&w](sim::Port& p) {
+    w.u64(p.tx_packets());
+    w.u64(p.tx_bytes());
+    w.u64(p.tx_line_bytes());
+    w.u64(p.tx_completed_line_bytes());
+    w.u64(p.rx_packets());
+    w.u64(p.rx_bytes());
+    w.u64(p.dropped_no_peer());
+    w.u64(p.dropped_queue_full());
+    w.u64(p.rx_fcs_drops());
+    w.u64(p.dropped_admin_down());
+    w.f64(p.busy_until());  // MAC credit clock, bit-exact
+    w.u8(p.admin_up() ? 1 : 0);
+  };
+  w.u64(asic_.port_count());
+  for (std::size_t p = 0; p < asic_.port_count(); ++p) {
+    write_port(asic_.port(static_cast<std::uint16_t>(p)));
+  }
+  // Recirculation channels are not Ports; capture their serializer clocks
+  // and loop counts (plus the admin gate) so a restored run resumes every
+  // in-flight loop at the exact same phase.
+  w.u64(asic_.recirc_channel_count());
+  for (std::size_t c = 0; c < asic_.recirc_channel_count(); ++c) {
+    w.f64(asic_.recirc_busy_until(c));
+    w.u64(asic_.recirc_loops(c));
+  }
+  w.u8(asic_.recirc_admin_up() ? 1 : 0);
+  w.u64(asic_.recirc_admin_drops());
+
+  w.begin_section(label + ".asic");
+  w.u64(asic_.ingress_packets());
+  w.u64(asic_.egress_packets());
+  w.u64(asic_.dropped_packets());
+  w.u64(asic_.recirculations());
+  w.u64(asic_.replicas_created());
+  w.u64(asic_.injected_drops());
+
+  w.begin_section(label + ".htps");
+  w.u64(sender_ ? sender_->template_count() : 0);
+  if (sender_) {
+    for (std::size_t t = 0; t < sender_->template_count(); ++t) {
+      const auto tid = static_cast<std::uint32_t>(t);
+      w.u64(sender_->fires(tid));
+      w.u8(sender_->done(tid) ? 1 : 0);
+    }
+  }
+
+  w.begin_section(label + ".htpr");
+  w.u64(receiver_ ? receiver_->query_count() : 0);
+  if (receiver_) {
+    for (std::size_t q = 0; q < receiver_->query_count(); ++q) {
+      w.u64(receiver_->evaluated(q));
+      w.u64(receiver_->matched(q));
+      w.u64(receiver_->checksum_fails(q));
+      w.u64(receiver_->out_of_window(q));
+      const htpr::CounterStore* store = receiver_->store(q);
+      if (store == nullptr) {
+        w.u8(0);
+        w.u64(receiver_->keyless_total(q));
+      } else {
+        w.u8(1);
+        w.u64(store->updates());
+        w.u64(store->exact_hits());
+        w.u64(store->fifo_pushes());
+        w.u64(store->cpu_evictions());
+        w.u64_map(store->dump_fingerprints());
+      }
+    }
+  }
+  // CPU DRAM: evictions folded by the digest subscriptions. Survives a
+  // switch reboot, so it is serialized apart from the register image.
+  w.u64(evicted_.size());
+  for (const auto& [type, counts] : evicted_) {
+    w.u32(type);
+    w.u64_map(counts);
+  }
+
+  w.begin_section(label + ".controller");
+  w.u64(controller_.rpc_lost());
+  w.u64(controller_.digest_count());
+  w.u64_map(controller_.evicted_counters());
+
+  // Every RNG stream owned by this tester: the ASIC's (MAC jitter, timing
+  // noise) and one per chaos injector. Byte-exact stream positions are
+  // what make "replay reproduces the run" more than a hope.
+  w.begin_section(label + ".rng");
+  w.str(asic_.rng().state_string());
+  w.u64(chaos_links_.size());
+  for (const auto& link : chaos_links_) {
+    w.str(link.name);
+    w.str(link.injector->rng_state_string());
+    w.u8(link.injector->link_up() ? 1 : 0);
+    w.u8(link.injector->gilbert_bad() ? 1 : 0);
+    const sim::FaultStats& fs = link.injector->stats();
+    w.u64(fs.offered);
+    w.u64(fs.delivered);
+    w.u64(fs.lost);
+    w.u64(fs.reordered);
+    w.u64(fs.duplicated);
+    w.u64(fs.corrupted);
+    w.u64(fs.flap_drops);
+  }
+
+  w.begin_section(label + ".telemetry");
+  w.str(telemetry::to_prometheus(asic_.metrics()));
+}
+
+std::uint64_t HyperTester::state_digest() {
+  sim::SnapshotWriter w;
+  write_state(w, "t");
+  return w.digest();
 }
 
 std::uint64_t HyperTester::trigger_fires(ntapi::TriggerHandle t) const {

@@ -123,10 +123,49 @@ class HyperTester {
   /// front-panel ports). A stalled slice is retried after a capped
   /// exponential backoff — sim time keeps advancing, so a link flap can
   /// end during the backoff and the task resumes. Returns nullopt when
-  /// the run completes; a FailureReport when progress never resumed.
+  /// the run completes; a FailureReport when progress never resumed (the
+  /// report is also appended to failure_log()).
   std::optional<sim::FailureReport> run_with_retry(
       sim::TimeNs duration, sim::RetryPolicy policy,
       std::function<std::uint64_t()> progress = {});
+
+  /// Failure reports accumulated by run_with_retry, most recent last —
+  /// `ntapi_cli stats` and the Supervisor surface these.
+  const std::vector<sim::FailureReport>& failure_log() const { return failure_log_; }
+
+  // --- run lifecycle: crash faults + snapshots (DESIGN.md §14) ---------------
+  /// Tester process death: every front-panel and recirculation port goes
+  /// admin-down and stays down. Counters freeze; only supervisor action
+  /// (restore or migrate) resumes the measurement.
+  void crash();
+  /// Crash plus volatile-state loss: the switch reboots and its register
+  /// file — every HTPS schedule, HTPR aggregate, trigger FIFO — is wiped
+  /// to zero, as a real reboot wipes SRAM.
+  void reboot_switch();
+  /// Control-plane partition: switch-CPU read RPCs see 100% loss for
+  /// `duration`, then the path heals. The data plane keeps forwarding.
+  void partition_controller(sim::TimeNs duration);
+  /// Transient stall: front-panel ports admin-down for `duration`, then
+  /// back up on their own — unless a real crash landed in the meantime.
+  /// Recirculation keeps spinning: the pipeline is alive, only the wire is
+  /// frozen, so recirculation-driven templates resume after the window. (A
+  /// crash, by contrast, kills the loops — they cannot survive the
+  /// process.)
+  void stall(sim::TimeNs duration);
+  /// Schedule every event of `plan` whose `tester` field equals
+  /// `self_index` on this tester's sim clock.
+  void apply_crash_plan(const sim::CrashPlan& plan, std::size_t self_index = 0);
+  bool crashed() const { return crashed_; }
+
+  /// Serialize the tester's full replay-invariant state into `w` as one
+  /// group of sections prefixed with `label` ("t0.registers", ...):
+  /// meta, registers (cell-exact), ports, asic counters, htps, htpr
+  /// (store fingerprints + CPU DRAM), controller, rng (ASIC + chaos
+  /// streams), telemetry (Prometheus text). Restores are replay-based and
+  /// *attest* against these bytes rather than applying them (§14).
+  void write_state(sim::SnapshotWriter& w, const std::string& label);
+  /// One-number FNV-1a fingerprint of write_state output.
+  std::uint64_t state_digest();
 
   // --- results -----------------------------------------------------------------
   /// Keyless reduce total of a query (e.g. summed bytes).
@@ -145,6 +184,8 @@ class HyperTester {
 
  private:
   void apply_chaos();
+  void set_ports_admin(bool up, bool include_recirc = true);
+  void register_lifecycle_metrics();
 
   /// Present only for standalone testers; declared first so it outlives
   /// every component still holding pool-backed packets at destruction.
@@ -163,6 +204,12 @@ class HyperTester {
   /// CPU DRAM: evicted (canonical id -> count) per digest type.
   std::map<std::uint32_t, std::map<std::uint64_t, std::uint64_t>> evicted_;
   std::map<std::uint64_t, std::uint64_t> empty_evictions_;
+  // --- run lifecycle ---------------------------------------------------------
+  bool crashed_ = false;
+  std::uint64_t crash_events_ = 0;
+  std::uint64_t run_retries_ = 0;
+  std::uint64_t run_failures_ = 0;
+  std::vector<sim::FailureReport> failure_log_;
 };
 
 }  // namespace ht

@@ -1,0 +1,228 @@
+#include "core/supervisor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ht {
+
+const char* to_string(SupervisorConfig::Policy policy) {
+  switch (policy) {
+    case SupervisorConfig::Policy::kRestore: return "restore";
+    case SupervisorConfig::Policy::kMigrate: return "migrate";
+    case SupervisorConfig::Policy::kDegrade: return "degrade";
+  }
+  return "unknown";
+}
+
+std::string format_recovery(const RecoveryReport& report) {
+  std::ostringstream os;
+  os << "supervisor: " << report.heartbeats << " heartbeats, " << report.misses
+     << " misses, " << report.snapshots << " snapshots, " << report.recoveries
+     << " recoveries, " << (report.completed ? "completed" : "incomplete") << "\n";
+  for (const RecoveryAction& a : report.actions) {
+    os << "  [" << to_string(a.policy) << "] t=" << a.detected_at_ns << "ns ";
+    if (a.recovered) os << "-> restored to t=" << a.restored_to_ns << "ns ";
+    os << a.detail << "\n";
+  }
+  for (const InvalidWindow& w : report.invalid_windows) {
+    os << "  invalid window: [" << w.from_ns << ", " << w.to_ns << ") ns\n";
+  }
+  for (const MergeRecord& m : report.merges) {
+    os << "  merge '" << m.query << "': snapshot=" << m.snapshot_watermark
+       << " resumed=" << m.resumed_watermark << "\n";
+  }
+  return os.str();
+}
+
+Supervisor::Supervisor(SupervisorConfig cfg, BuildFn build)
+    : cfg_(std::move(cfg)), build_(std::move(build)) {
+  if (!build_) throw std::invalid_argument("Supervisor: null builder");
+  if (cfg_.heartbeat_ns <= 0) throw std::invalid_argument("Supervisor: heartbeat must be > 0");
+}
+
+std::uint64_t Supervisor::probe() {
+  if (testbed_.progress) return testbed_.progress();
+  // Default probe: packets crossing the active tester's front-panel MACs.
+  // Recirculating templates keep the pipeline busy even when every link is
+  // dead, so pipeline counters are not progress — wire counters are.
+  std::uint64_t total = 0;
+  auto& asic = testbed_.cluster->tester(testbed_.active_tester).asic();
+  for (std::size_t p = 0; p < asic.port_count(); ++p) {
+    auto& port = asic.port(static_cast<std::uint16_t>(p));
+    total += port.tx_packets() + port.rx_packets();
+  }
+  return total;
+}
+
+void Supervisor::serialize(Testbed& tb, sim::SnapshotWriter& w, sim::TimeNs taken_at,
+                           bool include_engine) const {
+  w.begin_section("supervisor.meta");
+  w.u64(static_cast<std::uint64_t>(taken_at));
+  w.u64(tb.active_tester);
+  w.u64(tb.cluster->size());
+  if (include_engine) tb.cluster->shards().write_state(w);
+  for (std::size_t i = 0; i < tb.cluster->size(); ++i) {
+    tb.cluster->tester(i).write_state(w, "t" + std::to_string(i));
+  }
+}
+
+void Supervisor::store_snapshot() {
+  sim::SnapshotWriter w;
+  serialize(testbed_, w, now(), /*include_engine=*/true);
+  snapshots_.push_back({now(), w.finish()});
+  ++report_.snapshots;
+}
+
+const RecoveryReport& Supervisor::run(sim::TimeNs duration) {
+  if (!testbed_.cluster) {
+    testbed_ = build_(0);
+    if (!testbed_.cluster) throw std::runtime_error("Supervisor: builder returned no cluster");
+  }
+  deadline_ = now() + duration;
+  // The time-0 restore point: taken before any traffic AND before the
+  // crash plan is armed, so it always attests for a deterministic builder.
+  store_snapshot();
+  if (!plan_applied_ && cfg_.plan.any()) {
+    plan_applied_ = true;
+    for (std::size_t i = 0; i < testbed_.cluster->size(); ++i) {
+      testbed_.cluster->tester(i).apply_crash_plan(cfg_.plan, i);
+    }
+  }
+  std::uint64_t last = probe();
+  unsigned misses = 0;
+  // Set after every recovery, cleared by the next observed progress. A
+  // second deadline miss while still set means the restore did not restart
+  // the workload — the probe is frozen for a reason no rebuild can fix
+  // (the task has simply completed, or the fault is in the workload
+  // itself). Recovering again would replay the identical frozen state
+  // forever, so the supervisor degrades instead of thrashing.
+  bool recovery_stuck = false;
+  while (now() < deadline_) {
+    testbed_.cluster->run_for(std::min(cfg_.heartbeat_ns, deadline_ - now()));
+    ++report_.heartbeats;
+    // Snapshot BEFORE the miss check: a snapshot of post-fault state is
+    // exactly what the attestation walk-back exists to reject, and taking
+    // it here exercises that path instead of hiding it.
+    if (now() < deadline_ && now() - snapshots_.back().taken_at >= cfg_.snapshot_interval_ns) {
+      store_snapshot();
+    }
+    const std::uint64_t current = probe();
+    if (current != last) {
+      last = current;
+      misses = 0;
+      recovery_stuck = false;
+      continue;
+    }
+    ++misses;
+    ++report_.misses;
+    if (misses >= cfg_.miss_threshold && !degraded_) {
+      if (recovery_stuck) {
+        degraded_ = true;
+        report_.actions.push_back({now(), 0, cfg_.policy, false,
+                                   "recovery futile: no progress after restore; "
+                                   "continuing degraded"});
+        report_.invalid_windows.push_back({now(), deadline_});
+        continue;
+      }
+      recover(now());
+      last = probe();
+      misses = 0;
+      recovery_stuck = true;
+    }
+  }
+  finish_merges();
+  report_.completed = true;
+  return report_;
+}
+
+bool Supervisor::try_restore(const SnapshotRecord& snap, std::size_t variant,
+                             std::string& why) {
+  try {
+    sim::SnapshotReader reader(snap.bytes);  // validates every checksum
+    Testbed rebuilt = build_(variant);
+    if (!rebuilt.cluster) throw std::runtime_error("Supervisor: builder returned no cluster");
+    // Deterministic replay to the snapshot time, in the exact heartbeat
+    // slices the live run used — the replayed timeline must be the same
+    // run, down to the run_until deadline sequence.
+    while (rebuilt.cluster->shards().now() < snap.taken_at) {
+      const sim::TimeNs left = snap.taken_at - rebuilt.cluster->shards().now();
+      rebuilt.cluster->run_for(std::min(cfg_.heartbeat_ns, left));
+    }
+    sim::SnapshotWriter actual;
+    serialize(rebuilt, actual, snap.taken_at, /*include_engine=*/false);
+    sim::attest_sections(reader, actual);
+    // Tear the old testbed down sink-first before the move assignment:
+    // member-wise assignment would free the cluster (and its shard packet
+    // pools) while the old sinks still hold packets, forcing every pool
+    // down its deliberate leak-on-live-packets path. Mirror ~Testbed's
+    // reverse-declaration order instead.
+    testbed_.progress = nullptr;
+    testbed_.keepalive.reset();
+    testbed_.cluster.reset();
+    testbed_ = std::move(rebuilt);
+    current_variant_ = variant;
+    return true;
+  } catch (const sim::SnapshotError& e) {
+    why = e.what();
+    return false;
+  }
+}
+
+void Supervisor::recover(sim::TimeNs detected_at) {
+  if (cfg_.policy == SupervisorConfig::Policy::kDegrade) {
+    degraded_ = true;
+    const sim::TimeNs first_miss =
+        detected_at - static_cast<sim::TimeNs>(cfg_.miss_threshold) * cfg_.heartbeat_ns;
+    report_.invalid_windows.push_back({std::max<sim::TimeNs>(first_miss, 0), deadline_});
+    report_.actions.push_back({detected_at, 0, cfg_.policy, false,
+                               "continuing degraded; window marked invalid"});
+    return;
+  }
+  const std::size_t variant = cfg_.policy == SupervisorConfig::Policy::kMigrate
+                                  ? cfg_.spare_variant
+                                  : current_variant_;
+  for (auto it = snapshots_.rbegin(); it != snapshots_.rend(); ++it) {
+    std::string why;
+    if (!try_restore(*it, variant, why)) {
+      report_.actions.push_back({detected_at, it->taken_at, cfg_.policy, false,
+                                 "snapshot rejected: " + why});
+      continue;
+    }
+    report_.actions.push_back(
+        {detected_at, it->taken_at, cfg_.policy, true,
+         cfg_.policy == SupervisorConfig::Policy::kMigrate
+             ? "migrated to spare placement, attested against snapshot"
+             : "restored from snapshot, attested byte-exact"});
+    report_.invalid_windows.push_back({it->taken_at, detected_at});
+    ++report_.recoveries;
+    record_merges();
+    // Snapshots newer than the restore point describe a timeline that no
+    // longer exists (possibly post-fault); drop them.
+    snapshots_.erase(it.base(), snapshots_.end());
+    return;
+  }
+  throw std::runtime_error(
+      "Supervisor: no snapshot attested during recovery (non-deterministic builder?)");
+}
+
+void Supervisor::record_merges() {
+  HyperTester& active = testbed_.cluster->tester(testbed_.active_tester);
+  auto& recv = active.receiver();
+  for (std::size_t q = 0; q < recv.query_count(); ++q) {
+    report_.merges.push_back({recv.config(q).name, recv.evaluated(q), 0});
+  }
+}
+
+void Supervisor::finish_merges() {
+  if (report_.merges.empty()) return;
+  HyperTester& active = testbed_.cluster->tester(testbed_.active_tester);
+  auto& recv = active.receiver();
+  for (MergeRecord& m : report_.merges) {
+    for (std::size_t q = 0; q < recv.query_count(); ++q) {
+      if (recv.config(q).name == m.query) m.resumed_watermark = recv.evaluated(q);
+    }
+  }
+}
+
+}  // namespace ht

@@ -1,0 +1,185 @@
+// Supervisor: the run-lifecycle layer (DESIGN.md §14).
+//
+// A long measurement run must survive the processes running it. The
+// Supervisor owns a testbed end to end: it builds it through a
+// user-supplied deterministic builder, advances it in heartbeat slices,
+// serializes epoch-aligned snapshots (sim/snapshot.hpp), watches a
+// progress probe for deadline misses, and — when a tester dies — executes
+// a recovery policy:
+//
+//  * kRestore — rebuild the testbed from scratch and deterministically
+//    replay to the newest snapshot whose byte-attestation passes, then
+//    continue. Replay-based restore sidesteps the unserializable parts of
+//    engine state (in-flight timer-wheel closures): the snapshot is not
+//    applied, it is *verified against*, so a successful restore is
+//    byte-identical to an uninterrupted run by construction. Snapshots
+//    taken after the fault fail attestation and the supervisor walks back
+//    to an older one — attestation doubles as the post-fault detector.
+//  * kMigrate — the same replay, but the builder is asked for its spare
+//    placement variant: the identical logical testbed on different
+//    hardware (shards). Because every RNG stream is keyed to a component
+//    and never to its placement (DESIGN.md §13), the replayed state
+//    attests byte-exactly against the failed tester's snapshot — which is
+//    the exactly-once guarantee for merged HTPR results: the spare resumes
+//    from a *proven* copy of the dead tester's aggregates, and the
+//    MergeRecords pin `resumed >= snapshot` watermarks per query.
+//  * kDegrade — keep running with the dead tester and mark the rest of
+//    the measurement window invalid in the RecoveryReport. No recovery,
+//    full honesty.
+//
+// Determinism contract: the supervisor always advances the cluster in the
+// same heartbeat slices, both live and during replay, so a recovered run
+// and a clean run execute the identical deadline sequence — the golden
+// crash-recovery tests (tests/recovery_test.cpp) hold their results
+// byte-identical (counters, store fingerprints, replica bytes, Prometheus
+// text).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "sim/fault.hpp"
+#include "sim/snapshot.hpp"
+
+namespace ht {
+
+/// Everything the supervisor runs: a cluster, which tester carries the
+/// workload, an optional progress probe, and whatever the builder needs to
+/// keep alive alongside (sinks, DUTs). Returned by the builder callback —
+/// which must be deterministic: two invocations with the same placement
+/// variant produce byte-identical testbeds.
+struct Testbed {
+  std::unique_ptr<TesterCluster> cluster;
+  /// Index of the tester carrying the measurement (the crash victim the
+  /// supervisor watches and the source of the MergeRecords).
+  std::size_t active_tester = 0;
+  /// Progress probe sampled once per heartbeat; a frozen value is a
+  /// deadline miss. Default: active tester's front-panel tx+rx packets.
+  std::function<std::uint64_t()> progress;
+  /// Keeps builder-owned objects (sinks, DUT endpoints) alive exactly as
+  /// long as the cluster they are wired into.
+  std::shared_ptr<void> keepalive;
+};
+
+struct SupervisorConfig {
+  sim::TimeNs heartbeat_ns = 1'000'000;  ///< progress-probe period (1 ms)
+  /// Consecutive heartbeats without progress before recovery triggers.
+  unsigned miss_threshold = 3;
+  sim::TimeNs snapshot_interval_ns = 10'000'000;  ///< restore-point spacing
+  enum class Policy : std::uint8_t { kRestore, kMigrate, kDegrade };
+  Policy policy = Policy::kRestore;
+  /// Placement variant handed to the builder on kMigrate: same logical
+  /// testbed, the workload on the spare hardware.
+  std::size_t spare_variant = 1;
+  /// Process-level faults scheduled into the *initial* build only — a
+  /// rebuilt (recovered) testbed replaces the crashed process and does not
+  /// re-crash.
+  sim::CrashPlan plan;
+};
+
+const char* to_string(SupervisorConfig::Policy policy);
+
+/// One recovery attempt or decision, in order.
+struct RecoveryAction {
+  sim::TimeNs detected_at_ns = 0;   ///< when the miss threshold tripped
+  sim::TimeNs restored_to_ns = 0;   ///< snapshot watermark used (0 = none)
+  SupervisorConfig::Policy policy = SupervisorConfig::Policy::kRestore;
+  bool recovered = false;           ///< false = rejected snapshot / degrade
+  std::string detail;
+};
+
+/// A measurement window the report declares unreliable: re-executed after
+/// a restore, or abandoned under kDegrade.
+struct InvalidWindow {
+  sim::TimeNs from_ns = 0;
+  sim::TimeNs to_ns = 0;
+};
+
+/// Exactly-once accounting for one query across a recovery: the replayed
+/// (attested) evaluation watermark at the restore point, and the final
+/// watermark once the run completed. resumed >= snapshot always holds —
+/// results only ever accumulate forward from a proven state, never merge
+/// twice.
+struct MergeRecord {
+  std::string query;
+  std::uint64_t snapshot_watermark = 0;
+  std::uint64_t resumed_watermark = 0;
+};
+
+struct RecoveryReport {
+  std::uint64_t heartbeats = 0;
+  std::uint64_t misses = 0;      ///< heartbeats with a frozen probe
+  std::uint64_t snapshots = 0;   ///< restore points taken
+  std::uint64_t recoveries = 0;  ///< successful restore/migrate actions
+  std::vector<RecoveryAction> actions;
+  std::vector<InvalidWindow> invalid_windows;
+  std::vector<MergeRecord> merges;
+  bool completed = false;  ///< run() reached its deadline
+};
+
+/// Multi-line human-readable rendering for logs and the CLI.
+std::string format_recovery(const RecoveryReport& report);
+
+class Supervisor {
+ public:
+  /// The builder is invoked with a placement variant (0 = primary; the
+  /// config's spare_variant when migrating) and must deterministically
+  /// construct, load, and start the full testbed.
+  using BuildFn = std::function<Testbed(std::size_t placement_variant)>;
+
+  Supervisor(SupervisorConfig cfg, BuildFn build);
+
+  /// Run the supervised lifecycle for `duration` of simulated time:
+  /// heartbeat loop, snapshotting, detection, recovery. Returns the
+  /// report (also available via report()). Throws std::runtime_error if a
+  /// recovery is required and no snapshot attests (the time-0 snapshot
+  /// always should, for a deterministic builder).
+  const RecoveryReport& run(sim::TimeNs duration);
+
+  const SupervisorConfig& config() const { return cfg_; }
+  /// The live testbed (the rebuilt one after a recovery).
+  Testbed& testbed() { return testbed_; }
+  const RecoveryReport& report() const { return report_; }
+
+  struct SnapshotRecord {
+    sim::TimeNs taken_at = 0;
+    std::vector<std::uint8_t> bytes;  ///< sealed snapshot file image
+  };
+  /// Restore points held, oldest first. After a recovery, records newer
+  /// than the restore point are dropped — their timeline no longer exists.
+  const std::vector<SnapshotRecord>& snapshots() const { return snapshots_; }
+
+ private:
+  sim::TimeNs now() const { return testbed_.cluster->shards().now(); }
+  std::uint64_t probe();
+  /// Serialize supervisor meta + full testbed state. `include_engine`
+  /// adds the engine section — stored in snapshot files, but skipped for
+  /// attestation because per-shard executed counts are placement-
+  /// dependent and migration legitimately changes placement.
+  void serialize(Testbed& tb, sim::SnapshotWriter& w, sim::TimeNs taken_at,
+                 bool include_engine) const;
+  void store_snapshot();
+  /// Rebuild + replay + attest against `snap`. On success the live
+  /// testbed is replaced and true returned; on any SnapshotError the
+  /// rebuilt testbed is discarded and `why` names the diverging section.
+  bool try_restore(const SnapshotRecord& snap, std::size_t variant, std::string& why);
+  void recover(sim::TimeNs detected_at);
+  void record_merges();
+  void finish_merges();
+
+  SupervisorConfig cfg_;
+  BuildFn build_;
+  Testbed testbed_;
+  std::vector<SnapshotRecord> snapshots_;
+  RecoveryReport report_;
+  sim::TimeNs deadline_ = 0;
+  std::size_t current_variant_ = 0;
+  bool plan_applied_ = false;
+  bool degraded_ = false;
+};
+
+}  // namespace ht

@@ -384,6 +384,10 @@ void SwitchAsic::emit(net::PacketPtr pkt, std::uint16_t eport, sim::TimeNs now_n
     return;
   }
   if (is_recirc_port(eport)) {
+    if (!recirc_admin_up_) {
+      ++recirc_admin_drops_;
+      return;
+    }
     RecircChannel& ch = recirc_[eport - kRecircPortBase];
     const double now = static_cast<double>(now_ns);
     const double start = std::max(now, ch.busy_until);

@@ -61,6 +61,16 @@ class SwitchAsic {
   bool is_recirc_port(std::uint16_t p) const {
     return p >= kRecircPortBase && p < kRecircPortBase + recirc_.size();
   }
+  /// Admin gate over every recirculation channel (crash modeling,
+  /// DESIGN.md §14): while down, a packet emitted to a recirc port is
+  /// counted in recirc_admin_drops() and discarded, which kills the
+  /// tester's self-sustaining loops the way process death would.
+  void set_recirc_admin(bool up) { recirc_admin_up_ = up; }
+  bool recirc_admin_up() const { return recirc_admin_up_; }
+  std::uint64_t recirc_admin_drops() const { return recirc_admin_drops_; }
+  std::size_t recirc_channel_count() const { return recirc_.size(); }
+  double recirc_busy_until(std::size_t c) const { return recirc_[c].busy_until; }
+  std::uint64_t recirc_loops(std::size_t c) const { return recirc_[c].loops; }
 
   // --- programmable blocks ---------------------------------------------------
   void set_parser(Parser p) { parser_ = std::move(p); }
@@ -170,6 +180,8 @@ class SwitchAsic {
     double busy_until = 0.0;
     std::uint64_t loops = 0;
   };
+  bool recirc_admin_up_ = true;
+  std::uint64_t recirc_admin_drops_ = 0;
 
   void register_device_metrics();
 

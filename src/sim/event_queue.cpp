@@ -25,19 +25,31 @@ int find_set_bit(const std::array<std::uint64_t, Words>& bm, unsigned from) {
 
 }  // namespace
 
-EventQueue::~EventQueue() {
-  const auto drop_list = [](Node* n) {
+EventQueue::~EventQueue() { drop_pending(); }
+
+void EventQueue::drop_pending() {
+  const auto drop_list = [this](Node*& head) {
+    Node* n = head;
     while (n != nullptr) {
       Node* next = n->next;
       n->drop(n);
+      free_node(n);
       n = next;
     }
+    head = nullptr;
   };
   drop_list(ready_head_);
+  ready_tail_ = nullptr;
   for (auto& level : wheel_) {
     for (Node*& head : level) drop_list(head);
   }
-  for (Node* n : overflow_) n->drop(n);
+  for (auto& level : bits_) level.fill(0);
+  for (Node* n : overflow_) {
+    n->drop(n);
+    free_node(n);
+  }
+  overflow_.clear();
+  pending_ = 0;
 }
 
 EventQueue::Node* EventQueue::alloc_node() {

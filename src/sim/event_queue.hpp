@@ -87,6 +87,13 @@ class EventQueue {
   /// Execute exactly one event if any is pending; returns false when empty.
   bool step();
 
+  /// Destroy every pending event without running it, releasing whatever
+  /// the closures hold (packet references, component pointers). The queue
+  /// stays valid and empty. Shard teardown calls this before deciding
+  /// whether the shard's packet pool can be destroyed — a discarded
+  /// mid-run testbed must not count event-held packets as checked out.
+  void drop_pending();
+
   /// Slab instrumentation (hit/miss/high-water), surfaced by the benches
   /// via sim::stats::AllocCacheReport.
   struct SlabStats {

@@ -8,17 +8,17 @@
 namespace ht::sim {
 
 FaultInjector::FaultInjector(EventQueue& ev, FaultConfig cfg)
-    : ev_(ev), cfg_(cfg), rng_(cfg.seed) {}
+    : ev_(&ev), cfg_(cfg), rng_(cfg.seed) {}
 
 void FaultInjector::attach(Port& src) {
-  if (src.cross_shard()) {
-    // A wire hook runs on the SOURCE shard at delivery time, but a
-    // cross-shard packet has already left through the link mailbox by
-    // then — chaos on such a link would silently never fire. Keep faulty
-    // links within one shard (DESIGN.md §13).
-    throw std::logic_error(
-        "sim::FaultInjector: chaos cannot attach to a cross-shard link direction");
+  if (src.peer() == nullptr) {
+    throw std::logic_error("sim::FaultInjector: attach before the link is connected");
   }
+  // Rebind to the RECEIVING queue: on a cross-shard link the ShardGroup
+  // drain schedules the hook at the stamped arrival on the destination
+  // shard, so every injector mutation (RNG, chain, flap flag, the flap
+  // schedule armed below) happens on the thread that owns src.peer().
+  ev_ = &src.peer()->ev();
   arm_flaps();
   src.wire_hook = [this](net::PacketPtr pkt, Port& dst) { process(std::move(pkt), dst); };
 }
@@ -28,8 +28,8 @@ void FaultInjector::arm_flaps() {
   flaps_armed_ = true;
   for (unsigned i = 0; i < cfg_.flap.count; ++i) {
     const TimeNs down_at = cfg_.flap.first_down_at + TimeNs{i} * cfg_.flap.period_ns;
-    ev_.schedule_at(down_at, [this] { link_up_ = false; });
-    ev_.schedule_at(down_at + cfg_.flap.down_ns, [this] { link_up_ = true; });
+    ev_->schedule_at(down_at, [this] { link_up_ = false; });
+    ev_->schedule_at(down_at + cfg_.flap.down_ns, [this] { link_up_ = true; });
   }
 }
 
@@ -84,7 +84,7 @@ void FaultInjector::process(net::PacketPtr pkt, Port& dst) {
     auto copy = net::make_packet(*pkt);
     // The duplicate trails the original by one event at the same
     // timestamp, modelling back-to-back wire copies.
-    ev_.schedule_in(0, [&dst, copy = std::move(copy)]() mutable { dst.deliver(std::move(copy)); });
+    ev_->schedule_in(0, [&dst, copy = std::move(copy)]() mutable { dst.deliver(std::move(copy)); });
   }
   if (cfg_.reorder.rate > 0.0 && rng_.bernoulli(cfg_.reorder.rate)) {
     ++stats_.reordered;
@@ -92,7 +92,7 @@ void FaultInjector::process(net::PacketPtr pkt, Port& dst) {
     const TimeNs lo = cfg_.reorder.min_delay_ns;
     const TimeNs hi = cfg_.reorder.max_delay_ns < lo ? lo : cfg_.reorder.max_delay_ns;
     const TimeNs extra = lo == hi ? lo : rng_.uniform_range(lo, hi);
-    ev_.schedule_in(extra, [&dst, pkt = std::move(pkt)]() mutable { dst.deliver(std::move(pkt)); });
+    ev_->schedule_in(extra, [&dst, pkt = std::move(pkt)]() mutable { dst.deliver(std::move(pkt)); });
     return;
   }
   ++stats_.delivered;
@@ -106,6 +106,16 @@ void FaultInjector::append_drop_counters(const std::string& link,
   out.push_back({link + ".fault_corrupted", stats_.corrupted});
   out.push_back({link + ".fault_duplicated", stats_.duplicated});
   out.push_back({link + ".fault_reordered", stats_.reordered});
+}
+
+const char* to_string(CrashKind kind) {
+  switch (kind) {
+    case CrashKind::kTesterCrash: return "tester_crash";
+    case CrashKind::kSwitchReboot: return "switch_reboot";
+    case CrashKind::kControllerPartition: return "controller_partition";
+    case CrashKind::kShardStall: return "shard_stall";
+  }
+  return "unknown";
 }
 
 std::string format_failure(const FailureReport& report) {

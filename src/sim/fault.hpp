@@ -123,17 +123,30 @@ struct FaultStats {
 /// Wraps one direction of a link: every packet finishing serialization on
 /// the attached Port passes through the injector before reaching the
 /// peer. Attach one injector per direction for a full-duplex chaos link.
+///
+/// Shard safety: attach() rebinds the injector to the *receiving* port's
+/// event queue (src.peer()->ev()). On an intra-shard link that is the same
+/// queue; on a cross-shard link the ShardGroup drain schedules the hook
+/// invocation at the stamped arrival time on the destination shard, so all
+/// injector state (RNG, Gilbert chain, flap flag) mutates on exactly one
+/// thread. Per-link FIFO order plus the per-injector RNG keeps the draw
+/// sequence — and therefore every counter — identical across shard counts.
 class FaultInjector {
  public:
   FaultInjector(EventQueue& ev, FaultConfig cfg);
 
-  /// Interpose on `src`'s wire path (replaces any previous hook). The
-  /// flap schedule, if any, is armed on the event queue on first attach.
+  /// Interpose on `src`'s wire path (replaces any previous hook) and
+  /// rebind to the receiving queue. The flap schedule, if any, is armed
+  /// there on first attach. `src` must already be connected.
   void attach(Port& src);
 
   const FaultConfig& config() const { return cfg_; }
   const FaultStats& stats() const { return stats_; }
   bool link_up() const { return link_up_; }
+  /// Gilbert-Elliott chain position — part of the snapshot state image.
+  bool gilbert_bad() const { return gilbert_bad_; }
+  /// Draw-stream state for snapshots (sim/snapshot.hpp).
+  std::string rng_state_string() const { return rng_.state_string(); }
 
   /// Drop/keep decision plus perturbation for one packet headed to `dst`.
   /// Exposed for tests; attach() routes the Port wire hook here.
@@ -150,13 +163,50 @@ class FaultInjector {
   /// shared (template packets must never be corrupted in place).
   void corrupt_in_place(net::PacketPtr& pkt);
 
-  EventQueue& ev_;
+  EventQueue* ev_;  ///< rebound to the receiving queue at attach()
   FaultConfig cfg_;
   Rng rng_;
   FaultStats stats_;
   bool link_up_ = true;
   bool gilbert_bad_ = false;  ///< Gilbert-Elliott chain state
   bool flaps_armed_ = false;
+};
+
+/// Process-level fault vocabulary (DESIGN.md §14). Where the wire faults
+/// above perturb packets, these perturb the *testbed* — whole testers,
+/// switch state, the control plane — scheduled on the sim clock like any
+/// other event, so crash experiments replay deterministically and the
+/// Supervisor (core/supervisor.hpp) can be tested against a known script.
+enum class CrashKind : std::uint8_t {
+  /// Tester process dies: every front-panel port goes admin-down and stays
+  /// down. Recovery requires supervisor action (restore or migrate).
+  kTesterCrash,
+  /// Crash plus volatile-state loss: the ASIC register file is wiped, as a
+  /// real switch reboot wipes SRAM. Counters restart from zero.
+  kSwitchReboot,
+  /// Control-plane partition: switch-CPU RPCs see 100% loss for
+  /// duration_ns, then heal. The data plane keeps forwarding.
+  kControllerPartition,
+  /// Transient freeze: ports admin-down for duration_ns, then back up on
+  /// their own — a stall, not a death.
+  kShardStall,
+};
+
+const char* to_string(CrashKind kind);
+
+/// One scheduled process-level fault.
+struct CrashEvent {
+  CrashKind kind = CrashKind::kTesterCrash;
+  TimeNs at_ns = 0;
+  TimeNs duration_ns = 0;  ///< partition/stall window; ignored for crash/reboot
+  std::size_t tester = 0;  ///< cluster index of the victim tester
+};
+
+/// A run's crash schedule, declared up front like FaultConfig so tests and
+/// the CLI can sweep it from one seedable description.
+struct CrashPlan {
+  std::vector<CrashEvent> events;
+  bool any() const { return !events.empty(); }
 };
 
 /// Timeout + capped exponential backoff for control-plane operations

@@ -1,24 +1,17 @@
 #include "sim/port.hpp"
 
-#include <stdexcept>
-
 #include "net/headers.hpp"
 #include "sim/mailbox.hpp"
 
 namespace ht::sim {
 
-void Port::set_remote_out(LinkMailbox* mailbox) {
-  if (mailbox != nullptr && wire_hook) {
-    throw std::logic_error(
-        "sim::Port: chaos wire_hook is not supported on a cross-shard link "
-        "(place the fault injector's link within one shard)");
-  }
-  remote_out_ = mailbox;
-}
-
 void Port::send(net::PacketPtr pkt) { send_at(ev_.now(), std::move(pkt)); }
 
 void Port::send_at(TimeNs now_ns, net::PacketPtr pkt) {
+  if (!admin_up_) {
+    ++dropped_admin_down_;
+    return;
+  }
   if (peer_ == nullptr) {
     ++dropped_no_peer_;
     return;
@@ -78,6 +71,10 @@ void Port::send_at(TimeNs now_ns, net::PacketPtr pkt) {
 }
 
 void Port::deliver(net::PacketPtr pkt) {
+  if (!admin_up_) {
+    ++dropped_admin_down_;
+    return;
+  }
   if (verify_fcs_ && !net::verify_checksums(*pkt)) {
     ++rx_fcs_drops_;
     return;

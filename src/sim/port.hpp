@@ -32,6 +32,11 @@ class Port {
 
   std::uint16_t id() const { return id_; }
   double rate_gbps() const { return rate_gbps_; }
+  /// The queue this port's delivery events run on — i.e. the receive side
+  /// of the wire. A FaultInjector attaching to the *peer* schedules its
+  /// perturbations here, so chaos always executes on the receiver's shard
+  /// (shard-safe chaos, DESIGN.md §14).
+  EventQueue& ev() { return ev_; }
 
   /// Attach the far end. `peer == this` makes a loopback port (used to
   /// extend recirculation capacity, §6.1).
@@ -70,11 +75,20 @@ class Port {
   /// pushed into the link mailbox at send time — stamped with the exact
   /// arrival the intra-shard path would compute — instead of being
   /// delivered through a local event; the ShardGroup's epoch barrier
-  /// schedules the delivery on the destination shard. Incompatible with
-  /// wire_hook (throws): a chaos hook would have to run on the wrong
-  /// shard at delivery time.
-  void set_remote_out(LinkMailbox* mailbox);
+  /// schedules the delivery on the destination shard. When this port also
+  /// has a wire_hook, the drain schedules the hook invocation at the
+  /// stamped arrival on the *destination* shard's queue, so chaos state
+  /// only ever mutates on the receiving thread (shard-safe chaos).
+  void set_remote_out(LinkMailbox* mailbox) { remote_out_ = mailbox; }
   bool cross_shard() const { return remote_out_ != nullptr; }
+
+  /// Administrative link state — the crash-fault primitive (sim/fault.hpp
+  /// CrashKind): an admin-down MAC neither transmits nor receives, and
+  /// every packet offered in either direction while down is counted here
+  /// and dropped. A tester crash admin-downs all its front-panel ports.
+  void set_admin_up(bool up) { admin_up_ = up; }
+  bool admin_up() const { return admin_up_; }
+  std::uint64_t dropped_admin_down() const { return dropped_admin_down_; }
 
   /// MAC FCS verification: when enabled, deliver() drops frames whose
   /// checksums no longer verify (bit-flip corruption on the wire) and
@@ -89,6 +103,11 @@ class Port {
   std::uint64_t rx_bytes() const { return rx_bytes_; }
   std::uint64_t dropped_no_peer() const { return dropped_no_peer_; }
   std::size_t tx_queue_depth() const { return tx_in_flight_; }
+  std::uint64_t tx_line_bytes() const { return tx_line_bytes_; }
+  std::uint64_t tx_completed_line_bytes() const { return tx_completed_line_bytes_; }
+  /// MAC credit clock (fractional ns) — part of the snapshot state image:
+  /// two runs in the same state must agree on it bit-exactly.
+  double busy_until() const { return busy_until_; }
 
   /// Achieved TX throughput in Gbps over [0, now], counting full wire size
   /// (the convention used when a tester claims "line rate").
@@ -125,6 +144,8 @@ class Port {
   std::uint64_t dropped_no_peer_ = 0;
   bool verify_fcs_ = false;
   std::uint64_t rx_fcs_drops_ = 0;
+  bool admin_up_ = true;
+  std::uint64_t dropped_admin_down_ = 0;
 
   telemetry::Histogram* wire_latency_ = nullptr;
   telemetry::TraceRecorder* trace_ = nullptr;

@@ -5,9 +5,13 @@
 // are reproducible and tests can assert exact statistics.
 #pragma once
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
 namespace ht::sim {
 
@@ -85,6 +89,25 @@ class Rng {
   bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Full generator state (mt19937_64 state words + position + the cached
+  /// Marsaglia spare) as a portable text record, for run-state snapshots
+  /// (sim/snapshot.hpp). Round-trips exactly: after set_state_string the
+  /// next draws are identical to the captured generator's.
+  std::string state_string() const {
+    std::ostringstream os;
+    // The spare travels as its bit pattern: decimal formatting of a double
+    // would not round-trip it exactly.
+    os << engine_ << ' ' << has_spare_ << ' ' << std::bit_cast<std::uint64_t>(spare_);
+    return os.str();
+  }
+  void set_state_string(const std::string& s) {
+    std::istringstream is(s);
+    std::uint64_t spare_bits = 0;
+    is >> engine_ >> has_spare_ >> spare_bits;
+    if (!is) throw std::invalid_argument("sim::Rng: malformed state string");
+    spare_ = std::bit_cast<double>(spare_bits);
+  }
 
  private:
   std::mt19937_64 engine_;

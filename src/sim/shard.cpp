@@ -4,9 +4,17 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/snapshot.hpp"
+
 namespace ht::sim {
 
 Shard::~Shard() {
+  // Pending events hold packet references (in-flight deliveries,
+  // recirculation loops); a testbed discarded mid-run — e.g. replaced by
+  // the Supervisor during a restore — tears down with plenty of them.
+  // Drop those first so they release into the still-live pool and don't
+  // force the leak path below.
+  ev_.drop_pending();
   if (pool_->stats().live != 0) {
     // Packets are still checked out (e.g. held by a sink that outlives the
     // group). Leak the pool so their eventual release never sees a dangling
@@ -41,13 +49,9 @@ void ShardGroup::connect(Port& a, std::size_t shard_a, Port& b, std::size_t shar
   b.connect(&a, propagation_ns);
   if (shard_a == shard_b) return;  // intra-shard wire: plain local link
 
-  if (a.wire_hook || b.wire_hook) {
-    throw std::logic_error(
-        "sim::ShardGroup::connect: chaos wire_hook is not supported on a "
-        "cross-shard link");
-  }
   const auto add_dir = [this, propagation_ns](Port& src, Port& dst, Shard& dst_shard) {
     auto dir = std::make_unique<CrossDir>();
+    dir->src_port = &src;
     dir->dst_port = &dst;
     dir->dst_shard = &dst_shard;
     src.set_remote_out(&dir->mailbox);
@@ -180,18 +184,44 @@ void ShardGroup::worker_main(std::size_t shard_idx) {
 std::size_t ShardGroup::drain_mailboxes(TimeNs deadline) {
   std::size_t due = 0;
   for (const auto& dir : links_) {
+    Port* src = dir->src_port;
     Port* dst = dir->dst_port;
     Shard* dst_shard = dir->dst_shard;
     dir->mailbox.drain([&](net::PacketPtr pkt, TimeNs arrival) {
       ++stats_.handoffs;
       if (arrival <= deadline) ++due;
       net::PacketPtr local = transfer(std::move(pkt), dst_shard->pool());
-      dst_shard->ev().schedule_at(arrival, [dst, p = std::move(local)]() mutable {
-        dst->deliver(std::move(p));
+      // Mirror the intra-shard delivery event: a chaos hook on the sending
+      // port runs at the stamped arrival on the DESTINATION queue, so all
+      // injector state lives on the receiving thread (hooks are only set
+      // during setup, so reading src->wire_hook here is race-free).
+      dst_shard->ev().schedule_at(arrival, [src, dst, p = std::move(local)]() mutable {
+        if (src->wire_hook) {
+          src->wire_hook(std::move(p), *dst);
+        } else {
+          dst->deliver(std::move(p));
+        }
       });
     });
   }
   return due;
+}
+
+void ShardGroup::write_state(SnapshotWriter& w) const {
+  w.begin_section("engine");
+  w.u64(shards_.size());
+  w.u64(run_seed_);
+  w.u64(static_cast<std::uint64_t>(lookahead_));
+  w.u64(static_cast<std::uint64_t>(epoch_now_));
+  // Per-shard: clock, executed-event count, and RNG stream. Pending-event
+  // counts are deliberately NOT serialized: externally scheduled events
+  // (a crash plan, a supervisor timer) change them without changing the
+  // simulated state, so they are not replay-invariant.
+  for (const auto& s : shards_) {
+    w.u64(static_cast<std::uint64_t>(s->ev().now()));
+    w.u64(s->ev().executed());
+    w.str(s->rng().state_string());
+  }
 }
 
 net::PacketPtr ShardGroup::transfer(net::PacketPtr pkt, net::PacketPool& dst_pool) {

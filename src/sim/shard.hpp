@@ -54,6 +54,7 @@
 namespace ht::sim {
 
 class ShardGroup;
+class SnapshotWriter;
 
 /// One simulation domain: event queue + RNG stream + packet pool.
 class Shard {
@@ -75,6 +76,7 @@ class Shard {
   /// via the splitmix64 seed fanout (sim::Rng::for_stream). Components
   /// that must stay placement-invariant own their Rng instead.
   Rng& rng() { return rng_; }
+  const Rng& rng() const { return rng_; }
   net::PacketPool& pool() { return *pool_; }
   const net::PacketPool& pool() const { return *pool_; }
 
@@ -111,11 +113,12 @@ class ShardGroup {
   /// the ports live on different shards the wire becomes a cross-shard
   /// edge: each direction gets an SPSC mailbox, and the link's
   /// propagation + minimum serialization time joins the conservative
-  /// lookahead (the epoch length). Chaos wire hooks are not supported on
-  /// cross-shard links (the injector would run on the source shard at
-  /// delivery time, violating lookahead) — connect throws if one is
-  /// already attached, and FaultInjector::attach refuses the reverse
-  /// order.
+  /// lookahead (the epoch length). A chaos wire hook on a cross-shard
+  /// direction is supported: the barrier drain schedules the hook
+  /// invocation at the stamped arrival time on the destination shard's
+  /// queue, so injector state mutates only on the receiving thread and
+  /// the per-link FIFO keeps its draw order identical to the intra-shard
+  /// path (the shard-count determinism contract extends to chaos links).
   void connect(Port& a, std::size_t shard_a, Port& b, std::size_t shard_b,
                TimeNs propagation_ns = kDefaultCrossPropagationNs);
 
@@ -154,10 +157,18 @@ class ShardGroup {
   EventQueue::SlabStats aggregate_slab_stats() const;
   net::PacketPool::Stats aggregate_pool_stats() const;
 
+  /// Serialize the engine-level replay-invariant state (shard count, run
+  /// seed, lookahead, per-shard clock/executed/pending and RNG stream)
+  /// into `w` as one "engine" section. Epoch/steal/pool statistics are
+  /// deliberately excluded: they depend on how the run was sliced into
+  /// run_until calls, not on the simulated state (DESIGN.md §14).
+  void write_state(SnapshotWriter& w) const;
+
  private:
   /// One direction of a cross-shard link.
   struct CrossDir {
     LinkMailbox mailbox;
+    Port* src_port = nullptr;  ///< for its wire_hook at drain time
     Port* dst_port = nullptr;
     Shard* dst_shard = nullptr;
   };

@@ -1,0 +1,245 @@
+#include "sim/snapshot.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace ht::sim {
+namespace {
+
+constexpr char kMagic[8] = {'H', 'T', 'S', 'N', 'A', 'P', '\0', '\0'};
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// --- writer ----------------------------------------------------------------
+
+void SnapshotWriter::begin_section(const std::string& name) {
+  for (const auto& [n, bytes] : sections_) {
+    if (n == name) throw SnapshotError(name, "duplicate snapshot section");
+  }
+  sections_.emplace_back(name, std::vector<std::uint8_t>{});
+}
+
+std::vector<std::uint8_t>& SnapshotWriter::payload() {
+  if (sections_.empty()) throw SnapshotError("", "write before begin_section");
+  return sections_.back().second;
+}
+
+void SnapshotWriter::u8(std::uint8_t v) { payload().push_back(v); }
+void SnapshotWriter::u32(std::uint32_t v) { put_u32(payload(), v); }
+void SnapshotWriter::u64(std::uint64_t v) { put_u64(payload(), v); }
+void SnapshotWriter::f64(double v) { put_u64(payload(), std::bit_cast<std::uint64_t>(v)); }
+
+void SnapshotWriter::str(const std::string& s) {
+  auto& out = payload();
+  put_u64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void SnapshotWriter::u64_vec(const std::vector<std::uint64_t>& v) {
+  auto& out = payload();
+  put_u64(out, v.size());
+  for (const std::uint64_t x : v) put_u64(out, x);
+}
+
+void SnapshotWriter::u64_map(const std::map<std::uint64_t, std::uint64_t>& m) {
+  auto& out = payload();
+  put_u64(out, m.size());
+  for (const auto& [k, v] : m) {
+    put_u64(out, k);
+    put_u64(out, v);
+  }
+}
+
+std::uint64_t SnapshotWriter::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const auto& [name, bytes] : sections_) {
+    h = fnv1a64(reinterpret_cast<const std::uint8_t*>(name.data()), name.size(), h);
+    h = fnv1a64(bytes.data(), bytes.size(), h);
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> SnapshotWriter::finish() {
+  std::vector<std::uint8_t> out;
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  put_u32(out, kVersion);
+  put_u32(out, static_cast<std::uint32_t>(sections_.size()));
+  for (const auto& [name, bytes] : sections_) {
+    put_u32(out, static_cast<std::uint32_t>(name.size()));
+    out.insert(out.end(), name.begin(), name.end());
+    put_u64(out, bytes.size());
+    out.insert(out.end(), bytes.begin(), bytes.end());
+    put_u64(out, fnv1a64(bytes.data(), bytes.size()));
+  }
+  put_u64(out, fnv1a64(out.data(), out.size()));
+  return out;
+}
+
+// --- reader ----------------------------------------------------------------
+
+SnapshotReader::SnapshotReader(std::vector<std::uint8_t> data) : data_(std::move(data)) {
+  const auto fail = [](const std::string& what) -> void { throw SnapshotError("", what); };
+  if (data_.size() < sizeof(kMagic) + 4 + 4 + 8) fail("snapshot truncated");
+  if (std::memcmp(data_.data(), kMagic, sizeof(kMagic)) != 0) fail("bad snapshot magic");
+  const std::uint64_t file_sum = get_u64(data_.data() + data_.size() - 8);
+  if (fnv1a64(data_.data(), data_.size() - 8) != file_sum) fail("snapshot file checksum mismatch");
+  std::size_t p = sizeof(kMagic);
+  version_ = get_u32(data_.data() + p);
+  p += 4;
+  if (version_ != SnapshotWriter::kVersion) {
+    fail("unsupported snapshot version " + std::to_string(version_) + " (expected " +
+         std::to_string(SnapshotWriter::kVersion) + ")");
+  }
+  const std::uint32_t count = get_u32(data_.data() + p);
+  p += 4;
+  const std::size_t end = data_.size() - 8;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (p + 4 > end) fail("section header truncated");
+    const std::uint32_t name_len = get_u32(data_.data() + p);
+    p += 4;
+    if (p + name_len + 8 > end) fail("section name truncated");
+    std::string name(reinterpret_cast<const char*>(data_.data() + p), name_len);
+    p += name_len;
+    const std::uint64_t payload_len = get_u64(data_.data() + p);
+    p += 8;
+    if (payload_len > end - p || p + payload_len + 8 > end) {
+      throw SnapshotError(name, "section payload truncated");
+    }
+    std::vector<std::uint8_t> bytes(data_.begin() + static_cast<std::ptrdiff_t>(p),
+                                    data_.begin() + static_cast<std::ptrdiff_t>(p + payload_len));
+    p += payload_len;
+    const std::uint64_t sum = get_u64(data_.data() + p);
+    p += 8;
+    if (fnv1a64(bytes.data(), bytes.size()) != sum) {
+      throw SnapshotError(name, "section checksum mismatch");
+    }
+    index_.emplace(name, sections_.size());
+    sections_.emplace_back(std::move(name), std::move(bytes));
+  }
+  if (p != end) fail("trailing bytes after last section");
+}
+
+bool SnapshotReader::has_section(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+std::vector<std::string> SnapshotReader::section_names() const {
+  std::vector<std::string> out;
+  out.reserve(sections_.size());
+  for (const auto& [name, bytes] : sections_) out.push_back(name);
+  return out;
+}
+
+const std::vector<std::uint8_t>& SnapshotReader::section_payload(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) throw SnapshotError(name, "no such snapshot section");
+  return sections_[it->second].second;
+}
+
+void SnapshotReader::open_section(const std::string& name) {
+  cur_ = &section_payload(name);
+  cur_name_ = name;
+  pos_ = 0;
+}
+
+void SnapshotReader::need(std::size_t n) const {
+  if (cur_ == nullptr) throw SnapshotError("", "read before open_section");
+  if (pos_ + n > cur_->size()) throw SnapshotError(cur_name_, "read past end of section");
+}
+
+std::uint8_t SnapshotReader::u8() {
+  need(1);
+  return (*cur_)[pos_++];
+}
+
+std::uint32_t SnapshotReader::u32() {
+  need(4);
+  const std::uint32_t v = get_u32(cur_->data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t SnapshotReader::u64() {
+  need(8);
+  const std::uint64_t v = get_u64(cur_->data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+double SnapshotReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string SnapshotReader::str() {
+  const std::uint64_t n = u64();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(cur_->data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<std::uint64_t> SnapshotReader::u64_vec() {
+  const std::uint64_t n = u64();
+  std::vector<std::uint64_t> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(u64());
+  return v;
+}
+
+std::map<std::uint64_t, std::uint64_t> SnapshotReader::u64_map() {
+  const std::uint64_t n = u64();
+  std::map<std::uint64_t, std::uint64_t> m;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t k = u64();
+    m[k] = u64();
+  }
+  return m;
+}
+
+// --- attestation -----------------------------------------------------------
+
+void attest_sections(const SnapshotReader& expected, const SnapshotWriter& actual) {
+  for (const auto& [name, rebuilt] : actual.sections()) {
+    if (!expected.has_section(name)) {
+      throw SnapshotError(name, "section missing from snapshot (format/topology skew)");
+    }
+    const auto& stored = expected.section_payload(name);
+    if (stored == rebuilt) continue;
+    std::size_t off = 0;
+    const std::size_t n = std::min(stored.size(), rebuilt.size());
+    while (off < n && stored[off] == rebuilt[off]) ++off;
+    throw SnapshotError(
+        name, "restored state diverges from snapshot at byte " + std::to_string(off) +
+                  " (stored " + std::to_string(stored.size()) + "B, rebuilt " +
+                  std::to_string(rebuilt.size()) + "B) — replay is not reproducing this run");
+  }
+}
+
+}  // namespace ht::sim

@@ -1,0 +1,130 @@
+// Versioned, checksummed run-state snapshots (DESIGN.md §14).
+//
+// A snapshot is a flat container of named sections, each an opaque byte
+// payload guarded by its own FNV-1a checksum, with one more checksum over
+// the whole file. Sections are written in a fixed order by the engine
+// (engine state first, then one group of sections per tester), so two
+// snapshots of the same testbed state are byte-identical — which is what
+// lets a restore *attest* itself: rebuild the testbed, replay
+// deterministically to the snapshot time, re-serialize, and compare
+// section bytes. Any divergence (corrupt file, version skew, lost
+// determinism, post-fault state) surfaces as a SnapshotError naming the
+// section instead of silently continuing a wrong run.
+//
+// Layout (all integers little-endian):
+//
+//   magic "HTSNAP\0\0" | u32 version | u32 section_count
+//   section*: u32 name_len | name bytes | u64 payload_len | payload
+//             | u64 fnv1a64(payload)
+//   u64 fnv1a64(everything before this field)
+//
+// The payload encoding is typed-but-simple: writers emit u8/u32/u64/
+// double/string/u64-vector records; readers must consume them in the
+// same order (a mismatch throws). This is a state image, not a general
+// serialization framework — every field is written by the component that
+// owns it and verified on restore.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ht::sim {
+
+/// Raised on any malformed, truncated, checksum-failing, or diverging
+/// snapshot. `section` names the offending section when known.
+class SnapshotError : public std::runtime_error {
+ public:
+  SnapshotError(std::string section, const std::string& what)
+      : std::runtime_error(section.empty() ? what : section + ": " + what),
+        section_(std::move(section)) {}
+  const std::string& section() const { return section_; }
+
+ private:
+  std::string section_;
+};
+
+/// FNV-1a over a byte range — the checksum used throughout the format.
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+class SnapshotWriter {
+ public:
+  static constexpr std::uint32_t kVersion = 1;
+
+  /// Open a named section; every value written lands in it until the next
+  /// begin_section or finish(). Names must be unique within a snapshot.
+  void begin_section(const std::string& name);
+
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);  ///< bit-exact (bit_cast through u64)
+  void str(const std::string& s);
+  void u64_vec(const std::vector<std::uint64_t>& v);
+  void u64_map(const std::map<std::uint64_t, std::uint64_t>& m);
+
+  /// Seal the snapshot: closes the open section, writes header + per-
+  /// section checksums + the file checksum, and returns the bytes.
+  std::vector<std::uint8_t> finish();
+
+  /// FNV-1a over the serialized state written so far (sections in order,
+  /// names included) — the digest stored in snapshot metadata and used by
+  /// tests as a one-number state fingerprint.
+  std::uint64_t digest() const;
+
+  /// Section names in write order with their payload bytes (valid after
+  /// all writes; used by the attestation path for byte-compare).
+  const std::vector<std::pair<std::string, std::vector<std::uint8_t>>>& sections() const {
+    return sections_;
+  }
+
+ private:
+  std::vector<std::uint8_t>& payload();
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> sections_;
+};
+
+class SnapshotReader {
+ public:
+  /// Parses and fully validates the container: magic, version, bounds,
+  /// every section checksum, and the file checksum. Throws SnapshotError.
+  explicit SnapshotReader(std::vector<std::uint8_t> data);
+
+  std::uint32_t version() const { return version_; }
+  bool has_section(const std::string& name) const;
+  std::vector<std::string> section_names() const;
+  const std::vector<std::uint8_t>& section_payload(const std::string& name) const;
+
+  /// Position the typed cursor at the start of `name` (throws if absent).
+  void open_section(const std::string& name);
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+  std::vector<std::uint64_t> u64_vec();
+  std::map<std::uint64_t, std::uint64_t> u64_map();
+
+ private:
+  void need(std::size_t n) const;
+
+  std::vector<std::uint8_t> data_;
+  std::uint32_t version_ = 0;
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> sections_;
+  std::map<std::string, std::size_t> index_;
+  // typed cursor
+  const std::vector<std::uint8_t>* cur_ = nullptr;
+  std::size_t pos_ = 0;
+  std::string cur_name_;
+};
+
+/// Byte-compare every section of `expected` against the same-named section
+/// re-serialized into `actual` (write order must match). Throws
+/// SnapshotError naming the first diverging or missing section, with the
+/// first differing byte offset — the restore-attestation primitive.
+void attest_sections(const SnapshotReader& expected, const SnapshotWriter& actual);
+
+}  // namespace ht::sim

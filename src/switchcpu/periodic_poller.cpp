@@ -81,6 +81,20 @@ void PeriodicPoller::issue_attempt(sim::TimeNs first_requested, unsigned attempt
   });
 }
 
+void PeriodicPoller::register_metrics(telemetry::MetricsRegistry& reg) {
+  const std::vector<telemetry::Label> labels = {{"reg", reg_}};
+  reg.mirror_counter("ht_poller_timeouts_total", [this] { return timeouts_; },
+                     {.labels = labels,
+                      .help = "poll attempts that missed their deadline",
+                      .drop_source = "poller." + reg_ + ".timeouts"});
+  reg.mirror_counter("ht_poller_retries_total", [this] { return retries_; },
+                     {.labels = labels, .help = "timed-out polls retried with backoff"});
+  reg.mirror_counter("ht_poller_failures_total", [this] { return failures_; },
+                     {.labels = labels,
+                      .help = "polls that exhausted every retry (FailureReport emitted)",
+                      .drop_source = "poller." + reg_ + ".failures"});
+}
+
 std::vector<double> PeriodicPoller::rate_series(std::size_t index) const {
   std::vector<double> out;
   if (samples_.size() < 2) return out;

@@ -63,6 +63,12 @@ class PeriodicPoller {
   /// Invoked when one poll exhausts its retries.
   std::function<void(const sim::FailureReport&)> on_failure;
 
+  /// Mirror the poller's degradation counters into `reg`, labeled with the
+  /// polled register's name; timeouts and failures join the drop audit
+  /// trail ("poller.<reg>.timeouts" / ".failures"). Call once per poller
+  /// — HyperTester does not own pollers, so the owner wires this.
+  void register_metrics(telemetry::MetricsRegistry& reg);
+
  private:
   void poll();
   void issue_attempt(sim::TimeNs first_requested, unsigned attempt,

@@ -208,19 +208,46 @@ TEST(ShardGroup, SingleShardRunsInlineAsLegacyEngine) {
   EXPECT_EQ(group.now(), 100u);
 }
 
-TEST(ShardGroup, ChaosWireHookRejectedOnCrossShardLink) {
-  sim::ShardGroup group(2, 7);
-  sim::Port a(group.shard(0).ev(), 1, 100.0);
-  sim::Port b(group.shard(1).ev(), 2, 100.0);
-  a.wire_hook = [](net::PacketPtr, sim::Port&) {};
-  EXPECT_THROW(group.connect(a, 0, b, 1), std::logic_error);
-
-  sim::Port c(group.shard(0).ev(), 3, 100.0);
-  sim::Port d(group.shard(1).ev(), 4, 100.0);
-  group.connect(c, 0, d, 1);
-  EXPECT_TRUE(c.cross_shard());
-  sim::FaultInjector injector(group.shard(0).ev(), sim::FaultConfig{});
-  EXPECT_THROW(injector.attach(c), std::logic_error);
+/// Chaos composes with sharding (DESIGN.md §14): an injector attached to a
+/// cross-shard link rebinds to the receiving shard's queue and runs on the
+/// drain side, so its draw sequence — and therefore every stat and every
+/// arrival timestamp — matches the identical link co-placed on one shard.
+TEST(ShardGroup, ChaosOnCrossShardLinkMatchesCoPlaced) {
+  const auto run = [](std::size_t nshards, std::size_t shard_b) {
+    sim::ShardGroup group(nshards, 7);
+    sim::Port a(group.shard(0).ev(), 1, 100.0);
+    sim::Port b(group.shard(shard_b).ev(), 2, 100.0);
+    group.connect(a, 0, b, shard_b, 500);
+    EXPECT_EQ(a.cross_shard(), shard_b != 0);
+    std::vector<sim::TimeNs> arrivals;
+    b.on_receive = [&](net::PacketPtr pkt) {
+      arrivals.push_back(pkt->meta().ingress_tstamp_ns);
+    };
+    sim::FaultConfig cfg;
+    cfg.seed = 99;
+    cfg.loss.rate = 0.3;
+    cfg.duplicate.rate = 0.1;
+    sim::FaultInjector injector(group.shard(0).ev(), cfg);
+    injector.attach(a);
+    for (int i = 0; i < 200; ++i) {
+      group.shard(0).ev().schedule_at(static_cast<sim::TimeNs>(20 * i),
+                                      [&a] { a.send(net::make_packet(64)); });
+    }
+    group.run_until(sim::us(50));
+    return std::make_pair(injector.stats(), arrivals);
+  };
+  const auto [co_stats, co_arrivals] = run(1, 0);
+  const auto [x_stats, x_arrivals] = run(2, 1);
+  EXPECT_EQ(co_stats.offered, x_stats.offered);
+  EXPECT_EQ(co_stats.delivered, x_stats.delivered);
+  EXPECT_EQ(co_stats.lost, x_stats.lost);
+  EXPECT_EQ(co_stats.duplicated, x_stats.duplicated);
+  EXPECT_EQ(co_arrivals, x_arrivals);
+  // The profile must actually bite for the comparison to prove anything.
+  EXPECT_EQ(co_stats.offered, 200u);
+  EXPECT_GT(co_stats.lost, 0u);
+  EXPECT_GT(co_stats.duplicated, 0u);
+  EXPECT_GT(co_stats.delivered, 0u);
 }
 
 }  // namespace
