@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
 
   bench::BenchJson json("fig10_throughput_multi_port", bench::take_json_path(argc, argv));
   const std::size_t shards_arg = bench::take_shards(argc, argv);
+  const std::size_t testers_arg = bench::take_testers(argc, argv);
+  const std::size_t fleet = testers_arg > 0 ? testers_arg : 8;
 
   bench::headline("Figure 10(a): HyperTester multi-port (100G each, 64B)",
                   "line rate as ports are added; 400Gbps with 4 ports");
@@ -43,7 +45,8 @@ int main(int argc, char** argv) {
     bench::row("%8zu %14.1f", cores, mg.throughput_gbps(64, cores, 8, 10.0));
   }
 
-  bench::headline("Figure 10(c): sharded engine (8 testers x 100G, 64B, 2ms window)",
+  bench::headline("Figure 10(c): sharded engine (" + std::to_string(fleet) +
+                      " testers x 100G, 64B, 2ms window)",
                   "wall-clock scaling of the shard-per-worker engine");
   bench::row("%8s %12s %14s %12s %10s", "shards", "packets", "pkts/s (wall)", "wall (s)",
              "speedup");
@@ -55,7 +58,7 @@ int main(int argc, char** argv) {
   }
   double base_pps = 0.0;
   for (const std::size_t nshards : counts) {
-    const bench::ShardedRun r = bench::run_sharded_throughput(nshards);
+    const bench::ShardedRun r = bench::run_sharded_throughput(nshards, fleet);
     if (base_pps == 0.0) base_pps = r.pkts_per_sec;
     bench::row("%8zu %12llu %14.0f %12.3f %9.2fx", nshards,
                static_cast<unsigned long long>(r.packets), r.pkts_per_sec, r.wall_s,

@@ -39,6 +39,23 @@ inline std::size_t take_shards(int& argc, char** argv) {
   return shards;
 }
 
+/// Pull `--testers <n>` out of argv (same contract as take_shards).
+/// Returns 0 when the flag is absent — callers fall back to the workload
+/// default (8, the paper's testbed fleet).
+inline std::size_t take_testers(int& argc, char** argv) {
+  std::size_t testers = 0;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--testers") == 0 && i + 1 < argc) {
+      testers = static_cast<std::size_t>(std::atol(argv[++i]));
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return testers;
+}
+
 struct ShardedRun {
   std::uint64_t packets = 0;
   double wall_s = 0.0;
@@ -49,9 +66,21 @@ inline ShardedRun run_sharded_throughput(std::size_t nshards, std::size_t tester
                                          sim::TimeNs window = sim::ms(2)) {
   using clock = std::chrono::steady_clock;
   TesterCluster cluster({.shards = nshards, .seed = 42});
+  // Build the whole fleet's tasks first so auto_place can balance them;
+  // equal line-rate workloads place round-robin (the old t % nshards
+  // layout), keeping the pinned determinism digests valid.
+  std::vector<apps::ThroughputTest> workload;
+  workload.reserve(testers);
+  std::vector<const ntapi::Task*> tasks;
+  tasks.reserve(testers);
+  for (std::size_t t = 0; t < testers; ++t) {
+    workload.push_back(apps::throughput_test(0x02020202, 0x01010101, {1}, 64, 0));
+    tasks.push_back(&workload.back().task);
+  }
+  const std::vector<std::size_t> placement = cluster.auto_place(tasks);
   std::vector<std::unique_ptr<dut::Capture>> sinks;
   for (std::size_t t = 0; t < testers; ++t) {
-    const std::size_t s = t % nshards;
+    const std::size_t s = placement[t];
     TesterConfig cfg;
     cfg.asic.num_ports = 2;
     cfg.asic.port_rate_gbps = 100.0;
@@ -61,8 +90,7 @@ inline ShardedRun run_sharded_throughput(std::size_t nshards, std::size_t tester
                                                    static_cast<std::uint16_t>(1000 + t), 100.0));
     sinks.back()->set_count_only(true);
     sinks.back()->attach(tester.asic().port(1));
-    auto app = apps::throughput_test(0x02020202, 0x01010101, {1}, 64, 0);
-    tester.load(app.task);
+    tester.load(workload[t].task);
     tester.start();
   }
   const auto t0 = clock::now();

@@ -3,8 +3,64 @@
 // Paper: 400Gbps / 595Mpps on the four-100G-port testbed; estimated
 // 5.2Tbps / 7737Mpps at 80% of a 6.5Tbps switch; with 1Mbps per attack
 // agent that emulates 4x10^5 (testbed) and 5.2x10^6 (estimated) agents.
+//
+// The flood now lands on a real victim: the stateful WorkloadServer
+// terminates the SYNs against its TCB store, once with a classic listen
+// backlog (embryonic connections cap out, the rest are backlog drops) and
+// once in SYN-cookie mode (stateless SYN-ACKs, no state exhausted).
 #include "apps/tasks.hpp"
 #include "common.hpp"
+#include "dut/stateful/workload_server.hpp"
+
+namespace {
+
+struct FloodRun {
+  double gbps = 0.0;
+  std::uint64_t syns = 0;
+  std::uint64_t embryonic = 0;
+  std::uint64_t backlog_drops = 0;
+  std::uint64_t cookies_sent = 0;
+  std::uint64_t high_water = 0;
+};
+
+FloodRun run_flood(bool syn_cookies) {
+  using namespace ht;
+  TesterConfig cfg;
+  cfg.asic.num_ports = 5;
+  cfg.asic.port_rate_gbps = 100.0;
+  HyperTester tester(cfg);
+
+  dut::stateful::WorkloadConfig wcfg;
+  wcfg.num_ports = 4;
+  wcfg.tcb.capacity = 1 << 18;
+  // The flood's spoofed-source space is 2^16 keys, so the backlog must sit
+  // below that for the accept queue to actually exhaust.
+  wcfg.tcb.listen_backlog = 1 << 12;
+  wcfg.tcb.syn_cookies = syn_cookies;
+  dut::stateful::WorkloadServer server(tester.events(), wcfg);
+  for (std::size_t i = 0; i < 4; ++i) {
+    server.attach(i, tester.asic().port(static_cast<std::uint16_t>(1 + i)));
+  }
+  server.start();
+
+  auto app = apps::syn_flood(0x0D0D0D0D, 80, {1, 2, 3, 4});
+  tester.load(app.task);
+  tester.start();
+  tester.run_for(sim::ms(1));
+
+  FloodRun out;
+  for (std::uint16_t p = 1; p <= 4; ++p) {
+    out.gbps += tester.asic().port(p).tx_line_rate_gbps();
+  }
+  out.syns = server.syns_received();
+  out.embryonic = server.tcb().embryonic();
+  out.backlog_drops = server.tcb().stats().backlog_drops;
+  out.cookies_sent = server.tcb().stats().cookies_sent;
+  out.high_water = server.tcb().stats().high_water;
+  return out;
+}
+
+}  // namespace
 
 int main() {
   using namespace ht;
@@ -12,16 +68,10 @@ int main() {
   bench::headline("Table 8: SYN flood attack emulation",
                   "testbed 400Gbps/595Mpps/4e5 agents; est. 5.2Tbps/7737Mpps/5.2e6");
 
-  // Testbed: four 100G ports generating 64B SYNs at line rate.
-  bench::Testbed tb(5, 100.0);
-  auto app = apps::syn_flood(0x0D0D0D0D, 80, {1, 2, 3, 4});
-  tb.tester->load(app.task);
-  tb.tester->start();
-  tb.tester->run_for(sim::ms(2));
-  double gbps = 0;
-  for (std::uint16_t p = 1; p <= 4; ++p) {
-    gbps += tb.tester->asic().port(p).tx_line_rate_gbps();
-  }
+  // Testbed: four 100G ports generating 64B SYNs at line rate, terminated
+  // by the stateful victim (backlog mode for the paper rows).
+  const FloodRun plain = run_flood(/*syn_cookies=*/false);
+  const double gbps = plain.gbps;
   const double mpps = gbps * 1e9 / (88.0 * 8.0) / 1e6;  // 64B + overhead
   const double agents_testbed = gbps * 1000.0 / 1.0;    // 1Mbps per agent
 
@@ -34,5 +84,34 @@ int main() {
   bench::row("%-26s %11.0fGbps %15.0fGbps", "Throughput", gbps, est_gbps);
   bench::row("%-26s %11.0fMpps %15.0fMpps", "SYN Packets", mpps, est_mpps);
   bench::row("%-26s %14.1e %18.1e", "# emulated attack agents", agents_testbed, est_agents);
+
+  bench::headline("Table 8 (victim): stateful TCB store under the flood (1ms)",
+                  "listen backlog exhausts; SYN cookies keep the store empty");
+  const FloodRun cookie = run_flood(/*syn_cookies=*/true);
+  bench::row("%-26s %14s %18s", "Victim metric", "backlog", "SYN cookies");
+  bench::row("%-26s %14llu %18llu", "SYNs received",
+             static_cast<unsigned long long>(plain.syns),
+             static_cast<unsigned long long>(cookie.syns));
+  bench::row("%-26s %14llu %18llu", "embryonic connections",
+             static_cast<unsigned long long>(plain.embryonic),
+             static_cast<unsigned long long>(cookie.embryonic));
+  bench::row("%-26s %14llu %18llu", "TCB high water",
+             static_cast<unsigned long long>(plain.high_water),
+             static_cast<unsigned long long>(cookie.high_water));
+  bench::row("%-26s %14llu %18llu", "backlog drops",
+             static_cast<unsigned long long>(plain.backlog_drops),
+             static_cast<unsigned long long>(cookie.backlog_drops));
+  bench::row("%-26s %14llu %18llu", "cookies sent",
+             static_cast<unsigned long long>(plain.cookies_sent),
+             static_cast<unsigned long long>(cookie.cookies_sent));
+
+  // The flood must have pressed the backlog-mode victim into drops while
+  // the cookie-mode victim held no embryonic state at all.
+  const bool shape_ok = plain.backlog_drops > 0 && cookie.embryonic == 0 &&
+                        cookie.cookies_sent == cookie.syns && plain.syns > 0;
+  if (!shape_ok) {
+    std::fprintf(stderr, "table8: victim behavior off-shape\n");
+    return 1;
+  }
   return 0;
 }

@@ -23,9 +23,17 @@
 #                    plus the sharded-engine wall-clock scaling sweep
 #                    (fig10_pkts_per_sec_shards{1,2,4,8} and
 #                    fig10_scaling_efficiency; DESIGN.md sec. 13). Pass
-#                    `--shards N` through to measure a single shard count.
+#                    `--shards N` through to measure a single shard count
+#                    and `--testers N` to grow the fleet beyond the
+#                    default 8 (auto-placed over the shards).
+#   BENCH_l7.json    l7_cps_rps (with --l7): the stateful L4-L7 scenario
+#                    axis (DESIGN.md sec. 15) — CPS high-water against the
+#                    million-connection TCB store, request/response RPS
+#                    with p99 latency clean and under chaos, and the
+#                    shard-count determinism check (the binary exits
+#                    nonzero if any shard count diverges)
 #
-#   scripts/bench.sh [build-dir] [--shards N]
+#   scripts/bench.sh [build-dir] [--shards N] [--testers N] [--l7]
 #
 # The build dir must already be configured+built (default: build). Output
 # files land in the repo root. Wall-clock numbers depend on machine load;
@@ -36,9 +44,13 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="build"
 SHARDS_ARGS=""
+TESTERS_ARGS=""
+RUN_L7=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --shards) SHARDS_ARGS="--shards $2"; shift 2 ;;
+    --testers) TESTERS_ARGS="--testers $2"; shift 2 ;;
+    --l7) RUN_L7=1; shift ;;
     *) BUILD_DIR="$1"; shift ;;
   esac
 done
@@ -52,8 +64,14 @@ fi
 "$BUILD_DIR/bench/fig9_throughput_single_port" --json BENCH_fig9.json
 "$BUILD_DIR/bench/fig9_throughput_single_port" --loss 0.01 --json BENCH_fig9_lossy.json
 "$BUILD_DIR/bench/fig9_throughput_single_port" --crash --json BENCH_fig9_crash.json
-# shellcheck disable=SC2086 -- SHARDS_ARGS is deliberately word-split
-"$BUILD_DIR/bench/fig10_throughput_multi_port" $SHARDS_ARGS --json BENCH_fig10.json
+# shellcheck disable=SC2086 -- SHARDS_ARGS/TESTERS_ARGS are deliberately word-split
+"$BUILD_DIR/bench/fig10_throughput_multi_port" $SHARDS_ARGS $TESTERS_ARGS --json BENCH_fig10.json
+
+WROTE="BENCH_perf.json BENCH_fig9.json BENCH_fig9_lossy.json BENCH_fig9_crash.json BENCH_fig10.json"
+if [ "$RUN_L7" = 1 ]; then
+  "$BUILD_DIR/bench/l7_cps_rps" --json BENCH_l7.json
+  WROTE="$WROTE BENCH_l7.json"
+fi
 
 # The fig9 sidecars must carry the registry dump (always present; with
 # -DHT_TELEMETRY=OFF the histograms section is simply empty).
@@ -62,4 +80,4 @@ for f in BENCH_fig9.json BENCH_fig9_lossy.json; do
 done
 
 echo
-echo "wrote BENCH_perf.json BENCH_fig9.json BENCH_fig9_lossy.json BENCH_fig9_crash.json BENCH_fig10.json"
+echo "wrote $WROTE"

@@ -13,6 +13,7 @@ Analyzer Analyzer::with_default_passes() {
   a.add_pass(std::make_unique<ShadowedRulePass>());
   a.add_pass(std::make_unique<SymxCoveragePass>());
   a.add_pass(std::make_unique<FusionPass>());
+  a.add_pass(std::make_unique<ResponseClassPass>());
   return a;
 }
 

@@ -37,10 +37,10 @@ class Pass {
 
 class Analyzer {
  public:
-  /// The nine built-in passes: stage-fit, SALU discipline, parser
+  /// The ten built-in passes: stage-fit, SALU discipline, parser
   /// coverage, editor order, FIFO schema, dead/shadowed entries,
   /// shadowed rules (symx), symbolic path coverage (symx), fast-path
-  /// fusion.
+  /// fusion, response classes.
   static Analyzer with_default_passes();
 
   Analyzer() = default;
@@ -129,6 +129,16 @@ class SymxCoveragePass : public Pass {
 class FusionPass : public Pass {
  public:
   std::string_view name() const override { return "fastpath-fusion"; }
+  void run(const AnalysisInput& in, AnalysisReport& out) const override;
+};
+
+/// HT206: unreachable or ambiguous response-classification rules —
+/// duplicate class names, and rules shadowed by an earlier rule whose
+/// match pattern is a superset at the same payload offset (first match
+/// wins, so the later rule never fires).
+class ResponseClassPass : public Pass {
+ public:
+  std::string_view name() const override { return "response-classes"; }
   void run(const AnalysisInput& in, AnalysisReport& out) const override;
 };
 

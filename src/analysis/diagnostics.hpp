@@ -24,6 +24,8 @@
 //          earlier rule's key space fully covers it)
 //   HT205  template cannot run on the task-compiled fast path (one
 //          warning per blocking construct; falls back to interpreted)
+//   HT206  response-classification rule unreachable (shadowed by an
+//          earlier rule) or ambiguous (duplicate class name)
 //   HT301  symbolic walk found zero feasible matching paths for a query
 //   HT302  exact-key table entry outside the enumerated key space
 //   HT303  parser state unreachable from the entry state

@@ -1,5 +1,6 @@
-// Parser-coverage (HT103) and editor-order (HT104) passes: checks over
-// the parse graph reachability and the editor program semantics.
+// Parser-coverage (HT103), editor-order (HT104), and response-class
+// (HT206) passes: checks over the parse graph reachability, the editor
+// program semantics, and L7 classification rule reachability.
 #include <set>
 #include <string>
 
@@ -163,6 +164,49 @@ void EditorOrderPass::run(const AnalysisInput& in, AnalysisReport& out) const {
                    std::to_string(pl.stage_of[b]) + ", the same stage where " + writer.name +
                    " writes it",
                "same-stage actions run in parallel; reorder the editor program"});
+        }
+      }
+    }
+  }
+}
+
+void ResponseClassPass::run(const AnalysisInput& in, AnalysisReport& out) const {
+  for (std::size_t q = 0; q < in.compiled.queries.size(); ++q) {
+    const auto& rules = in.compiled.queries[q].config.response.rules;
+    for (std::size_t j = 0; j < rules.size(); ++j) {
+      const auto& rj = rules[j];
+      const std::string where = "query[" + std::to_string(q) + "].classify[" +
+                                std::to_string(j) + "]";
+      for (std::size_t i = 0; i < j; ++i) {
+        const auto& ri = rules[i];
+        if (ri.cls == rj.cls) {
+          out.diagnostics.push_back(
+              {Severity::kWarning, "HT206", where,
+               "class '" + rj.cls + "' already declared by classify[" + std::to_string(i) +
+                   "]; both rules count into the same cell",
+               "give each classification rule a distinct class name"});
+          break;
+        }
+      }
+      for (std::size_t i = 0; i < j; ++i) {
+        const auto& ri = rules[i];
+        if (ri.offset != rj.offset) continue;
+        // First match wins: rule j is dead when every payload matching it
+        // also matches the earlier rule i.
+        const bool prefix_shadow = !ri.prefix.empty() && !rj.prefix.empty() &&
+                                   rj.prefix.size() >= ri.prefix.size() &&
+                                   rj.prefix.compare(0, ri.prefix.size(), ri.prefix) == 0;
+        const bool mask_shadow = ri.prefix.empty() && rj.prefix.empty() &&
+                                 (ri.mask & ~rj.mask) == 0 &&
+                                 (rj.value & ri.mask) == (ri.value & ri.mask);
+        if (prefix_shadow || mask_shadow) {
+          out.diagnostics.push_back(
+              {Severity::kWarning, "HT206", where,
+               "rule for class '" + rj.cls + "' is shadowed by classify[" + std::to_string(i) +
+                   "] ('" + ri.cls + "'): every payload it matches already matched the "
+                   "earlier rule",
+               "reorder the rules most-specific first or drop the unreachable rule"});
+          break;
         }
       }
     }

@@ -312,4 +312,136 @@ PingSweep ping_sweep(std::uint32_t base_address, std::uint32_t count,
   return app;
 }
 
+HttpCps http_cps(std::uint32_t server, std::uint16_t server_port, std::uint32_t client_base,
+                 std::uint32_t clients_per_port, std::vector<std::uint16_t> ports,
+                 std::vector<ntapi::RampStep> ramp) {
+  HttpCps app{Task("http_cps"), {}, {}, {}, {}};
+
+  // One SYN trigger per port: disjoint source slices keep every fire a
+  // distinct connection (fires = slice length, no multicast inflation).
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    const std::uint32_t lo = client_base + static_cast<std::uint32_t>(i) * clients_per_port;
+    app.t_syn.push_back(app.task.add_trigger(
+        Trigger()
+            .set({FieldId::kIpv4Dip, FieldId::kTcpDport, FieldId::kIpv4Proto,
+                  FieldId::kTcpFlags, FieldId::kTcpSport, FieldId::kTcpSeqNo},
+                 {server, server_port, net::ipproto::kTcp, flag::kSyn, 2048, 1})
+            .set(FieldId::kIpv4Sip, Value::range(lo, lo + clients_per_port - 1, 1))
+            .interval_ramp(ramp)
+            .set(FieldId::kLoop, 1)
+            .set(FieldId::kPort, Value::constant(ports[i]))));
+  }
+
+  // SYN+ACKs drive the handshake-completing ACKs (stateless connections).
+  app.q_synack = app.task.add_query(
+      Query().filter(FieldId::kTcpFlags, Cmp::kEq, flag::kSynAck));
+  app.t_ack = app.task.add_trigger(
+      Trigger(app.q_synack)
+          .set(FieldId::kIpv4Dip, from_query(FieldId::kIpv4Sip))
+          .set(FieldId::kIpv4Sip, from_query(FieldId::kIpv4Dip))
+          .set(FieldId::kTcpDport, from_query(FieldId::kTcpSport))
+          .set(FieldId::kTcpSport, from_query(FieldId::kTcpDport))
+          .set(FieldId::kIpv4Proto, Value::constant(net::ipproto::kTcp))
+          .set(FieldId::kTcpFlags, Value::constant(flag::kAck))
+          .set(FieldId::kTcpSeqNo, from_query(FieldId::kTcpAckNo))
+          .set(FieldId::kTcpAckNo, from_query(FieldId::kTcpSeqNo, 1))
+          .set(FieldId::kPort, Value::constant(ports.front())));
+
+  app.q_handshakes = app.task.add_query(
+      Query().filter(FieldId::kTcpFlags, Cmp::kEq, flag::kSynAck).map({}).reduce(Reduce::kSum));
+  return app;
+}
+
+HttpRps http_rps(std::uint32_t server, std::uint16_t server_port, std::uint32_t client_base,
+                 std::uint32_t pool_size, std::vector<std::uint16_t> ports,
+                 std::uint64_t request_interval_ns, std::uint64_t open_interval_ns) {
+  HttpRps app{Task("http_rps"), {}, {}, {}, {}, {}};
+  const Value port_list = Value::array({ports.begin(), ports.end()});
+
+  // Pool establishment: one bounded SYN sweep over the client addresses.
+  app.t_syn = app.task.add_trigger(
+      Trigger()
+          .set({FieldId::kIpv4Dip, FieldId::kTcpDport, FieldId::kIpv4Proto, FieldId::kTcpFlags,
+                FieldId::kTcpSport, FieldId::kTcpSeqNo},
+               {server, server_port, net::ipproto::kTcp, flag::kSyn, 2048, 1})
+          .set(FieldId::kIpv4Sip, Value::range(client_base, client_base + pool_size - 1, 1))
+          .set(FieldId::kInterval, open_interval_ns)
+          .set(FieldId::kLoop, 1)
+          .set(FieldId::kPort, Value::constant(ports.front())));
+  app.q_synack = app.task.add_query(
+      Query().filter(FieldId::kTcpFlags, Cmp::kEq, flag::kSynAck));
+  app.t_ack = app.task.add_trigger(
+      Trigger(app.q_synack)
+          .set(FieldId::kIpv4Dip, from_query(FieldId::kIpv4Sip))
+          .set(FieldId::kIpv4Sip, from_query(FieldId::kIpv4Dip))
+          .set(FieldId::kTcpDport, from_query(FieldId::kTcpSport))
+          .set(FieldId::kTcpSport, from_query(FieldId::kTcpDport))
+          .set(FieldId::kIpv4Proto, Value::constant(net::ipproto::kTcp))
+          .set(FieldId::kTcpFlags, Value::constant(flag::kAck))
+          .set(FieldId::kTcpSeqNo, from_query(FieldId::kTcpAckNo))
+          .set(FieldId::kTcpAckNo, from_query(FieldId::kTcpSeqNo, 1))
+          .set(FieldId::kPort, Value::constant(ports.front())));
+
+  // Steady state: GET requests cycle the pool forever. The low 16 bits of
+  // the source address index the TX-timestamp state register.
+  app.t_req = app.task.add_trigger(
+      Trigger()
+          .set({FieldId::kIpv4Dip, FieldId::kTcpDport, FieldId::kIpv4Proto, FieldId::kTcpFlags,
+                FieldId::kTcpSport, FieldId::kTcpSeqNo},
+               {server, server_port, net::ipproto::kTcp, flag::kPshAck, 2048, 2})
+          .set(FieldId::kIpv4Sip, Value::range(client_base, client_base + pool_size - 1, 1))
+          .record_timestamp(FieldId::kIpv4Sip)
+          .set(FieldId::kInterval, request_interval_ns)
+          .set(FieldId::kPort, port_list)
+          .payload("GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n"));
+
+  // Responses: status-line classification + request->response latency.
+  // SYN+ACKs (flags 0x12) fall outside the PSH+ACK filter, so only real
+  // HTTP responses reach the classifier and the latency map.
+  app.q_resp = app.task.add_query(
+      Query()
+          .filter(FieldId::kTcpSport, Cmp::kEq, server_port)
+          .filter(FieldId::kTcpFlags, Cmp::kGe, flag::kPshAck)
+          .classify("2xx", 0, "HTTP/1.1 2")
+          .classify("4xx", 0, "HTTP/1.1 4")
+          .classify("5xx", 0, "HTTP/1.1 5")
+          .sample_latency()
+          .map_state_delay(app.t_req, FieldId::kIpv4Dip)
+          .reduce(Reduce::kSum));
+  return app;
+}
+
+DnsRps dns_rps(std::uint32_t server, std::uint32_t client_base, std::uint32_t pool_size,
+               std::vector<std::uint16_t> ports, std::uint64_t interval_ns) {
+  DnsRps app{Task("dns_rps"), {}, {}};
+  // A standard A-record question for "www.example.com", RD set. The label
+  // lengths are split out of the literals so a following hex digit cannot
+  // extend the escape.
+  const std::string question = "\x12\x34\x01\x00\x00\x01\x00\x00\x00\x00\x00\x00"s +
+                               "\x03" "www" "\x07" "example" "\x03" "com" +
+                               "\x00\x00\x01\x00\x01"s;
+
+  app.t_query = app.task.add_trigger(
+      Trigger()
+          .set({FieldId::kIpv4Dip, FieldId::kIpv4Proto, FieldId::kUdpDport, FieldId::kUdpSport},
+               {server, net::ipproto::kUdp, 53, 3535})
+          .set(FieldId::kIpv4Sip, Value::range(client_base, client_base + pool_size - 1, 1))
+          .record_timestamp(FieldId::kIpv4Sip)
+          .set(FieldId::kInterval, interval_ns)
+          .set(FieldId::kPort, Value::array({ports.begin(), ports.end()}))
+          .payload(question));
+  // The response's byte 3 is flags-low: RA | RCODE. Masking the RCODE
+  // nibble splits NOERROR (0) from NXDOMAIN (3); SERVFAIL et al. land in
+  // "other".
+  app.q_resp = app.task.add_query(
+      Query()
+          .filter(FieldId::kUdpDport, Cmp::kEq, 3535)
+          .classify_masked("noerror", 3, 0x0F, 0)
+          .classify_masked("nxdomain", 3, 0x0F, 3)
+          .sample_latency()
+          .map_state_delay(app.t_query, FieldId::kIpv4Dip)
+          .reduce(Reduce::kSum));
+  return app;
+}
+
 }  // namespace ht::apps

@@ -134,4 +134,45 @@ PingSweep ping_sweep(std::uint32_t base_address, std::uint32_t count,
                      std::vector<std::uint16_t> ports, std::uint64_t interval_ns = 1'000,
                      std::uint32_t loops = 1);
 
+/// HTTP connections-per-second (CPS) testing against a stateful server:
+/// one SYN trigger per injection port sweeps a disjoint client-address
+/// slice under a shared `ramp` schedule; a received query captures the
+/// SYN+ACKs and a query-based trigger completes each handshake, web_test
+/// style. `clients_per_port` bounds each trigger (loop = 1).
+struct HttpCps {
+  Task task;
+  std::vector<TriggerHandle> t_syn;
+  TriggerHandle t_ack;
+  QueryHandle q_synack;
+  QueryHandle q_handshakes;
+};
+HttpCps http_cps(std::uint32_t server, std::uint16_t server_port, std::uint32_t client_base,
+                 std::uint32_t clients_per_port, std::vector<std::uint16_t> ports,
+                 std::vector<ntapi::RampStep> ramp);
+
+/// HTTP requests-per-second (RPS) testing: establish a bounded connection
+/// pool, then cycle GET requests over it forever. The response query
+/// classifies the status line into 2xx/4xx/5xx and samples the
+/// request->response latency via state-based delay (record_timestamp on
+/// the request, map_state_delay on the response).
+struct HttpRps {
+  Task task;
+  TriggerHandle t_syn, t_ack, t_req;
+  QueryHandle q_synack, q_resp;
+};
+HttpRps http_rps(std::uint32_t server, std::uint16_t server_port, std::uint32_t client_base,
+                 std::uint32_t pool_size, std::vector<std::uint16_t> ports,
+                 std::uint64_t request_interval_ns, std::uint64_t open_interval_ns = 1'000);
+
+/// DNS query/response testing: A-record queries over a client-address
+/// pool; the response query splits NOERROR from NXDOMAIN by masking the
+/// RCODE nibble and samples the query->answer latency.
+struct DnsRps {
+  Task task;
+  TriggerHandle t_query;
+  QueryHandle q_resp;
+};
+DnsRps dns_rps(std::uint32_t server, std::uint32_t client_base, std::uint32_t pool_size,
+               std::vector<std::uint16_t> ports, std::uint64_t interval_ns = 2'000);
+
 }  // namespace ht::apps

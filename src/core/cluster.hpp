@@ -48,6 +48,15 @@ class TesterCluster {
   /// cfg.shards/cfg.seed are ignored — the cluster's group decides both.
   HyperTester& add_tester(TesterConfig cfg, std::size_t shard);
 
+  /// Balanced placement for one tester per task: greedy longest-
+  /// processing-time over expected_packet_rate(), heaviest task first
+  /// onto the least-loaded shard (ties: lowest shard index). Equal-rate
+  /// workloads degrade to round-robin — exactly the `i % shards` layout
+  /// the fig10 bench used by hand. Returns placements[i] = shard for
+  /// tasks[i]; feed them to add_tester().
+  std::vector<std::size_t> auto_place(const std::vector<const ntapi::Task*>& tasks,
+                                      const rmt::AsicConfig& asic = {}) const;
+
   std::size_t size() const { return testers_.size(); }
   HyperTester& tester(std::size_t i) { return *testers_[i]; }
   const HyperTester& tester(std::size_t i) const { return *testers_[i]; }
@@ -82,5 +91,12 @@ class TesterCluster {
   std::vector<std::unique_ptr<HyperTester>> testers_;
   std::vector<std::size_t> placement_;
 };
+
+/// Estimated aggregate injection rate (packets/s) of a task's timer
+/// triggers: line rate (port rate over wire size, 20B of preamble + IFG +
+/// 4B FCS per frame) when interval is 0, 1e9/interval otherwise, times
+/// the trigger's injection-port count. Query-based triggers are
+/// demand-driven and contribute nothing up front.
+double expected_packet_rate(const ntapi::Task& task, const rmt::AsicConfig& asic = {});
 
 }  // namespace ht

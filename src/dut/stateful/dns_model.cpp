@@ -1,0 +1,61 @@
+#include "dut/stateful/dns_model.hpp"
+
+namespace ht::dut::stateful {
+
+namespace {
+constexpr std::size_t kDnsHeaderLen = 12;
+constexpr std::uint64_t kFnvBasis = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+}  // namespace
+
+DnsQuery parse_dns_query(std::span<const std::uint8_t> payload) {
+  DnsQuery q;
+  if (payload.size() < kDnsHeaderLen) return q;
+  q.id = static_cast<std::uint16_t>((payload[0] << 8) | payload[1]);
+  const std::uint16_t flags =
+      static_cast<std::uint16_t>((payload[2] << 8) | payload[3]);
+  const std::uint16_t qdcount =
+      static_cast<std::uint16_t>((payload[4] << 8) | payload[5]);
+  if ((flags & 0x8000) != 0 || qdcount != 1) return q;  // not a query
+
+  // Walk the QNAME labels: len-prefixed, terminated by a zero byte.
+  std::size_t i = kDnsHeaderLen;
+  std::uint64_t h = kFnvBasis;
+  while (true) {
+    if (i >= payload.size()) return q;
+    const std::uint8_t len = payload[i++];
+    if (len == 0) break;
+    if (len > 63 || i + len > payload.size()) return q;
+    for (std::uint8_t j = 0; j < len; ++j) {
+      h = (h ^ payload[i + j]) * kFnvPrime;
+    }
+    i += len;
+  }
+  if (i + 4 > payload.size()) return q;  // qtype + qclass
+  i += 4;
+  q.valid = true;
+  q.qname_hash = h;
+  q.question_len = i - kDnsHeaderLen;
+  return q;
+}
+
+std::string dns_response(const DnsQuery& q,
+                         std::span<const std::uint8_t> question,
+                         std::uint8_t rcode) {
+  std::string out;
+  out.reserve(kDnsHeaderLen + question.size());
+  out.push_back(static_cast<char>(q.id >> 8));
+  out.push_back(static_cast<char>(q.id & 0xFF));
+  // QR=1, RD=1, RA=1, RCODE in the low nibble of byte 3.
+  out.push_back(static_cast<char>(0x81));
+  out.push_back(static_cast<char>(0x80 | (rcode & 0x0F)));
+  const std::uint16_t ancount = (rcode == kDnsRcodeNoError) ? 1 : 0;
+  out.push_back(0); out.push_back(1);                         // QDCOUNT
+  out.push_back(0); out.push_back(static_cast<char>(ancount));  // ANCOUNT
+  out.push_back(0); out.push_back(0);                         // NSCOUNT
+  out.push_back(0); out.push_back(0);                         // ARCOUNT
+  out.append(reinterpret_cast<const char*>(question.data()), question.size());
+  return out;
+}
+
+}  // namespace ht::dut::stateful

@@ -1,0 +1,40 @@
+// DNS query/response model (DESIGN.md §15).
+//
+// A UDP listener for the L7 workload catalog: parse the 12-byte header and
+// the QNAME labels of a query, answer with the id echoed, QR=1, and an
+// RCODE chosen deterministically (NOERROR, or NXDOMAIN for every Nth
+// query — the server's counter-based failure schedule). The tester
+// classifies responses by the RCODE nibble at payload byte 3 via
+// `classify_masked`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace ht::dut::stateful {
+
+struct DnsQuery {
+  bool valid = false;
+  std::uint16_t id = 0;
+  std::uint64_t qname_hash = 0;  ///< FNV-1a64 over the label bytes
+  std::size_t question_len = 0;  ///< qname + qtype + qclass bytes
+};
+
+/// Parse a DNS query datagram (header + one question). Returns
+/// valid=false on truncation or malformed labels.
+DnsQuery parse_dns_query(std::span<const std::uint8_t> payload);
+
+/// Render a response: header with the echoed id, QR|RD|RA set, the given
+/// RCODE, and the question section copied back verbatim (answer count 1 on
+/// NOERROR, 0 otherwise; the answer body itself is elided — the model only
+/// promises header semantics).
+std::string dns_response(const DnsQuery& q,
+                         std::span<const std::uint8_t> question,
+                         std::uint8_t rcode);
+
+inline constexpr std::uint8_t kDnsRcodeNoError = 0;
+inline constexpr std::uint8_t kDnsRcodeFormErr = 1;
+inline constexpr std::uint8_t kDnsRcodeNxDomain = 3;
+
+}  // namespace ht::dut::stateful

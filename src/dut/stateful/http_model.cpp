@@ -1,0 +1,274 @@
+#include "dut/stateful/http_model.hpp"
+
+#include <algorithm>
+
+namespace ht::dut::stateful {
+
+namespace {
+
+// Parser machine states (HttpParseState::state).
+enum ParserState : std::uint8_t {
+  kMethod = 0,       // accumulating the method token (initial state)
+  kTarget,           // hashing the request-target
+  kVersion,          // matching "HTTP/1." + minor digit
+  kVersionCr,        // saw minor digit, expecting CR
+  kVersionLf,        // expecting LF after the request line
+  kHeaderName,       // start of a header line (or CR of the blank line)
+  kHeaderValueWs,    // skipping optional whitespace after ':'
+  kHeaderValue,      // hashing the value / accumulating CL digits
+  kHeaderLf,         // expecting LF at end of a header line
+  kHeadersEndLf,     // expecting LF of the blank line (head complete)
+  kBody,             // consuming content_length body bytes
+  kBad,              // malformed: resync at the next blank line
+};
+
+// HttpParseState::flags bits.
+constexpr std::uint8_t kMethodMask = 0x03;   // HttpMethod in the low bits
+constexpr std::uint8_t kHttp11 = 0x04;
+constexpr std::uint8_t kConnClose = 0x08;
+constexpr std::uint8_t kConnKeepAlive = 0x10;
+constexpr std::uint8_t kBadFlag = 0x20;
+constexpr std::uint8_t kHdrInteresting = 0x40;  // current header is CL or Conn
+constexpr std::uint8_t kReady = 0x80;           // a head completed in step()
+
+constexpr std::uint64_t kFnv64Basis = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kFnv64Prime = 0x100000001B3ull;
+constexpr std::uint32_t kFnv32Basis = 0x811C9DC5u;
+constexpr std::uint32_t kFnv32Prime = 0x01000193u;
+
+std::uint32_t fnv32(std::uint32_t h, std::uint8_t b) {
+  return (h ^ b) * kFnv32Prime;
+}
+std::uint8_t lower(std::uint8_t c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<std::uint8_t>(c + 32) : c;
+}
+std::uint32_t fnv32_str(std::string_view s) {
+  std::uint32_t h = kFnv32Basis;
+  for (const char c : s) h = fnv32(h, lower(static_cast<std::uint8_t>(c)));
+  return h;
+}
+
+// Precomputed token hashes; computed once, deterministically.
+const std::uint32_t kHashGet = fnv32_str("get");
+const std::uint32_t kHashHead = fnv32_str("head");
+const std::uint32_t kHashPost = fnv32_str("post");
+const std::uint32_t kHashContentLength = fnv32_str("content-length");
+const std::uint32_t kHashConnection = fnv32_str("connection");
+const std::uint32_t kHashClose = fnv32_str("close");
+const std::uint32_t kHashKeepAlive = fnv32_str("keep-alive");
+
+// Which interesting header the value belongs to, parked in `match` while
+// the value is being consumed (the name hash in scratch gets reused).
+enum HeaderKindTag : std::uint16_t { kHdrNone = 0, kHdrContentLength, kHdrConnection };
+
+void mark_bad(HttpParseState& st, std::uint8_t c = 0) {
+  st.flags |= kBadFlag;
+  st.state = kBad;
+  // The offending byte is already consumed; if it was a CR it may open the
+  // blank line the resync scan is looking for.
+  st.match = (c == '\r') ? 1 : 0;
+}
+
+}  // namespace
+
+std::uint64_t http_hash(std::string_view s) {
+  std::uint64_t h = kFnv64Basis;
+  for (const char c : s) h = (h ^ static_cast<std::uint8_t>(c)) * kFnv64Prime;
+  return h;
+}
+
+std::size_t HttpParser::step(HttpParseState& st, std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return 0;
+
+  // Body bytes and the bad-resync scan can consume in bulk.
+  if (st.state == kBody) {
+    const std::size_t take =
+        std::min<std::size_t>(bytes.size(), st.content_length);
+    st.content_length -= static_cast<std::uint32_t>(take);
+    if (st.content_length == 0) st.state = kMethod;
+    return take == 0 ? 1 : take;
+  }
+
+  const std::uint8_t c = bytes[0];
+  switch (st.state) {
+    case kMethod:
+      if (c == ' ') {
+        if (st.match == 0) { mark_bad(st, c); break; }
+        HttpMethod m = HttpMethod::kOther;
+        if (st.scratch == kHashGet) m = HttpMethod::kGet;
+        else if (st.scratch == kHashHead) m = HttpMethod::kHead;
+        else if (st.scratch == kHashPost) m = HttpMethod::kPost;
+        st.flags = static_cast<std::uint8_t>(
+            (st.flags & ~kMethodMask) | static_cast<std::uint8_t>(m));
+        st.scratch = 0;
+        st.match = 0;
+        st.target_hash = kFnv64Basis;
+        st.state = kTarget;
+      } else if (c == '\r' || c == '\n' || ++st.match > 16) {
+        mark_bad(st, c);
+      } else {
+        if (st.scratch == 0) st.scratch = kFnv32Basis;
+        st.scratch = fnv32(st.scratch, lower(c));
+      }
+      break;
+
+    case kTarget:
+      if (c == ' ') {
+        st.match = 0;
+        st.state = kVersion;
+      } else if (c == '\r' || c == '\n') {
+        mark_bad(st, c);
+      } else {
+        st.target_hash = (st.target_hash ^ c) * kFnv64Prime;
+      }
+      break;
+
+    case kVersion: {
+      static constexpr std::string_view kLit = "HTTP/1.";
+      if (st.match < kLit.size()) {
+        if (c != static_cast<std::uint8_t>(kLit[st.match])) { mark_bad(st, c); break; }
+        ++st.match;
+      } else {
+        if (c == '1') st.flags |= kHttp11;
+        else if (c == '0') st.flags &= static_cast<std::uint8_t>(~kHttp11);
+        else { mark_bad(st, c); break; }
+        st.state = kVersionCr;
+      }
+      break;
+    }
+
+    case kVersionCr:
+      if (c == '\r') st.state = kVersionLf;
+      else mark_bad(st, c);
+      break;
+
+    case kVersionLf:
+      if (c == '\n') { st.state = kHeaderName; st.scratch = 0; st.match = 0; }
+      else mark_bad(st, c);
+      break;
+
+    case kHeaderName:
+      if (c == '\r' && st.scratch == 0) {
+        st.state = kHeadersEndLf;
+      } else if (c == ':') {
+        std::uint16_t kind = kHdrNone;
+        if (st.scratch == kHashContentLength) kind = kHdrContentLength;
+        else if (st.scratch == kHashConnection) kind = kHdrConnection;
+        st.match = kind;
+        if (kind != kHdrNone) st.flags |= kHdrInteresting;
+        st.scratch = 0;
+        st.state = kHeaderValueWs;
+      } else if (c == '\r' || c == '\n') {
+        mark_bad(st, c);
+      } else {
+        if (st.scratch == 0) st.scratch = kFnv32Basis;
+        st.scratch = fnv32(st.scratch, lower(c));
+      }
+      break;
+
+    case kHeaderValueWs:
+      if (c == ' ' || c == '\t') break;
+      st.state = kHeaderValue;
+      st.scratch = (st.match == kHdrContentLength) ? 0 : kFnv32Basis;
+      [[fallthrough]];
+
+    case kHeaderValue:
+      if (c == '\r') {
+        if (st.match == kHdrContentLength) {
+          st.content_length = st.scratch;
+        } else if (st.match == kHdrConnection) {
+          if (st.scratch == kHashClose) st.flags |= kConnClose;
+          else if (st.scratch == kHashKeepAlive) st.flags |= kConnKeepAlive;
+        }
+        st.flags &= static_cast<std::uint8_t>(~kHdrInteresting);
+        st.match = 0;
+        st.scratch = 0;
+        st.state = kHeaderLf;
+      } else if (c == '\n') {
+        mark_bad(st, c);
+      } else if (st.match == kHdrContentLength) {
+        if (c < '0' || c > '9') { mark_bad(st, c); break; }
+        st.scratch = st.scratch * 10 + static_cast<std::uint32_t>(c - '0');
+      } else if (st.match == kHdrConnection) {
+        st.scratch = fnv32(st.scratch, lower(c));
+      }
+      break;
+
+    case kHeaderLf:
+      if (c == '\n') st.state = kHeaderName;
+      else mark_bad(st, c);
+      break;
+
+    case kHeadersEndLf:
+      if (c != '\n') { mark_bad(st, c); break; }
+      st.flags |= kReady;
+      st.state = (st.content_length > 0) ? kBody : kMethod;
+      break;
+
+    case kBad: {
+      // Resync: scan for "\r\n\r\n", then report the malformed head.
+      static constexpr std::string_view kBlank = "\r\n\r\n";
+      st.match = (c == static_cast<std::uint8_t>(kBlank[st.match]))
+                     ? static_cast<std::uint16_t>(st.match + 1)
+                     : static_cast<std::uint16_t>(c == '\r' ? 1 : 0);
+      if (st.match == kBlank.size()) {
+        st.flags |= kReady;
+        st.state = kMethod;
+        st.match = 0;
+      }
+      break;
+    }
+
+    default:
+      mark_bad(st, c);
+      break;
+  }
+  return 1;
+}
+
+bool HttpParser::take_ready(HttpParseState& st) {
+  if (!(st.flags & kReady)) return false;
+  st.flags &= static_cast<std::uint8_t>(~kReady);
+  return true;
+}
+
+HttpRequest HttpParser::finish(HttpParseState& st) {
+  HttpRequest req;
+  req.bad = (st.flags & kBadFlag) != 0;
+  req.method = static_cast<HttpMethod>(st.flags & kMethodMask);
+  req.target_hash = st.target_hash;
+  req.content_length = (st.state == kBody) ? st.content_length : 0;
+  const bool http11 = (st.flags & kHttp11) != 0;
+  req.keep_alive = req.bad ? false
+                   : http11 ? !(st.flags & kConnClose)
+                            : (st.flags & kConnKeepAlive) != 0;
+  // Reset head-tracking state for the next pipelined request; the body
+  // countdown (content_length while in kBody) must survive.
+  st.target_hash = 0;
+  st.scratch = 0;
+  if (st.state != kBody) st.content_length = 0;
+  st.flags &= static_cast<std::uint8_t>(~(kMethodMask | kConnClose |
+                                          kConnKeepAlive | kBadFlag |
+                                          kHdrInteresting));
+  return req;
+}
+
+std::string http_response(int status, std::size_t body_bytes, bool keep_alive) {
+  const char* reason = "OK";
+  switch (status) {
+    case 200: reason = "OK"; break;
+    case 400: reason = "Bad Request"; break;
+    case 404: reason = "Not Found"; break;
+    case 405: reason = "Method Not Allowed"; break;
+    case 503: reason = "Service Unavailable"; break;
+    default: reason = "Status"; break;
+  }
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                     "\r\nContent-Length: " + std::to_string(body_bytes) +
+                     "\r\nConnection: " +
+                     (keep_alive ? "keep-alive" : "close") + "\r\n\r\n";
+  head.append(body_bytes, 'x');
+  return head;
+}
+
+}  // namespace ht::dut::stateful

@@ -1,0 +1,84 @@
+// Incremental HTTP/1.1 request parser (DESIGN.md §15).
+//
+// The workload server parses requests the way a real server must: byte by
+// byte, across segment boundaries, with keep-alive and pipelining — a
+// single segment may complete several requests, and a request head may
+// span many segments. The parser state is a fixed 24-byte struct embedded
+// in the Tcb (no allocation, no per-connection buffers): request targets
+// and header names are folded into running FNV hashes instead of being
+// stored, which is exactly enough for a load model that classifies and
+// responds but never proxies.
+//
+// Recognized: request line (method, target, HTTP/1.0 vs 1.1), the
+// Content-Length and Connection headers (case-insensitive), header-section
+// end, and body skipping. Malformed heads raise `bad` and resync at the
+// next blank line, modelling a server that answers 400 and keeps going.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace ht::dut::stateful {
+
+enum class HttpMethod : std::uint8_t { kGet = 0, kHead, kPost, kOther };
+
+/// Summary of one completed (or malformed) request head.
+struct HttpRequest {
+  HttpMethod method = HttpMethod::kGet;
+  bool keep_alive = true;   ///< HTTP/1.1 default, honours Connection header
+  bool bad = false;         ///< malformed head: answer 400
+  std::uint32_t content_length = 0;
+  std::uint64_t target_hash = 0;  ///< FNV-1a64 of the request-target bytes
+};
+
+/// Persistent per-connection parser state; all-zero is "expecting a new
+/// request". Sized and aligned to pack into the Tcb cache line.
+struct HttpParseState {
+  std::uint64_t target_hash = 0;
+  std::uint32_t scratch = 0;        ///< running name/value hash or CL digits
+  std::uint32_t content_length = 0; ///< committed CL, then body countdown
+  std::uint16_t match = 0;          ///< literal-match cursor / token length
+  std::uint8_t state = 0;           ///< ParserState (http_model.cpp)
+  std::uint8_t flags = 0;           ///< method, version, connection, bad bits
+};
+static_assert(sizeof(HttpParseState) <= 24);
+
+class HttpParser {
+ public:
+  /// Feed one TCP segment's payload. Invokes `on_request(const
+  /// HttpRequest&)` once per completed request head, in order; the state
+  /// carries partial heads and body countdowns to the next call.
+  template <typename F>
+  static void feed(HttpParseState& st, std::span<const std::uint8_t> bytes,
+                   F&& on_request) {
+    for (std::size_t i = 0; i < bytes.size();) {
+      i += step(st, bytes.subspan(i));
+      if (take_ready(st)) on_request(finish(st));
+    }
+  }
+
+  /// Advance the machine over a prefix of `bytes`; returns bytes consumed
+  /// (>= 1 when bytes is non-empty). Sets an internal ready bit when a
+  /// request head completed.
+  static std::size_t step(HttpParseState& st, std::span<const std::uint8_t> bytes);
+
+ private:
+  /// True once per completed head; clears the ready bit.
+  static bool take_ready(HttpParseState& st);
+  /// Extract the summary and reset the head-tracking fields for the next
+  /// pipelined request (body countdown survives in content_length).
+  static HttpRequest finish(HttpParseState& st);
+};
+
+/// Render a minimal response head + deterministic body: "HTTP/1.1 <code>
+/// <reason>\r\nContent-Length: <n>\r\nConnection: <keep-alive|close>\r\n
+/// \r\n<body>". The body is `body_bytes` of 'x'.
+std::string http_response(int status, std::size_t body_bytes, bool keep_alive);
+
+/// FNV-1a64 of a byte string — the same fold the parser applies to request
+/// targets, exposed so tests and the server can pre-hash known targets.
+std::uint64_t http_hash(std::string_view s);
+
+}  // namespace ht::dut::stateful

@@ -67,6 +67,18 @@ void Receiver::install() {
     }
   }
 
+  // Response-class counters: one register array per classifying query,
+  // sized rules+1 (the last cell is the implicit "other" class). Living in
+  // the register file keeps them inside snapshots and the state digest.
+  class_counts_.resize(n, nullptr);
+  request_hist_.resize(n, nullptr);
+  for (std::size_t q = 0; q < n; ++q) {
+    const auto& rules = queries_[q].response.rules;
+    if (rules.empty()) continue;
+    class_counts_[q] =
+        &rf.create("htpr.classes." + queries_[q].name, rules.size() + 1, 64);
+  }
+
   // Per-query telemetry: the query registers stay authoritative; the
   // device registry mirrors them (single aggregation point), and the two
   // integrity counters join the drop/corruption audit trail under their
@@ -91,11 +103,28 @@ void Receiver::install() {
         {.labels = {{"query", qn}},
          .help = "packets rejected by the plausibility window",
          .drop_source = "htpr." + qn + ".out_of_window"});
+    for (std::size_t r = 0; r <= queries_[q].response.rules.size(); ++r) {
+      if (queries_[q].response.rules.empty()) break;
+      const std::string cls = r < queries_[q].response.rules.size()
+                                  ? queries_[q].response.rules[r].cls
+                                  : "other";
+      m.mirror_counter(
+          "ht_htpr_response_class_total",
+          [this, q, r] { return response_class_count(q, r); },
+          {.labels = {{"query", qn}, {"class", cls}},
+           .help = "matched packets by response class"});
+    }
     if constexpr (telemetry::kEnabled) {
       latency_hist_[q] = &m.histogram(
           "ht_htpr_query_latency_ns",
           {.labels = {{"query", qn}},
            .help = "ingress MAC timestamp to query match, per matched packet"});
+      if (queries_[q].response.sample_latency) {
+        request_hist_[q] = &m.histogram(
+            "ht_htpr_request_latency_ns",
+            {.labels = {{"query", qn}},
+             .help = "request->response latency samples (state-based delay)"});
+      }
     }
   }
 
@@ -194,5 +223,9 @@ std::uint64_t Receiver::matched(std::size_t qid) const { return matched_->read(q
 std::uint64_t Receiver::evaluated(std::size_t qid) const { return evaluated_->read(qid); }
 std::uint64_t Receiver::checksum_fails(std::size_t qid) const { return chk_fail_->read(qid); }
 std::uint64_t Receiver::out_of_window(std::size_t qid) const { return out_of_window_->read(qid); }
+
+std::uint64_t Receiver::response_class_count(std::size_t qid, std::size_t rule_index) const {
+  return class_counts_.at(qid) ? class_counts_[qid]->read(rule_index) : 0;
+}
 
 }  // namespace ht::htpr

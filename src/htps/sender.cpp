@@ -48,6 +48,7 @@ void Sender::install() {
   intervals_ = &rf.create("htps.interval", std::max<std::size_t>(n, 1), 64);
   fires_ = &rf.create("htps.fires", std::max<std::size_t>(n, 1), 64);
   pktid_ = &rf.create("htps.pktid", std::max<std::size_t>(n, 1), 32);
+  ramp_anchor_ = &rf.create("htps.ramp_anchor", std::max<std::size_t>(n, 1), 64);
 
   // Per-edit-op state registers (value-list cursors / range accumulators).
   edit_state_.resize(n);

@@ -55,6 +55,24 @@ struct EditOp {
   std::size_t state_size = 1 << 16;
 };
 
+/// One phase of a CPS-style rate ramp: hold `interval_ns` between fires
+/// for `duration_ns`, then advance. duration_ns == 0 means "hold forever"
+/// and is only meaningful on the final step.
+struct RampStep {
+  std::uint64_t duration_ns = 0;
+  std::uint64_t interval_ns = 0;
+};
+
+/// The interval in effect `elapsed` ns after the ramp was anchored.
+inline std::uint64_t ramp_interval(const std::vector<RampStep>& ramp,
+                                   std::uint64_t elapsed) {
+  for (const RampStep& s : ramp) {
+    if (s.duration_ns == 0 || elapsed < s.duration_ns) return s.interval_ns;
+    elapsed -= s.duration_ns;
+  }
+  return ramp.back().interval_ns;
+}
+
 struct TemplateConfig {
   TemplateSpec spec;
   std::vector<std::uint16_t> egress_ports;
@@ -67,6 +85,13 @@ struct TemplateConfig {
   /// ("random inter-departure time", §3.1).
   std::uint64_t interval_ns = 0;
   std::optional<InverseTransformTable> interval_dist;
+
+  /// kTimer connection-per-second ramp: when non-empty the effective
+  /// interval is a staircase over sim time, anchored at the template's
+  /// first replicator pass (the anchor lives in the `htps.ramp_anchor`
+  /// register so snapshots restore mid-ramp exactly). Overrides
+  /// interval_ns/interval_dist.
+  std::vector<RampStep> interval_ramp;
 
   /// Stop after this many fires (loop * stream length); 0 = unbounded.
   std::uint64_t fire_limit = 0;
@@ -152,6 +177,8 @@ class Sender {
   rmt::RegisterArray* intervals_ = nullptr;
   rmt::RegisterArray* fires_ = nullptr;
   rmt::RegisterArray* pktid_ = nullptr;
+  /// Ramp anchor time per template (0 = not yet anchored).
+  rmt::RegisterArray* ramp_anchor_ = nullptr;
   /// Per-(template, edit-op) sequence registers, created at install.
   std::vector<std::vector<rmt::RegisterArray*>> edit_state_;
 
@@ -199,7 +226,18 @@ void Sender::ingress_core(std::uint32_t tid, Ctx& ctx) {
   bool fire = false;
   if (cfg.mode == TemplateConfig::Mode::kTimer) {
     if (cfg.fire_limit == 0 || fires_->read(tid) < cfg.fire_limit) {
-      const std::uint64_t interval = intervals_->read(tid);
+      std::uint64_t interval = intervals_->read(tid);
+      if (!cfg.interval_ramp.empty()) {
+        // CPS ramp: the staircase is a function of time since the first
+        // replicator pass, read through a register so restored runs
+        // resume mid-ramp at the exact phase.
+        const std::uint64_t anchor =
+            ramp_anchor_->execute(tid, [&](std::uint64_t& a) -> std::uint64_t {
+              if (a == 0) a = ctx.now();
+              return a;
+            });
+        interval = ramp_interval(cfg.interval_ramp, ctx.now() - anchor);
+      }
       // The replicator timer: fire when now - last_departure >= interval.
       std::uint64_t prev_tx = 0;
       fire = last_tx_->execute(tid, [&](std::uint64_t& last) -> std::uint64_t {

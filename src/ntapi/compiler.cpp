@@ -169,6 +169,16 @@ CompiledTask Compiler::lower(const Task& task) const {
       }
     }
 
+    // CPS ramp: lower the schedule verbatim; the first step seeds the
+    // interval register so non-ramp-aware consumers (resource accounting,
+    // the P4 backend) still see a sane base rate.
+    if (!trig.ramp().empty()) {
+      for (const auto& step : trig.ramp()) {
+        cfg.interval_ramp.push_back({step.duration_ns, step.interval_ns});
+      }
+      cfg.interval_ns = trig.ramp().front().interval_ns;
+    }
+
     // Loop bound: fires = loop * stream length (0 = run forever).
     std::uint64_t stream_len = 1;
     for (const auto& binding : trig.bindings()) {
@@ -242,6 +252,7 @@ CompiledTask Compiler::lower(const Task& task) const {
       cq.config.source = htpr::QueryConfig::Source::kReceived;
       cq.config.ports = query.ports();
     }
+    cq.config.response = query.response();
 
     std::vector<net::FieldId> key_fields;
     bool keyed_agg = false;

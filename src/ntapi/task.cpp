@@ -39,6 +39,12 @@ Trigger& Trigger::record_timestamp(net::FieldId index_field) {
   return *this;
 }
 
+Trigger& Trigger::interval_ramp(std::vector<RampStep> steps) {
+  ramp_ = std::move(steps);
+  ++set_calls_;
+  return *this;
+}
+
 Trigger& Trigger::payload(std::string bytes) {
   payload_ = std::move(bytes);
   ++set_calls_;
@@ -94,6 +100,27 @@ Query& Query::distinct() {
 
 Query& Query::monitor_ports(std::vector<std::uint16_t> ports) {
   ports_ = std::move(ports);
+  return *this;
+}
+
+Query& Query::classify(std::string cls, std::size_t offset, std::string prefix) {
+  response_.rules.push_back(
+      htpr::ClassifyRule{.cls = std::move(cls), .offset = offset, .prefix = std::move(prefix)});
+  ++response_calls_;
+  return *this;
+}
+
+Query& Query::classify_masked(std::string cls, std::size_t offset, std::uint8_t mask,
+                              std::uint8_t value) {
+  response_.rules.push_back(htpr::ClassifyRule{
+      .cls = std::move(cls), .offset = offset, .prefix = {}, .mask = mask, .value = value});
+  ++response_calls_;
+  return *this;
+}
+
+Query& Query::sample_latency() {
+  response_.sample_latency = true;
+  ++response_calls_;
   return *this;
 }
 

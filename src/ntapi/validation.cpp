@@ -159,6 +159,23 @@ std::vector<ValidationError> validate(const Task& task, const rmt::AsicConfig& a
         errors.push_back({where, "loop must be a constant"});
       }
     }
+
+    // CPS ramp schedules: fixed-duration steps followed by an optional
+    // open-ended hold; the schedule replaces (not augments) the interval.
+    if (!trig.ramp().empty()) {
+      if (trig.find(net::FieldId::kInterval) != nullptr) {
+        errors.push_back({where, "interval ramp conflicts with set(interval, ...)"});
+      }
+      if (trig.source_query()) {
+        errors.push_back({where, "interval ramp on a query-based trigger"});
+      }
+      for (std::size_t s = 0; s < trig.ramp().size(); ++s) {
+        if (trig.ramp()[s].duration_ns == 0 && s + 1 != trig.ramp().size()) {
+          errors.push_back({where, "ramp step " + std::to_string(s) +
+                                       " holds forever but is not the final step"});
+        }
+      }
+    }
   }
 
   for (std::size_t q = 0; q < task.queries().size(); ++q) {
@@ -181,13 +198,32 @@ std::vector<ValidationError> validate(const Task& task, const rmt::AsicConfig& a
       errors.push_back({where, "store digest must be 16 or 32 bits"});
     }
 
+    // L7 response classification.
+    for (std::size_t r = 0; r < query.response().rules.size(); ++r) {
+      const auto& rule = query.response().rules[r];
+      const std::string rwhere = where + ".classify[" + std::to_string(r) + "]";
+      if (rule.cls.empty()) {
+        errors.push_back({rwhere, "empty response class name"});
+      }
+      if (rule.prefix.empty() && rule.mask == 0) {
+        errors.push_back({rwhere, "rule matches nothing (empty prefix, zero mask)"});
+      }
+      const std::size_t reach = rule.offset + std::max<std::size_t>(rule.prefix.size(), 1);
+      if (reach > 1460) {
+        errors.push_back({rwhere, "classification window reaches byte " +
+                                      std::to_string(reach) + ", beyond a 1500B MTU payload"});
+      }
+    }
+
     bool seen_map = false;
     bool seen_agg = false;
+    bool value_map = false;
     for (const auto& step : query.steps()) {
       if (const auto* m = std::get_if<QMap>(&step)) {
         if (m->state_trigger && m->state_trigger->index >= task.triggers().size()) {
           errors.push_back({where, "state-delay map references nonexistent trigger"});
         }
+        value_map = value_map || m->value_field.has_value() || m->state_trigger.has_value();
       }
       if (const auto* f = std::get_if<QFilter>(&step)) {
         if (f->on_result && !seen_agg) {
@@ -203,6 +239,10 @@ std::vector<ValidationError> validate(const Task& task, const rmt::AsicConfig& a
         if (seen_agg) errors.push_back({where, "multiple aggregations in one query"});
         seen_agg = true;
       }
+    }
+    if (query.response().sample_latency && !value_map) {
+      errors.push_back(
+          {where, "sample_latency requires a value-producing map (delta or state delay)"});
     }
   }
 

@@ -31,6 +31,10 @@ struct PhvActionCtx {
   RegisterFile& registers() const { return c.registers; }
   net::PacketMeta& meta() const { return c.phv.packet->meta(); }
   bool has_packet() const { return static_cast<bool>(c.phv.packet); }
+  /// Raw wire bytes (L7 response matching); nullptr without a packet.
+  const net::Packet* raw_packet() const {
+    return c.phv.packet ? &*c.phv.packet : nullptr;
+  }
 
   /// Integrity gate (HTPR): checksum the real packet bytes as parsed.
   bool verify_checksums() const { return net::verify_checksums(*c.phv.packet); }

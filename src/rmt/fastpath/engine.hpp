@@ -145,6 +145,10 @@ struct FastCtx {
   RegisterFile& registers() const { return *regs; }
   net::PacketMeta& meta() const { return pkt->meta(); }
   bool has_packet() const { return true; }
+  /// Raw wire bytes (L7 response matching). Reachable only for received
+  /// queries, which never fuse; sent queries with classify rules are a
+  /// fusion blocker.
+  const net::Packet* raw_packet() const { return pkt; }
 
   /// Unreachable by construction: sent queries that re-verify checksums
   /// are a fusion blocker (they must observe pre-deparse bytes).

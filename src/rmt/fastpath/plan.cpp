@@ -66,6 +66,10 @@ FusedPlan analyze(const std::vector<htps::TemplateConfig>& templates,
         tf.blockers.push_back("sent query '" + q.name +
                               "' re-verifies checksums before deparse");
       }
+      if (!q.response.rules.empty()) {
+        tf.blockers.push_back("sent query '" + q.name +
+                              "' classifies payload bytes before deparse");
+      }
     }
   }
   return plan;

@@ -429,7 +429,7 @@ TEST(Analysis, RunStampsPassIds) {
 }
 
 TEST(Analysis, DefaultAnalyzerHasNinePasses) {
-  EXPECT_EQ(analysis::Analyzer::with_default_passes().pass_count(), 9u);
+  EXPECT_EQ(analysis::Analyzer::with_default_passes().pass_count(), 10u);
 }
 
 }  // namespace
